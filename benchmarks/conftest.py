@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one of the paper's tables or figures via the
+experiment registry.  Runs are executed exactly once per session
+(``benchmark.pedantic``): a "round" here is a full scientific experiment,
+not a microbenchmark; repetition comes from the shared disk cache making
+subsequent invocations cheap.
+
+Profile selection: set ``REPRO_PROFILE`` (smoke | quick | paper) before
+invoking pytest.  The default ``quick`` profile needs roughly an hour on
+first run (training + attack crafting, all cached under .repro_cache);
+subsequent runs complete in minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="session")
+def run_exp():
+    """Run one experiment by id (exactly once) and print its report."""
+
+    def _run(benchmark, exp_id: str):
+        report = benchmark.pedantic(run_experiment, args=(exp_id,),
+                                    iterations=1, rounds=1)
+        print()
+        print(report)
+        return report
+
+    return _run

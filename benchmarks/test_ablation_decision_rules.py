@@ -1,0 +1,38 @@
+"""Ablation — EAD decision rules (EN vs L1) across beta.
+
+The paper (§III-B1) reports that at small beta the L1 rule attacks
+better (L2 dominates the elastic-net score), while at larger beta the EN
+rule catches up or wins.  This ablation reuses the cached EAD sweeps to
+tabulate best ASR per (rule, beta) against the default MagNet on digits.
+"""
+
+import pytest
+
+from repro.evaluation.reporting import format_table
+from repro.experiments import get_context
+from repro.experiments.sweeps import best_asr
+
+
+def test_decision_rule_ablation(benchmark):
+    def run():
+        ctx = get_context("digits")
+        magnet = ctx.magnet("default")
+        kappas = ctx.profile.kappas("digits")
+        rows = []
+        data = {}
+        for beta in ctx.profile.betas:
+            en = best_asr(ctx, magnet, kappas, beta, "en")
+            l1 = best_asr(ctx, magnet, kappas, beta, "l1")
+            rows.append([f"{beta:g}", 100 * en, 100 * l1])
+            data[beta] = {"en": en, "l1": l1}
+        print()
+        print(format_table(["beta", "EN rule ASR %", "L1 rule ASR %"], rows,
+                           title="EAD decision-rule ablation (digits, "
+                                 "default MagNet)"))
+        return data
+
+    data = benchmark.pedantic(run, iterations=1, rounds=1)
+    # Both rules must yield a usable attack at every beta.
+    for beta, cell in data.items():
+        assert max(cell["en"], cell["l1"]) > 0.05, (
+            f"beta={beta}: EAD ineffective under both rules")

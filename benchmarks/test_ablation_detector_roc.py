@@ -1,0 +1,43 @@
+"""Ablation — detector separability (ROC / AUC) per attack.
+
+The paper calibrates detectors at a fixed false-positive budget; the ROC
+view asks whether *any* threshold could have separated EAD examples from
+clean data.  Uses the cached attack batches and the default MagNet's
+detectors on digits.
+"""
+
+import pytest
+
+from repro.evaluation.roc import detector_roc_report
+from repro.evaluation.reporting import format_table
+from repro.experiments import get_context
+
+
+def test_detector_roc(benchmark):
+    def run():
+        ctx = get_context("digits")
+        x_clean = ctx.splits.val.x
+        magnet = ctx.magnet("default")
+        kappa = ctx.profile.kappas("digits")[2]
+        batches = {
+            "C&W": ctx.cw(kappa).x_adv,
+            "EAD-EN": ctx.ead(1e-1, kappa)["en"].x_adv,
+        }
+        rows, data = [], {}
+        for attack_name, x_adv in batches.items():
+            for det in magnet.detectors:
+                rep = detector_roc_report(det, x_clean, x_adv)
+                rows.append([attack_name, rep["detector"], rep["auc"],
+                             rep["tpr_at_fpr"]["0.01"]])
+                data[(attack_name, rep["detector"])] = rep
+        print()
+        print(format_table(
+            ["attack", "detector", "AUC", "TPR@FPR=1%"], rows,
+            title=f"Detector separability at kappa={kappa:g} (digits)"))
+        return data
+
+    data = benchmark.pedantic(run, iterations=1, rounds=1)
+    for key, rep in data.items():
+        # Scores must be sane probabilities-of-detection.
+        assert 0.0 <= rep["auc"] <= 1.0
+        assert rep["adv_median"] >= 0.0

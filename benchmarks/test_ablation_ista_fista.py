@@ -1,0 +1,41 @@
+"""Ablation — ISTA (paper eq. (4)) vs FISTA (reference EAD) iterations.
+
+The paper describes plain ISTA; the reference EAD implementation uses
+FISTA momentum.  Both must produce working attacks; FISTA typically
+converges to lower-distortion examples within the same iteration budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import EAD
+from repro.evaluation.reporting import format_table
+from repro.experiments import get_context
+
+
+def test_ista_vs_fista(benchmark):
+    def run():
+        ctx = get_context("digits")
+        x0, y0 = ctx.attack_seeds()
+        x0, y0 = x0[:16], y0[:16]
+        kappa = ctx.profile.kappas("digits")[2]
+        results = {}
+        for method in ("ista", "fista"):
+            attack = EAD(ctx.classifier, beta=1e-2, kappa=kappa,
+                         binary_search_steps=3, max_iterations=100,
+                         initial_const=1.0, lr=ctx.profile.ead_lr,
+                         method=method)
+            results[method] = attack.attack(x0, y0)
+        rows = [[m, 100 * r.success_rate, r.mean_distortion("l1"),
+                 r.mean_distortion("l2")] for m, r in results.items()]
+        print()
+        print(format_table(["method", "success %", "L1", "L2"], rows,
+                           title=f"ISTA vs FISTA (digits, kappa={kappa:g})"))
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert results["ista"].success_rate > 0.5
+    assert results["fista"].success_rate > 0.5
+    # FISTA should not be substantially weaker than ISTA.
+    assert (results["fista"].success_rate
+            >= results["ista"].success_rate - 0.2)

@@ -1,0 +1,17 @@
+"""Figure 1 — adversarial-example gallery with bypass marks.
+
+Paper's shape: at a medium confidence, EAD produces more examples that
+bypass the default MagNet than C&W does (the paper's Figure 1 marks the
+C&W rows with red crosses).
+"""
+
+
+def test_fig1(benchmark, run_exp):
+    report = run_exp(benchmark, "fig1")
+    bypass = report.data["bypass"]
+    assert set(bypass) == {"C&W", "EAD-EN", "EAD-L1"}
+    ead_total = sum(bypass["EAD-EN"]) + sum(bypass["EAD-L1"])
+    cw_total = 2 * sum(bypass["C&W"])
+    assert ead_total >= cw_total, (
+        f"gallery should show EAD bypassing at least as often as C&W "
+        f"(EAD {ead_total} vs C&W {cw_total})")

@@ -1,0 +1,15 @@
+"""Figure 10 — digits: EAD decomposition vs D+wide+JSD MagNet.
+
+Paper's shape: the strongest variant still fails against ~50% of EAD
+examples; hardening never restores robustness to L1 attacks.
+"""
+
+import numpy as np
+
+
+def test_fig10(benchmark, run_exp):
+    report = run_exp(benchmark, "fig10")
+    data = report.data
+    dips = [np.array(curves["With detector & reformer"]).min()
+            for key, curves in data.items() if "/" in str(key)]
+    assert min(dips) < 0.9, "EAD should still leak through D+wide+JSD"

@@ -1,0 +1,17 @@
+"""Figure 11 — objects: EAD decomposition vs D+wide MagNet.
+
+Paper's shape: on CIFAR, EAD's ASR *grows* with beta against the wide
+variant (Table VII reports up to ~94%); the full curve dips low in at
+least the large-beta panels.
+"""
+
+import numpy as np
+
+
+def test_fig11(benchmark, run_exp):
+    report = run_exp(benchmark, "fig11")
+    data = report.data
+    dips = {key: np.array(curves["With detector & reformer"]).min()
+            for key, curves in data.items() if "/" in str(key)}
+    assert min(dips.values()) < 0.85, (
+        "EAD should leak through the wide objects MagNet")

@@ -1,0 +1,23 @@
+"""Figure 12 — digits: MSE- vs MAE-trained autoencoders.
+
+Paper's shape: switching the reconstruction loss from MSE to MAE leaves
+the picture unchanged — both defend C&W but stay vulnerable to EAD.
+The vulnerability is therefore not an artifact of the L2 training loss.
+"""
+
+
+def _min_curve(series):
+    return min(v for v in series if v == v)
+
+
+def test_fig12(benchmark, run_exp):
+    report = run_exp(benchmark, "fig12")
+    data = report.data
+    for loss in ("mse", "mae"):
+        curves = data[loss]
+        cw_min = _min_curve(curves["C&W L2 attack"])
+        ead_min = min(_min_curve(v) for k, v in curves.items()
+                      if k.startswith("EAD"))
+        assert ead_min <= cw_min + 0.05, (
+            f"{loss}-trained AEs: EAD should attack at least as well as "
+            f"C&W (EAD {ead_min:.2f} vs C&W {cw_min:.2f})")

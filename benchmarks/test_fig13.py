@@ -1,0 +1,22 @@
+"""Figure 13 — objects: MSE- vs MAE-trained autoencoders.
+
+Paper's shape: as on digits, the MAE-trained CIFAR MagNet defends C&W
+but not EAD.
+"""
+
+
+def _min_curve(series):
+    return min(v for v in series if v == v)
+
+
+def test_fig13(benchmark, run_exp):
+    report = run_exp(benchmark, "fig13")
+    data = report.data
+    for loss in ("mse", "mae"):
+        curves = data[loss]
+        cw_min = _min_curve(curves["C&W L2 attack"])
+        ead_min = min(_min_curve(v) for k, v in curves.items()
+                      if k.startswith("EAD"))
+        # Synthetic-objects noise band (see test_fig3).
+        assert ead_min <= cw_min + 0.15, (
+            f"objects {loss}: EAD {ead_min:.2f} vs C&W {cw_min:.2f}")

@@ -1,0 +1,29 @@
+"""Figure 2 — digits: accuracy-vs-confidence for four MagNet variants.
+
+Paper's shape: against every variant, the EAD curves dip well below the
+C&W curve somewhere in the confidence sweep (the paper's curves separate
+dramatically at medium kappa).
+"""
+
+
+def _min_curve(series):
+    return min(v for v in series if v == v)  # skip NaN
+
+
+def test_fig2(benchmark, run_exp):
+    report = run_exp(benchmark, "fig2")
+    data = report.data
+    for variant in ("default", "jsd", "wide", "wide_jsd"):
+        curves = data[variant]
+        cw_min = _min_curve(curves["C&W L2 attack"])
+        ead_min = min(_min_curve(curves["EAD-L1 beta=0.1"]),
+                      _min_curve(curves["EAD-EN beta=0.1"]))
+        assert ead_min <= cw_min + 0.05, (
+            f"{variant}: EAD should dip at least as low as C&W "
+            f"(EAD {ead_min:.2f} vs C&W {cw_min:.2f})")
+    # On the default variant the separation must be substantial.
+    curves = data["default"]
+    gap = _min_curve(curves["C&W L2 attack"]) - min(
+        _min_curve(curves["EAD-L1 beta=0.1"]),
+        _min_curve(curves["EAD-EN beta=0.1"]))
+    assert gap > 0.05, f"default variant: EAD-vs-C&W gap too small ({gap:.2f})"

@@ -1,0 +1,28 @@
+"""Figure 4 — digits: C&W defense decomposition for four variants.
+
+Paper's shape (supplementary): for the C&W attack, combining detector
+and reformer dominates each alone, which dominates no defense; the full
+defense keeps accuracy high across the kappa sweep.
+"""
+
+import numpy as np
+
+
+def test_fig4(benchmark, run_exp):
+    report = run_exp(benchmark, "fig4")
+    data = report.data
+    for variant in ("default", "jsd", "wide", "wide_jsd"):
+        curves = data[variant]
+        none = np.array(curves["No defense"])
+        det = np.array(curves["With detector"])
+        ref = np.array(curves["With reformer"])
+        full = np.array(curves["With detector & reformer"])
+        # Identities of the decomposition (hold pointwise by definition).
+        assert (det >= none - 1e-9).all()
+        assert (full >= ref - 1e-9).all()
+        # C&W fails against the full defense: accuracy stays high.
+        assert full.mean() > 0.7, (
+            f"{variant}: C&W should be largely defended "
+            f"(mean acc {full.mean():.2f})")
+        # No defense = undefended ASR ~ 100% → accuracy near zero.
+        assert none.mean() < 0.35

@@ -1,0 +1,22 @@
+"""Figure 5 — objects: C&W defense decomposition for two variants.
+
+Paper's shape: same decomposition ordering as digits; CIFAR MagNet's
+full defense handles C&W substantially better than no defense.
+"""
+
+import numpy as np
+
+
+def test_fig5(benchmark, run_exp):
+    report = run_exp(benchmark, "fig5")
+    data = report.data
+    for variant in ("default", "wide"):
+        curves = data[variant]
+        none = np.array(curves["No defense"])
+        det = np.array(curves["With detector"])
+        ref = np.array(curves["With reformer"])
+        full = np.array(curves["With detector & reformer"])
+        assert (det >= none - 1e-9).all()
+        assert (full >= ref - 1e-9).all()
+        assert full.mean() > none.mean() + 0.2, (
+            f"objects/{variant}: full defense should clearly beat none")

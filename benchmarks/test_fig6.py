@@ -1,0 +1,26 @@
+"""Figure 6 — digits: EAD decomposition vs *default* MagNet, 8 panels.
+
+Paper's shape: for EAD, the full defense leaks badly somewhere in the
+sweep — neither the detector nor the reformer rescues the medium-kappa
+region (the paper's "dip").
+"""
+
+import numpy as np
+
+
+def test_fig6(benchmark, run_exp):
+    report = run_exp(benchmark, "fig6")
+    data = report.data
+    dips = []
+    for key, curves in data.items():
+        if "/" not in str(key):
+            continue
+        full = np.array(curves["With detector & reformer"])
+        det = np.array(curves["With detector"])
+        none = np.array(curves["No defense"])
+        assert (det >= none - 1e-9).all()
+        dips.append(full.min())
+    # At least one (beta, rule) panel shows a pronounced leak.
+    assert min(dips) <= 0.8, (
+        f"EAD should substantially degrade the default MagNet "
+        f"(best panel dip only to {min(dips):.2f})")

@@ -1,0 +1,17 @@
+"""Figure 7 — objects: EAD decomposition vs default MagNet, 8 panels.
+
+Paper's shape: on CIFAR the default MagNet (which ships JSD detectors)
+still leaks against EAD across the beta grid.
+"""
+
+import numpy as np
+
+
+def test_fig7(benchmark, run_exp):
+    report = run_exp(benchmark, "fig7")
+    data = report.data
+    dips = [np.array(curves["With detector & reformer"]).min()
+            for key, curves in data.items() if "/" in str(key)]
+    assert min(dips) < 0.8, (
+        f"EAD should degrade the default objects MagNet "
+        f"(best dip {min(dips):.2f})")

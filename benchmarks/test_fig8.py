@@ -1,0 +1,16 @@
+"""Figure 8 — digits: EAD decomposition vs D+JSD MagNet.
+
+Paper's shape: the added JSD detectors improve the defense relative to
+the default, but roughly 40% of EAD examples still bypass — the full
+curve still dips well below perfect.
+"""
+
+import numpy as np
+
+
+def test_fig8(benchmark, run_exp):
+    report = run_exp(benchmark, "fig8")
+    data = report.data
+    dips = [np.array(curves["With detector & reformer"]).min()
+            for key, curves in data.items() if "/" in str(key)]
+    assert min(dips) < 0.9, "EAD should still leak through D+JSD"

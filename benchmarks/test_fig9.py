@@ -1,0 +1,16 @@
+"""Figure 9 — digits: EAD decomposition vs D+wide MagNet.
+
+Paper's shape: widening the autoencoders does NOT stop EAD — the paper
+reports ~70% of EAD examples still bypassing (best ASR even slightly
+higher than the default variant, Table IV).
+"""
+
+import numpy as np
+
+
+def test_fig9(benchmark, run_exp):
+    report = run_exp(benchmark, "fig9")
+    data = report.data
+    dips = [np.array(curves["With detector & reformer"]).min()
+            for key, curves in data.items() if "/" in str(key)]
+    assert min(dips) < 0.8, "EAD should still leak through D+wide"

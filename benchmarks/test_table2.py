@@ -1,0 +1,18 @@
+"""Table II — robust MagNet autoencoder architectures on digits.
+
+Structural reproduction: the deep AE (Detector I & Reformer) has the
+7-row conv/pool/upsample stack, the shallow AE (Detector II) the 3-row
+stack, both ending in a single-channel sigmoid conv.
+"""
+
+
+def test_table2(benchmark, run_exp):
+    report = run_exp(benchmark, "table2")
+    data = report.data
+    assert len(data["deep_rows"]) == 7
+    assert len(data["shallow_rows"]) == 3
+    assert data["deep_rows"][-1] == "Conv.Sigmoid 3x3x1"
+    assert data["shallow_rows"][-1] == "Conv.Sigmoid 3x3x1"
+    assert "AveragePooling 2x2" in data["deep_rows"]
+    assert "Upsampling 2x2" in data["deep_rows"]
+    assert data["deep_params"] > data["shallow_params"]

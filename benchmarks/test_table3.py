@@ -1,0 +1,21 @@
+"""Table III — digits clean test accuracy with/without each MagNet.
+
+Paper's shape: the classifier keeps high clean accuracy behind every
+MagNet variant; the drop from adding the defense is small (false
+positives + reformer distortion), and JSD variants cost slightly more.
+"""
+
+
+def test_table3(benchmark, run_exp):
+    report = run_exp(benchmark, "table3")
+    data = report.data
+    assert data["without"] > 0.95
+    for variant in ("default", "jsd", "wide", "wide_jsd"):
+        # With-defense accuracy tracks the undefended accuracy closely
+        # (the reformer occasionally corrects a raw mistake, so a small
+        # positive delta is legitimate) ...
+        assert data[variant] <= data["without"] + 0.02
+        # ... but the defense must not destroy clean performance.
+        assert data[variant] > data["without"] - 0.15, (
+            f"{variant}: clean accuracy dropped too much "
+            f"({data[variant]:.3f} vs {data['without']:.3f})")

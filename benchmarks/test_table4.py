@@ -1,0 +1,27 @@
+"""Table IV — best EAD attack success rate per MagNet variant (digits).
+
+Paper's shape: even the hardened variants (JSD detectors, wider
+autoencoders, both) fail to push EAD's best ASR anywhere near zero,
+and larger beta (more L1 pressure) tends to attack better at the
+default width.
+"""
+
+import numpy as np
+
+
+def test_table4(benchmark, run_exp):
+    report = run_exp(benchmark, "table4")
+    data = report.data
+    # Even the strongest variant leaves EAD a substantial ASR.
+    strongest = min(
+        max(data[f"{rule}/{beta:g}/{variant}"]
+            for rule in ("en", "l1") for beta in (1e-2, 5e-2, 1e-1))
+        for variant in ("default", "jsd", "wide", "wide_jsd")
+    )
+    assert strongest > 0.1, (
+        f"every MagNet variant should remain vulnerable to EAD, "
+        f"but the best-defended variant held EAD to {strongest:.2f}")
+    # Larger beta should not collapse the attack (monotone-ish trend).
+    default_small = data["en/0.001/default"]
+    default_large = max(data["en/0.05/default"], data["en/0.1/default"])
+    assert default_large >= default_small - 0.15

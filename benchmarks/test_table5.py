@@ -1,0 +1,9 @@
+"""Table V — robust MagNet CIFAR autoencoder architecture (structural)."""
+
+
+def test_table5(benchmark, run_exp):
+    report = run_exp(benchmark, "table5")
+    data = report.data
+    assert len(data["rows"]) == 3
+    assert data["rows"][-1] == "Conv.Sigmoid 3x3x3"
+    assert data["params"] > 0

@@ -1,0 +1,14 @@
+"""Table VI — objects clean test accuracy with/without MagNet.
+
+Paper's shape: CIFAR-10 is the harder task (lower clean accuracy than
+MNIST), and MagNet costs a few points of clean accuracy.
+"""
+
+
+def test_table6(benchmark, run_exp):
+    report = run_exp(benchmark, "table6")
+    data = report.data
+    assert data["without"] > 0.7
+    for variant in ("default", "wide"):
+        assert data[variant] <= data["without"] + 1e-9
+        assert data[variant] > data["without"] - 0.2

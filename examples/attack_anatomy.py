@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Scenario: dissect why L1 attacks slip past MagNet.
+
+For one batch of digits, crafts C&W-L2 and EAD examples at the same
+confidence and compares, per attack:
+
+* the perturbation geometry (L0 / L1 / L2 / Linf) — EAD's ISTA step
+  (paper eq. (4)-(5)) nulls insignificant pixels, so its perturbations
+  are far sparser;
+* the detector scores against the calibrated thresholds — sparse,
+  near-manifold edits raise reconstruction error far less per unit of
+  attack confidence;
+* what the reformer does — the autoencoder largely *preserves* EAD's
+  localized edits (they look like plausible stroke changes), so the
+  classifier stays fooled after reforming.
+
+Also renders one example as ASCII art so the perturbation structure is
+visible in the terminal.
+
+Run:  python examples/attack_anatomy.py
+"""
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.experiments import get_context
+from repro.nn import Tensor, no_grad
+
+ASCII = " .:-=+*#%@"
+
+
+def ascii_img(img):
+    gray = img.mean(axis=0)
+    return ["".join(ASCII[min(int(v * 9.99), 9)] for v in row) for row in gray]
+
+
+def side_by_side(images, labels):
+    blocks = [ascii_img(im) for im in images]
+    head = "   ".join(f"{lab:<28}" for lab in labels)
+    lines = [head]
+    for i in range(len(blocks[0])):
+        lines.append("   ".join(b[i] for b in blocks))
+    return "\n".join(lines)
+
+
+def main():
+    ctx = get_context("digits")
+    kappa = ctx.profile.kappas("digits")[2]
+    x0, y0 = ctx.attack_seeds()
+    magnet = ctx.magnet("default")
+
+    cw = ctx.cw(kappa)
+    ead = ctx.ead(1e-1, kappa)["en"]
+
+    print(f"=== perturbation geometry at kappa={kappa:g} "
+          f"(mean over successful examples) ===")
+    rows = []
+    for name, r in (("C&W-L2", cw), ("EAD-EN beta=0.1", ead)):
+        rows.append([name, r.mean_distortion("l0"), r.mean_distortion("l1"),
+                     r.mean_distortion("l2"), r.mean_distortion("linf")])
+    print(format_table(["attack", "L0 (pixels)", "L1", "L2", "Linf"], rows))
+    print("\nEAD touches far fewer pixels (smaller L0), trading a larger "
+          "per-pixel magnitude (Linf).")
+
+    print("\n=== detector scores vs thresholds ===")
+    rows = []
+    for det in magnet.detectors:
+        rows.append([det.name, float(np.median(det.score(x0))),
+                     float(np.median(det.score(cw.x_adv))),
+                     float(np.median(det.score(ead.x_adv))),
+                     det.threshold])
+    print(format_table(["detector", "clean (median)", "C&W (median)",
+                        "EAD (median)", "threshold"], rows))
+
+    print("\n=== what the reformer does ===")
+    decision_cw = magnet.decide(cw.x_adv)
+    decision_ead = magnet.decide(ead.x_adv)
+    rows = [
+        ["C&W-L2", 100 * decision_cw.detected.mean(),
+         100 * (decision_cw.labels_reformed == y0).mean()],
+        ["EAD-EN", 100 * decision_ead.detected.mean(),
+         100 * (decision_ead.labels_reformed == y0).mean()],
+    ]
+    print(format_table(["attack", "detected %", "correct after reforming %"],
+                       rows))
+
+    # Show one EAD example end to end.
+    idx = int(np.flatnonzero(ead.success)[0]) if ead.success.any() else 0
+    with no_grad():
+        reformed = magnet.reform(ead.x_adv[idx:idx + 1])[0]
+    print(f"\n=== one EAD example (true label {y0[idx]}, "
+          f"classified as {ead.y_adv[idx]}) ===")
+    print(side_by_side(
+        [x0[idx], ead.x_adv[idx],
+         np.abs(ead.x_adv[idx] - x0[idx]) / max(np.abs(ead.x_adv[idx] - x0[idx]).max(), 1e-6),
+         reformed],
+        ["clean", "adversarial", "|perturbation| (scaled)", "after reformer"]))
+
+
+if __name__ == "__main__":
+    main()

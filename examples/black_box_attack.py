@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scenario: the full threat-model spectrum against one defended model.
+
+The paper's oblivious setting sits between two extremes:
+
+* **black-box** — the attacker only queries prediction scores
+  (ZOO, the paper's ref. [7]);
+* **oblivious** — white-box access to the *undefended* classifier, no
+  knowledge of the defense (the paper's setting: C&W, EAD);
+* **gray-box** — the attacker knows an autoencoder guards the model and
+  differentiates through it (the paper's ref. [20]).
+
+This example crafts one small batch under each threat model and scores
+all of them against the same calibrated MagNet, showing how attack
+power scales with attacker knowledge — and that EAD needs the least.
+
+Run:  python examples/black_box_attack.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    EAD,
+    CarliniWagnerL2,
+    RandomNoise,
+    ZOO,
+    graybox_model,
+    logits_of,
+)
+from repro.datasets import load_digit_splits
+from repro.defenses import build_magnet
+from repro.evaluation import format_table
+from repro.models import ClassifierSpec, ModelZoo
+from repro.models.classifiers import ScaledLogits
+
+
+def main():
+    splits = load_digit_splits(n_train=1500, n_val=400, n_test=600, seed=0)
+    zoo_models = ModelZoo(splits)
+    base = zoo_models.classifier(ClassifierSpec(dataset="digits", epochs=5))
+    classifier = ScaledLogits(base, 5.0)
+    magnet = build_magnet(zoo_models, "digits", "default",
+                          classifier=classifier, fpr_total=0.002)
+
+    preds = logits_of(classifier, splits.test.x).argmax(1)
+    idx = np.flatnonzero(preds == splits.test.y)[:12]
+    x0, y0 = splits.test.x[idx], splits.test.y[idx]
+    kappa = 10.0
+
+    print("crafting under four threat models (this takes a few minutes)...")
+    attacks = {
+        "noise floor (no access)": RandomNoise(classifier, epsilon=0.3,
+                                               tries=8),
+        "black-box (ZOO)": ZOO(classifier, kappa=0.0, const=10.0,
+                               max_iterations=200, coords_per_step=48,
+                               lr=0.1),
+        "oblivious (C&W L2)": CarliniWagnerL2(
+            classifier, kappa=kappa, binary_search_steps=4,
+            max_iterations=150, initial_const=1.0, lr=5e-2),
+        "oblivious (EAD beta=0.1)": EAD(
+            classifier, beta=1e-1, kappa=kappa, binary_search_steps=4,
+            max_iterations=150, initial_const=1.0, lr=2e-2),
+        "gray-box (C&W through reformer)": CarliniWagnerL2(
+            graybox_model(magnet, mode="reformed"), kappa=0.0,
+            binary_search_steps=3, max_iterations=100, initial_const=1.0,
+            lr=5e-2),
+    }
+
+    rows = []
+    for name, attack in attacks.items():
+        result = attack.attack(x0, y0)
+        asr = magnet.attack_success_rate(result.x_adv, y0)
+        rows.append([name, 100 * result.success_rate,
+                     result.mean_distortion("l1"), 100 * asr])
+    print()
+    print(format_table(
+        ["threat model", "fools bare model %", "L1", "ASR vs MagNet %"],
+        rows,
+        title="Attack power vs attacker knowledge (digits, default MagNet)"))
+    print("\nThe paper's point: EAD already bypasses MagNet at the weak "
+          "oblivious level,\nwithout the gray-box knowledge C&W needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Scenario: a defender hardens MagNet — and EAD still wins.
+
+Reproduces the paper's "robust MagNet" exploration on the digits task:
+starting from the default configuration, the defender adds JSD detectors
+(T = 10, 40), widens the autoencoders, then does both.  Each step is
+evaluated against the same oblivious C&W and EAD example batches.
+
+The expected outcome (paper §III-B2): every hardening step improves the
+defense against C&W, but EAD retains a high attack success rate —
+MagNet's robustness does not extend to L1-based adversarial examples.
+
+Run:  python examples/defense_tuning.py
+"""
+
+from repro.defenses import VARIANT_LABELS
+from repro.evaluation import format_table
+from repro.experiments import get_context
+
+
+def main():
+    ctx = get_context("digits")
+    kappa = ctx.profile.kappas("digits")[2]  # a medium confidence level
+    print(f"digits, kappa={kappa:g}, profile={ctx.profile.name!r}\n")
+
+    _, y0 = ctx.attack_seeds()
+    cw = ctx.cw(kappa)
+    ead = ctx.ead(1e-1, kappa)
+
+    rows = []
+    for variant in ("default", "jsd", "wide", "wide_jsd"):
+        magnet = ctx.magnet(variant)
+        rows.append([
+            VARIANT_LABELS[variant],
+            100 * magnet.attack_success_rate(cw.x_adv, y0),
+            100 * magnet.attack_success_rate(ead["en"].x_adv, y0),
+            100 * magnet.attack_success_rate(ead["l1"].x_adv, y0),
+            100 * magnet.clean_accuracy(ctx.splits.test.x, ctx.splits.test.y),
+        ])
+
+    print(format_table(
+        ["MagNet variant", "C&W ASR %", "EAD-EN ASR %", "EAD-L1 ASR %",
+         "clean acc %"],
+        rows,
+        title="Hardening MagNet helps against C&W but not against EAD"))
+    print("\nEach row is the same attack batch — only the defense changed.")
+
+
+if __name__ == "__main__":
+    main()

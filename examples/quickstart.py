@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: train a classifier, build MagNet, attack it with EAD.
+
+Walks through the paper's whole pipeline at toy scale in a few minutes:
+
+1. generate the SyntheticDigits dataset (the offline MNIST stand-in);
+2. train the undefended CNN classifier;
+3. build and calibrate the default MagNet (two reconstruction-error
+   detectors + reformer);
+4. craft C&W-L2 and EAD adversarial examples *against the undefended
+   classifier* (the oblivious threat model);
+5. report defense accuracy — reproducing the paper's headline: the
+   L1-based EAD attack bypasses MagNet far more often than C&W.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.attacks import EAD, CarliniWagnerL2, logits_of
+from repro.datasets import load_digit_splits
+from repro.defenses import build_magnet
+from repro.models import ClassifierSpec, ModelZoo
+from repro.models.classifiers import ScaledLogits
+from repro.nn import accuracy
+
+
+def main():
+    print("=== 1. data ===")
+    splits = load_digit_splits(n_train=1500, n_val=400, n_test=600, seed=0)
+    print(splits.summary())
+
+    print("\n=== 2. undefended classifier ===")
+    zoo = ModelZoo(splits)
+    base = zoo.classifier(ClassifierSpec(dataset="digits", epochs=5))
+    print(f"clean test accuracy: "
+          f"{accuracy(base, splits.test.x, splits.test.y):.3f}")
+    # Calibrate the logit scale to the paper's kappa range (DESIGN.md §2).
+    classifier = ScaledLogits(base, 12.0)
+
+    print("\n=== 3. MagNet (default: L1+L2 reconstruction detectors + reformer) ===")
+    magnet = build_magnet(zoo, "digits", "default", classifier=classifier,
+                          fpr_total=0.002)
+    print(magnet)
+    print(f"clean accuracy behind MagNet: "
+          f"{magnet.clean_accuracy(splits.test.x, splits.test.y):.3f}")
+
+    print("\n=== 4. oblivious attacks on the undefended classifier ===")
+    preds = logits_of(classifier, splits.test.x).argmax(1)
+    seeds = np.flatnonzero(preds == splits.test.y)[:32]
+    x0, y0 = splits.test.x[seeds], splits.test.y[seeds]
+    kappa = 20.0
+
+    cw = CarliniWagnerL2(classifier, kappa=kappa, binary_search_steps=5,
+                         max_iterations=200, initial_const=1.0, lr=5e-2)
+    r_cw = cw.attack(x0, y0)
+    print(f"C&W-L2  (kappa={kappa:g}): {100 * r_cw.success_rate:.0f}% fool the "
+          f"bare classifier, mean L2 {r_cw.mean_distortion('l2'):.2f}")
+
+    ead = EAD(classifier, beta=1e-1, kappa=kappa, binary_search_steps=5,
+              max_iterations=200, initial_const=1.0)
+    r_ead = ead.attack_both(x0, y0)
+    print(f"EAD     (kappa={kappa:g}): {100 * r_ead['en'].success_rate:.0f}% "
+          f"fool the bare classifier, mean L1 "
+          f"{r_ead['en'].mean_distortion('l1'):.2f}")
+
+    print("\n=== 5. the paper's headline: defense accuracy ===")
+    for name, result in (("C&W-L2 ", r_cw), ("EAD-EN ", r_ead["en"]),
+                         ("EAD-L1 ", r_ead["l1"])):
+        acc = magnet.defense_accuracy(result.x_adv, y0)
+        print(f"MagNet vs {name}: defense accuracy {100 * acc:5.1f}%  "
+              f"(ASR {100 * (1 - acc):5.1f}%)")
+    print("\nEAD (L1-based) should bypass MagNet far more often than "
+          "C&W (L2-based) — the paper's core claim.")
+
+
+if __name__ == "__main__":
+    main()

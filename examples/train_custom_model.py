@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scenario: bring your own model to the attack/defense harness.
+
+The library's attacks and defenses work with any ``repro.nn`` module that
+maps NCHW images to logits — not just the built-in zoo.  This example
+builds a custom MLP classifier for the digits task, trains it with the
+generic Trainer, wraps it in a fresh MagNet (with its own autoencoders),
+and runs the full oblivious evaluation protocol against it.
+
+Demonstrates the extension points a downstream user needs:
+
+* custom architecture definition with ``repro.nn`` layers;
+* the training loop (``Trainer``) on a custom model;
+* assembling a MagNet by hand from detectors + reformer (instead of the
+  ``build_magnet`` factory);
+* running a single attack → defense evaluation with the protocol helpers.
+
+Run:  python examples/train_custom_model.py
+"""
+
+import numpy as np
+
+from repro.attacks import EAD
+from repro.datasets import load_digit_splits
+from repro.defenses import MagNet, ReconstructionDetector, Reformer
+from repro.evaluation import evaluate_oblivious, select_attack_seeds
+from repro.models import AutoencoderSpec, ModelZoo
+from repro.nn import Dense, Flatten, ReLU, Sequential, Trainer, accuracy
+from repro.utils.rng import rng_from_seed
+
+
+def build_mlp(seed: int = 0) -> Sequential:
+    """A 2-hidden-layer MLP over flattened 28x28 digits."""
+    rng = rng_from_seed(seed)
+    return Sequential(
+        Flatten(),
+        Dense(28 * 28, 256, rng=rng, weight_init="he_uniform"), ReLU(),
+        Dense(256, 128, rng=rng, weight_init="he_uniform"), ReLU(),
+        Dense(128, 10, rng=rng),
+    )
+
+
+def main():
+    splits = load_digit_splits(n_train=1500, n_val=400, n_test=600, seed=3)
+
+    print("=== training a custom MLP classifier ===")
+    model = build_mlp(seed=1)
+    trainer = Trainer(model, loss="cross_entropy", lr=1e-3, seed=1)
+    trainer.fit(splits.train.x, splits.train.y, epochs=6, batch_size=64,
+                x_val=splits.val.x, y_val=splits.val.y, verbose=True)
+    print(f"test accuracy: {accuracy(model, splits.test.x, splits.test.y):.3f}")
+
+    print("\n=== assembling MagNet by hand around the custom model ===")
+    zoo = ModelZoo(splits)
+    ae_deep = zoo.autoencoder(AutoencoderSpec(dataset="digits", kind="deep"))
+    ae_shallow = zoo.autoencoder(AutoencoderSpec(dataset="digits",
+                                                 kind="shallow"))
+    magnet = MagNet(
+        classifier=model,
+        detectors=[ReconstructionDetector(ae_deep, norm=1),
+                   ReconstructionDetector(ae_shallow, norm=2)],
+        reformer=Reformer(ae_deep),
+        name="custom-mlp/default",
+    )
+    magnet.calibrate(splits.val.x, fpr_total=0.002)
+    print(magnet)
+
+    print("\n=== oblivious EAD attack on the custom model ===")
+    x0, y0 = select_attack_seeds(model, splits.test, n=24, seed=5)
+    attack = EAD(model, beta=1e-1, kappa=5.0, binary_search_steps=5,
+                 max_iterations=150, initial_const=1.0)
+    result = attack.attack(x0, y0)
+    evaluation = evaluate_oblivious(magnet, result)
+    print(evaluation.summary())
+    bd = evaluation.breakdown
+    print(f"scheme breakdown: no defense {100 * bd.no_defense:.0f}% | "
+          f"detector {100 * bd.detector_only:.0f}% | "
+          f"reformer {100 * bd.reformer_only:.0f}% | "
+          f"both {100 * bd.full:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so the package can be installed editable without the
+`wheel` package (this environment is offline): `python setup.py develop`.
+`pip install -e . --no-build-isolation` also works once `wheel` exists."""
+from setuptools import setup
+
+setup()

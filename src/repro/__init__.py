@@ -1,0 +1,42 @@
+"""repro — reproduction of "On the Limitation of MagNet Defense against
+L1-based Adversarial Examples" (Lu, Chen, Chen & Yu, DSN 2018).
+
+The package layers, bottom to top:
+
+* :mod:`repro.nn` — a from-scratch numpy autodiff / neural-network
+  framework (the substrate replacing TensorFlow);
+* :mod:`repro.datasets` — procedurally generated MNIST / CIFAR-10
+  stand-ins (the environment is offline);
+* :mod:`repro.models` — classifier and MagNet-autoencoder zoo with
+  disk-cached training;
+* :mod:`repro.defenses` — MagNet: reconstruction-error and JSD detectors,
+  the reformer, and the paper's robust variants;
+* :mod:`repro.attacks` — EAD (the paper's L1 attack), C&W-L2, FGSM,
+  I-FGSM and DeepFool;
+* :mod:`repro.evaluation` — the oblivious transfer-attack protocol and
+  metrics;
+* :mod:`repro.experiments` — one runnable reproduction per paper table
+  (I–VII) and figure (1–13).
+
+Quickstart::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("table1"))
+"""
+
+__version__ = "1.0.0"
+
+from repro import attacks, datasets, defenses, evaluation, experiments, models, nn
+from repro.experiments import run_experiment
+
+__all__ = [
+    "__version__",
+    "attacks",
+    "datasets",
+    "defenses",
+    "evaluation",
+    "experiments",
+    "models",
+    "nn",
+    "run_experiment",
+]

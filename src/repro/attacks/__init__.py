@@ -1,0 +1,46 @@
+"""Adversarial attacks: EAD (the paper's L1 attack), C&W-L2, and baselines."""
+
+from repro.attacks.base import Attack, AttackResult, flat_norms
+from repro.attacks.carlini_wagner import CarliniWagnerL2
+from repro.attacks.deepfool import DeepFool
+from repro.attacks.ead import DECISION_RULES, EAD, shrink_threshold
+from repro.attacks.fgsm import FGSM, IterativeFGSM
+from repro.attacks.graybox import AveragedModel, ReformedModel, graybox_model
+from repro.attacks.jsma import JSMA
+from repro.attacks.pgd import PGD, MomentumFGSM
+from repro.attacks.zoo import RandomNoise, ZOO
+from repro.attacks.gradients import (
+    attack_margin,
+    class_logit_grads,
+    cross_entropy_grad,
+    is_successful,
+    logits_of,
+    margin_loss_and_grad,
+)
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "AveragedModel",
+    "CarliniWagnerL2",
+    "DECISION_RULES",
+    "DeepFool",
+    "EAD",
+    "FGSM",
+    "IterativeFGSM",
+    "JSMA",
+    "MomentumFGSM",
+    "PGD",
+    "RandomNoise",
+    "ReformedModel",
+    "attack_margin",
+    "class_logit_grads",
+    "cross_entropy_grad",
+    "flat_norms",
+    "graybox_model",
+    "is_successful",
+    "logits_of",
+    "margin_loss_and_grad",
+    "ZOO",
+    "shrink_threshold",
+]

@@ -1,0 +1,107 @@
+"""Attack interfaces and result containers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.training import predict_labels
+
+
+def flat_norms(delta: np.ndarray) -> Dict[str, np.ndarray]:
+    """Per-example L0 / L1 / L2 / Linf norms of a perturbation batch."""
+    flat = delta.reshape(delta.shape[0], -1)
+    return {
+        "l0": (np.abs(flat) > 1e-6).sum(axis=1).astype(np.float64),
+        "l1": np.abs(flat).sum(axis=1).astype(np.float64),
+        "l2": np.sqrt((flat ** 2).sum(axis=1)).astype(np.float64),
+        "linf": np.abs(flat).max(axis=1, initial=0.0).astype(np.float64),
+    }
+
+
+@dataclasses.dataclass
+class AttackResult:
+    """Outcome of one batched attack run.
+
+    ``x_adv`` contains the best adversarial example found per input; rows
+    whose ``success`` flag is False contain the unmodified original.
+    Distortion entries are per-example; use :meth:`mean_distortion` for
+    the success-averaged statistics Table I reports.
+    """
+
+    x_adv: np.ndarray
+    success: np.ndarray
+    y_true: np.ndarray
+    y_adv: np.ndarray
+    l0: np.ndarray
+    l1: np.ndarray
+    l2: np.ndarray
+    linf: np.ndarray
+    const: Optional[np.ndarray] = None
+    name: str = "attack"
+
+    @classmethod
+    def from_examples(cls, model: Module, x0: np.ndarray, x_adv: np.ndarray,
+                      success: np.ndarray, y_true: np.ndarray,
+                      const: Optional[np.ndarray] = None,
+                      name: str = "attack") -> "AttackResult":
+        """Assemble a result, re-deriving labels and distortions."""
+        x_adv = np.asarray(x_adv, dtype=np.float32)
+        success = np.asarray(success, dtype=bool)
+        # Failed rows carry the original image so downstream defense
+        # evaluation sees a well-defined (non-adversarial) input.
+        x_final = np.where(success[:, None, None, None], x_adv, x0)
+        norms = flat_norms(x_final - x0)
+        return cls(
+            x_adv=x_final,
+            success=success,
+            y_true=np.asarray(y_true, dtype=np.int64),
+            y_adv=predict_labels(model, x_final),
+            const=const,
+            name=name,
+            **norms,
+        )
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of inputs for which an adversarial example was found
+        (against the *undefended* model — not the defense-level ASR)."""
+        return float(self.success.mean()) if len(self.success) else 0.0
+
+    def mean_distortion(self, order: str) -> float:
+        """Mean Lp distortion over *successful* examples (paper convention)."""
+        values = getattr(self, order)
+        if not self.success.any():
+            return float("nan")
+        return float(values[self.success].mean())
+
+    def __len__(self) -> int:
+        return len(self.success)
+
+
+class Attack:
+    """Base class: an attack binds a model and exposes ``attack``."""
+
+    name = "attack"
+
+    def __init__(self, model: Module):
+        self.model = model
+
+    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
+        raise NotImplementedError  # pragma: no cover
+
+    @staticmethod
+    def _validate_inputs(x0: np.ndarray, labels: np.ndarray) -> None:
+        x0 = np.asarray(x0)
+        labels = np.asarray(labels)
+        if x0.ndim != 4:
+            raise ValueError(f"expected NCHW inputs, got shape {x0.shape}")
+        if labels.shape != (x0.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} != ({x0.shape[0]},)")
+        lo, hi = float(x0.min(initial=0)), float(x0.max(initial=0))
+        if lo < -1e-6 or hi > 1 + 1e-6:
+            raise ValueError(f"inputs must lie in [0,1], got range [{lo}, {hi}]")

@@ -1,0 +1,141 @@
+"""Input-gradient helpers shared by all gradient-based attacks.
+
+The C&W / EAD hinge loss (paper eqs. (2)-(3)) is piecewise linear in the
+logits, so its input gradient is obtained from a single forward pass and
+one backward pass with a hand-constructed upstream gradient on the logits
+— no per-class backward passes needed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Module
+
+
+def logits_of(model: Module, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    """Plain batched forward pass (no graph)."""
+    outs = []
+    with no_grad():
+        for start in range(0, x.shape[0], batch_size):
+            outs.append(model(Tensor(x[start:start + batch_size])).data)
+    return np.concatenate(outs, axis=0)
+
+
+def attack_margin(logits: np.ndarray, labels: np.ndarray,
+                  targeted: bool = False) -> np.ndarray:
+    """Signed attack margin per example.
+
+    Untargeted: ``max_{j != t0} Z_j - Z_{t0}`` (positive once misclassified).
+    Targeted:   ``Z_t - max_{j != t} Z_j`` (positive once classified as t).
+    An attack at confidence κ succeeds when the margin reaches κ.
+    """
+    z = np.asarray(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    rows = np.arange(z.shape[0])
+    z_lab = z[rows, labels]
+    masked = z.copy()
+    masked[rows, labels] = -np.inf
+    z_other = masked.max(axis=1)
+    return (z_lab - z_other) if targeted else (z_other - z_lab)
+
+
+def is_successful(logits: np.ndarray, labels: np.ndarray, kappa: float,
+                  targeted: bool = False, tol: float = 1e-6) -> np.ndarray:
+    """Success mask at confidence level κ."""
+    return attack_margin(logits, labels, targeted) >= kappa - tol
+
+
+def margin_loss_and_grad(model: Module, x: np.ndarray, labels: np.ndarray,
+                         kappa: float, targeted: bool = False
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate the hinge attack loss f and its input gradient.
+
+    Untargeted (paper eq. 3): ``f = max(Z_{t0} - max_{j != t0} Z_j, -κ)``.
+    Targeted   (paper eq. 2): ``f = max(max_{j != t} Z_j - Z_t, -κ)``.
+
+    Returns:
+        (f_values (N,), grad_x (N,C,H,W), logits (N,K)).
+        The gradient is exactly zero for examples sitting on the hinge
+        floor (margin ≥ κ), matching the subgradient the original
+        attacks use.
+    """
+    xt = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
+    logits_t = model(xt)
+    z = logits_t.data
+    n = z.shape[0]
+    rows = np.arange(n)
+    labels = np.asarray(labels, dtype=np.int64)
+
+    z_lab = z[rows, labels]
+    masked = z.copy()
+    masked[rows, labels] = -np.inf
+    j_star = masked.argmax(axis=1)
+    z_other = masked[rows, j_star]
+
+    if targeted:
+        raw = z_other - z_lab
+    else:
+        raw = z_lab - z_other
+    f_values = np.maximum(raw, -kappa)
+    active = raw > -kappa
+
+    upstream = np.zeros_like(z)
+    if targeted:
+        upstream[rows[active], j_star[active]] = 1.0
+        upstream[rows[active], labels[active]] = -1.0
+    else:
+        upstream[rows[active], labels[active]] = 1.0
+        upstream[rows[active], j_star[active]] = -1.0
+
+    logits_t.backward(upstream)
+    grad = xt.grad if xt.grad is not None else np.zeros_like(xt.data)
+    return f_values.astype(np.float64), grad, z
+
+
+def cross_entropy_grad(model: Module, x: np.ndarray, labels: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradient of the (sum) cross-entropy loss w.r.t. the input.
+
+    Used by FGSM / I-FGSM, which only consume the gradient's sign.
+    Returns (loss_per_example, grad_x).
+    """
+    xt = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
+    logits_t = model(xt)
+    z = logits_t.data
+    z_shift = z - z.max(axis=1, keepdims=True)
+    log_probs = z_shift - np.log(np.exp(z_shift).sum(axis=1, keepdims=True))
+    rows = np.arange(z.shape[0])
+    labels = np.asarray(labels, dtype=np.int64)
+    loss = -log_probs[rows, labels]
+
+    probs = np.exp(log_probs)
+    upstream = probs.copy()
+    upstream[rows, labels] -= 1.0
+
+    logits_t.backward(upstream.astype(z.dtype))
+    grad = xt.grad if xt.grad is not None else np.zeros_like(xt.data)
+    return loss.astype(np.float64), grad
+
+
+def class_logit_grads(model: Module, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradients of every class logit w.r.t. the input (DeepFool needs these).
+
+    Returns (logits (N,K), grads (K,N,C,H,W)).  One forward pass, K
+    backward passes over the retained graph.
+    """
+    xt = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
+    logits_t = model(xt)
+    z = logits_t.data
+    k = z.shape[1]
+    grads = np.zeros((k,) + xt.shape, dtype=xt.data.dtype)
+    for cls in range(k):
+        xt.zero_grad()
+        upstream = np.zeros_like(z)
+        upstream[:, cls] = 1.0
+        logits_t.backward(upstream)
+        grads[cls] = xt.grad
+    return z, grads

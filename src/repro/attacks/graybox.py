@@ -1,0 +1,84 @@
+"""Gray-box attacks through MagNet's reformer.
+
+The paper's closing argument contrasts its *oblivious* threat model with
+Carlini & Wagner's gray-box attack on MagNet (arXiv:1711.08478), where
+the attacker knows an autoencoder guards the classifier (but not its
+exact parameters) and simply differentiates through the composition
+``classifier(AE(x))``.
+
+:class:`ReformedModel` builds that composition as an ordinary
+``repro.nn`` module, so *every attack in this library* can be pointed at
+the defended pipeline unchanged — recreating the gray-box comparison the
+paper cites.  :class:`AveragedModel` balances the raw and reformed logit
+paths, the differentiable surrogate for C&W's joint gray-box objective
+(fool the raw model *and* survive reforming).  Detector evasion is not
+modelled; as in the original gray-box result, detectors may still catch
+the crafted examples.
+"""
+
+from __future__ import annotations
+
+from repro.nn.autograd import Tensor, as_tensor
+from repro.nn.layers import Module
+
+
+class ReformedModel(Module):
+    """The defended pipeline as one differentiable model:
+    ``logits = classifier(AE(x))``.
+
+    Attacks bound to this model operate in the gray-box setting — their
+    gradients flow through the reformer, so examples are crafted to
+    survive reforming by construction.
+    """
+
+    def __init__(self, autoencoder: Module, classifier: Module):
+        super().__init__()
+        self.autoencoder = autoencoder
+        self.classifier = classifier
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.autoencoder(as_tensor(x)))
+
+
+class AveragedModel(Module):
+    """Average the logits of the raw and reformed paths.
+
+    C&W's gray-box MagNet attack optimizes against both the direct
+    classifier and the reformed one (the example must fool the raw model
+    *and* survive reforming); averaging the two logit paths is the
+    standard differentiable surrogate.
+    """
+
+    def __init__(self, autoencoder: Module, classifier: Module,
+                 weight_reformed: float = 0.5):
+        super().__init__()
+        if not 0.0 <= weight_reformed <= 1.0:
+            raise ValueError(
+                f"weight_reformed must be in [0, 1], got {weight_reformed}")
+        self.autoencoder = autoencoder
+        self.classifier = classifier
+        self.weight_reformed = float(weight_reformed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        raw = self.classifier(x)
+        reformed = self.classifier(self.autoencoder(x))
+        w = self.weight_reformed
+        return raw * (1.0 - w) + reformed * w
+
+
+def graybox_model(magnet, mode: str = "reformed") -> Module:
+    """Build the gray-box surrogate for a MagNet instance.
+
+    ``mode="reformed"`` differentiates purely through the reformer;
+    ``mode="averaged"`` balances raw and reformed paths (closer to the
+    C&W gray-box objective).
+    """
+    if magnet.reformer is None:
+        raise ValueError("this MagNet variant has no reformer to attack through")
+    ae = magnet.reformer.autoencoder
+    if mode == "reformed":
+        return ReformedModel(ae, magnet.classifier)
+    if mode == "averaged":
+        return AveragedModel(ae, magnet.classifier)
+    raise ValueError(f"mode must be 'reformed' or 'averaged', got {mode!r}")

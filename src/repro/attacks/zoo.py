@@ -1,0 +1,162 @@
+"""ZOO — Zeroth-Order Optimization black-box attack (Chen et al., 2017).
+
+The paper's reference [7] (by the EAD authors) crafts adversarial
+examples with *no gradient access at all*: the C&W loss is minimized
+with coordinate-wise finite-difference gradient estimates and Adam.
+Including it completes the threat-model spectrum in this library:
+
+* white-box   — C&W / EAD / PGD (exact gradients),
+* oblivious   — the paper's setting (white-box on the undefended model),
+* black-box   — ZOO (score access only).
+
+This implementation follows ZOO-Adam: at each step a random subset of
+pixels is probed with symmetric differences, the estimated gradient
+feeds a per-coordinate Adam update, and the box constraint is kept by
+projection.  It is far slower per iteration than the white-box attacks
+(each probed coordinate costs two forward passes), so defaults are
+modest; it targets demonstration-scale experiments, matching how the
+original paper used it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.gradients import attack_margin, logits_of
+from repro.nn.layers import Module
+from repro.utils.rng import rng_from_seed
+
+
+class ZOO(Attack):
+    """Black-box coordinate-descent attack with the C&W hinge loss."""
+
+    name = "zoo"
+
+    def __init__(self, model: Module, kappa: float = 0.0, const: float = 1.0,
+                 max_iterations: int = 300, coords_per_step: int = 32,
+                 lr: float = 0.02, delta: float = 1e-3, seed: int = 0,
+                 targeted: bool = False):
+        super().__init__(model)
+        if kappa < 0 or const <= 0 or max_iterations < 1:
+            raise ValueError("invalid ZOO parameters")
+        if coords_per_step < 1 or delta <= 0 or lr <= 0:
+            raise ValueError("invalid ZOO step parameters")
+        self.kappa = float(kappa)
+        self.const = float(const)
+        self.max_iterations = int(max_iterations)
+        self.coords_per_step = int(coords_per_step)
+        self.lr = float(lr)
+        self.delta = float(delta)
+        self.seed = int(seed)
+        self.targeted = bool(targeted)
+
+    def _loss(self, x_flat: np.ndarray, shape, labels: np.ndarray,
+              x0_flat: np.ndarray) -> np.ndarray:
+        """Per-example C&W objective from score access only."""
+        logits = logits_of(self.model, x_flat.reshape(shape))
+        margin = attack_margin(logits, labels, self.targeted)
+        f = np.maximum(-margin, -self.kappa)
+        l2_sq = ((x_flat - x0_flat) ** 2).sum(axis=1)
+        return l2_sq + self.const * f
+
+    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
+        self._validate_inputs(x0, labels)
+        x0 = np.asarray(x0, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        rng = rng_from_seed(self.seed)
+        n = x0.shape[0]
+        shape = x0.shape
+        dim = int(np.prod(shape[1:]))
+
+        x = x0.reshape(n, dim).copy()
+        x0_flat = x0.reshape(n, dim)
+        adam_m = np.zeros_like(x)
+        adam_v = np.zeros_like(x)
+        steps = np.zeros_like(x)  # per-coordinate Adam timestep
+
+        best_l2 = np.full(n, np.inf)
+        best_adv = x0.copy()
+        ever_success = np.zeros(n, dtype=bool)
+
+        for _ in range(self.max_iterations):
+            # Probe a fresh random coordinate set (shared across batch —
+            # one model call evaluates all examples at once).
+            coords = rng.choice(dim, size=min(self.coords_per_step, dim),
+                                replace=False)
+            grad = np.zeros_like(x)
+            for c in coords:
+                plus = x.copy()
+                plus[:, c] = np.clip(plus[:, c] + self.delta, 0, 1)
+                minus = x.copy()
+                minus[:, c] = np.clip(minus[:, c] - self.delta, 0, 1)
+                f_plus = self._loss(plus, shape, labels, x0_flat)
+                f_minus = self._loss(minus, shape, labels, x0_flat)
+                grad[:, c] = (f_plus - f_minus) / (2 * self.delta)
+
+            # Per-coordinate Adam on the probed coordinates only.
+            mask = np.zeros(dim, dtype=bool)
+            mask[coords] = True
+            steps[:, mask] += 1
+            adam_m[:, mask] = 0.9 * adam_m[:, mask] + 0.1 * grad[:, mask]
+            adam_v[:, mask] = (0.999 * adam_v[:, mask]
+                               + 0.001 * grad[:, mask] ** 2)
+            t = np.maximum(steps[:, mask], 1.0)
+            m_hat = adam_m[:, mask] / (1 - 0.9 ** t)
+            v_hat = adam_v[:, mask] / (1 - 0.999 ** t)
+            x[:, mask] = np.clip(
+                x[:, mask] - self.lr * m_hat / (np.sqrt(v_hat) + 1e-8),
+                0.0, 1.0)
+
+            logits = logits_of(self.model, x.reshape(shape))
+            margin = attack_margin(logits, labels, self.targeted)
+            succeeded = margin >= self.kappa - 1e-6
+            if succeeded.any():
+                l2_sq = ((x - x0_flat) ** 2).sum(axis=1)
+                improved = succeeded & (l2_sq < best_l2)
+                best_l2[improved] = l2_sq[improved]
+                best_adv[improved] = x[improved].reshape(
+                    (-1,) + shape[1:])
+                ever_success |= succeeded
+
+        return AttackResult.from_examples(
+            self.model, x0, best_adv, ever_success, labels,
+            name=f"zoo(kappa={self.kappa:g})")
+
+
+class RandomNoise(Attack):
+    """Sanity-floor baseline: i.i.d. uniform noise of growing magnitude.
+
+    Any gradient-based attack must dominate this; it also calibrates how
+    much *unstructured* perturbation the defended pipeline tolerates.
+    """
+
+    name = "random_noise"
+
+    def __init__(self, model: Module, epsilon: float = 0.3, tries: int = 5,
+                 seed: int = 0):
+        super().__init__(model)
+        if epsilon < 0 or tries < 1:
+            raise ValueError("invalid RandomNoise parameters")
+        self.epsilon = float(epsilon)
+        self.tries = int(tries)
+        self.seed = int(seed)
+
+    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
+        self._validate_inputs(x0, labels)
+        x0 = np.asarray(x0, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        rng = rng_from_seed(self.seed)
+        n = x0.shape[0]
+        best = x0.copy()
+        found = np.zeros(n, dtype=bool)
+        for _ in range(self.tries):
+            noise = rng.uniform(-self.epsilon, self.epsilon, x0.shape)
+            candidate = np.clip(x0 + noise, 0, 1).astype(np.float32)
+            margin = attack_margin(logits_of(self.model, candidate), labels)
+            hit = (margin >= -1e-6) & ~found
+            best[hit] = candidate[hit]
+            found |= hit
+        return AttackResult.from_examples(
+            self.model, x0, best, found, labels,
+            name=f"random_noise(eps={self.epsilon:g})")

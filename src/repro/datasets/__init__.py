@@ -1,0 +1,78 @@
+"""Synthetic image datasets standing in for MNIST and CIFAR-10.
+
+The environment is offline, so the paper's public datasets are replaced
+by procedurally generated equivalents that exercise identical code paths
+(see DESIGN.md §2 for the substitution rationale):
+
+* :func:`load_digit_splits` / ``"digits"`` — 28x28x1, 10 classes (MNIST-like)
+* :func:`load_object_splits` / ``"objects"`` — 32x32x3, 10 classes (CIFAR-like)
+"""
+
+from repro.datasets.base import Dataset, DataSplits, stratified_indices
+from repro.datasets.corruptions import (
+    CORRUPTIONS,
+    corrupt,
+    robustness_curve,
+)
+from repro.datasets.digits import (
+    DIGIT_SEGMENTS,
+    digit_skeleton,
+    generate_digits,
+    load_digit_splits,
+    render_digit,
+)
+from repro.datasets.objects import (
+    CLASS_NAMES as OBJECT_CLASS_NAMES,
+    generate_objects,
+    load_object_splits,
+    render_object,
+)
+
+_LOADERS = {
+    "digits": load_digit_splits,
+    "objects": load_object_splits,
+}
+
+ALIASES = {
+    "mnist": "digits",
+    "synthetic_digits": "digits",
+    "cifar": "objects",
+    "cifar10": "objects",
+    "synthetic_objects": "objects",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve dataset aliases (``mnist`` → ``digits`` etc.)."""
+    key = name.lower()
+    key = ALIASES.get(key, key)
+    if key not in _LOADERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_LOADERS)}")
+    return key
+
+
+def load_splits(name: str, **kwargs) -> DataSplits:
+    """Load train/val/test splits for a dataset by name or alias."""
+    return _LOADERS[canonical_name(name)](**kwargs)
+
+
+__all__ = [
+    "ALIASES",
+    "CORRUPTIONS",
+    "DIGIT_SEGMENTS",
+    "DataSplits",
+    "Dataset",
+    "OBJECT_CLASS_NAMES",
+    "canonical_name",
+    "corrupt",
+    "digit_skeleton",
+    "generate_digits",
+    "generate_objects",
+    "load_digit_splits",
+    "load_object_splits",
+    "load_splits",
+    "render_digit",
+    "render_object",
+    "robustness_curve",
+    "stratified_indices",
+]

@@ -1,0 +1,54 @@
+"""MagNet defense: detectors, reformer, pipeline and paper variants."""
+
+from repro.defenses.adversarial_training import (
+    AdversarialTrainer,
+    adversarially_train_classifier,
+)
+from repro.defenses.detectors import (
+    Detector,
+    JSDDetector,
+    ReconstructionDetector,
+    jensen_shannon_divergence,
+)
+from repro.defenses.ensemble import DetectorUnion
+from repro.defenses.magnet import MagNet, MagNetDecision
+from repro.defenses.reformer import Reformer
+from repro.defenses.squeezing import (
+    FeatureSqueezing,
+    SqueezeDetector,
+    Squeezer,
+    bit_depth_reduction,
+    default_squeezers,
+    median_smoothing,
+)
+from repro.defenses.variants import (
+    CIFAR_VARIANTS,
+    JSD_TEMPERATURES,
+    MNIST_VARIANTS,
+    VARIANT_LABELS,
+    build_magnet,
+)
+
+__all__ = [
+    "AdversarialTrainer",
+    "CIFAR_VARIANTS",
+    "Detector",
+    "DetectorUnion",
+    "FeatureSqueezing",
+    "JSDDetector",
+    "JSD_TEMPERATURES",
+    "MNIST_VARIANTS",
+    "MagNet",
+    "MagNetDecision",
+    "ReconstructionDetector",
+    "Reformer",
+    "SqueezeDetector",
+    "Squeezer",
+    "VARIANT_LABELS",
+    "adversarially_train_classifier",
+    "bit_depth_reduction",
+    "build_magnet",
+    "default_squeezers",
+    "jensen_shannon_divergence",
+    "median_smoothing",
+]

@@ -1,0 +1,134 @@
+"""Adversarial training — the paper's suggested "additional defense".
+
+The paper closes by noting that neither MagNet module defends the
+medium-confidence region and that this "calls for additional defense
+mechanisms".  The standard such mechanism is adversarial training
+(Goodfellow et al. 2015; Madry et al. 2018): augment every minibatch
+with adversarial examples crafted *against the current model* and train
+on the mixture.
+
+:class:`AdversarialTrainer` wraps the generic training loop with
+on-the-fly example crafting.  Any single-shot attack with the library's
+``Attack`` interface works as the generator; fast attacks (FGSM, few-step
+PGD) keep the inner loop affordable on this pure-numpy substrate.
+
+The ablation benchmark compares an adversarially trained classifier with
+MagNet on the same EAD batches — complementary failure modes: MagNet
+filters off-manifold inputs, adversarial training flattens the loss
+surface near the data.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Module
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.training import TrainingHistory, EpochStats, accuracy, iterate_minibatches
+from repro.utils.logging import get_logger
+from repro.utils.rng import rng_from_seed
+
+log = get_logger(__name__)
+
+
+class AdversarialTrainer:
+    """Minibatch trainer that mixes clean and adversarial examples.
+
+    Args:
+        model: classifier to train (logit outputs).
+        attack_factory: ``model -> Attack``; called once, the attack is
+            bound to the live (training) model so crafted examples track
+            the current weights.
+        adversarial_fraction: fraction of each batch replaced by its
+            adversarial counterpart (0 = plain training, 1 = pure AT).
+        optimizer: optional pre-built optimizer (default Adam).
+        seed: shuffling seed.
+    """
+
+    def __init__(self, model: Module,
+                 attack_factory: Callable[[Module], object],
+                 adversarial_fraction: float = 0.5,
+                 optimizer: Optional[Optimizer] = None, lr: float = 1e-3,
+                 seed: int = 0):
+        if not 0.0 <= adversarial_fraction <= 1.0:
+            raise ValueError(
+                f"adversarial_fraction must be in [0, 1], got "
+                f"{adversarial_fraction}")
+        self.model = model
+        self.attack = attack_factory(model)
+        if not hasattr(self.attack, "attack"):
+            raise TypeError("attack_factory must return an Attack-like object")
+        self.adversarial_fraction = float(adversarial_fraction)
+        self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
+        self.rng = rng_from_seed(seed)
+
+    def _augment(self, xb: np.ndarray, yb: np.ndarray) -> np.ndarray:
+        """Replace a fraction of the batch with adversarial versions."""
+        if self.adversarial_fraction == 0.0:
+            return xb
+        n_adv = int(round(self.adversarial_fraction * len(xb)))
+        if n_adv == 0:
+            return xb
+        # Crafting runs the model in eval mode semantics; our models have
+        # no train/eval-dependent layers in the zoo, so no toggling needed
+        # beyond leaving parameters untouched (attacks only read them).
+        result = self.attack.attack(xb[:n_adv], yb[:n_adv])
+        out = xb.copy()
+        out[:n_adv] = result.x_adv
+        return out
+
+    def fit(self, x: np.ndarray, y: np.ndarray, *, epochs: int = 5,
+            batch_size: int = 64, x_val: Optional[np.ndarray] = None,
+            y_val: Optional[np.ndarray] = None,
+            verbose: bool = True) -> TrainingHistory:
+        """Adversarially train the classifier."""
+        history = TrainingHistory()
+        self.model.train()
+        for epoch in range(1, epochs + 1):
+            t0 = time.time()
+            losses = []
+            for xb, yb in iterate_minibatches(x, y, batch_size, rng=self.rng):
+                xb_mixed = self._augment(xb, yb)
+                self.optimizer.zero_grad()
+                logits = self.model(Tensor(xb_mixed))
+                loss = cross_entropy(logits, yb)
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+            stats = EpochStats(epoch=epoch, train_loss=float(np.mean(losses)),
+                               seconds=time.time() - t0)
+            if x_val is not None and y_val is not None:
+                stats.val_accuracy = accuracy(self.model, x_val, y_val)
+            history.epochs.append(stats)
+            if verbose:
+                msg = (f"AT epoch {epoch}/{epochs} "
+                       f"loss={stats.train_loss:.4f}")
+                if stats.val_accuracy is not None:
+                    msg += f" val_acc={stats.val_accuracy:.3f}"
+                log.info(msg)
+        self.model.eval()
+        return history
+
+
+def adversarially_train_classifier(build_model: Callable[[], Module],
+                                   x: np.ndarray, y: np.ndarray, *,
+                                   attack_factory, epochs: int = 5,
+                                   batch_size: int = 64,
+                                   adversarial_fraction: float = 0.5,
+                                   lr: float = 1e-3, seed: int = 0,
+                                   x_val: Optional[np.ndarray] = None,
+                                   y_val: Optional[np.ndarray] = None,
+                                   verbose: bool = False) -> Module:
+    """Convenience wrapper: build + adversarially train a fresh classifier."""
+    model = build_model()
+    trainer = AdversarialTrainer(
+        model, attack_factory,
+        adversarial_fraction=adversarial_fraction, lr=lr, seed=seed)
+    trainer.fit(x, y, epochs=epochs, batch_size=batch_size,
+                x_val=x_val, y_val=y_val, verbose=verbose)
+    return model

@@ -1,0 +1,77 @@
+"""Defense ensembles: union the detectors of several defenses.
+
+The paper's conclusion recommends that "future defense models should
+test their robustness against both [L1 and L2] cases" — the natural
+systems response is to *stack* defenses.  :class:`DetectorUnion` rejects
+an input if any member defense's detector fires, and serves predictions
+through a chosen member's prediction path.  The ensemble inherits the
+members' calibrations; its aggregate false-positive rate is (at most)
+the sum of the members'.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class DetectorUnion:
+    """OR-combination of defenses exposing detect()/defense_accuracy().
+
+    Members must expose ``detect(x) -> bool mask``.  Predictions are
+    served by ``predictor``, any member exposing the MagNet-style
+    ``reform`` + ``classifier`` pair or a ``defense_accuracy``-compatible
+    path; by default the first member that has a reformer is used, and
+    the first member's classifier otherwise.
+    """
+
+    def __init__(self, members: Sequence, name: str = "detector_union",
+                 predictor=None):
+        if not members:
+            raise ValueError("ensemble needs at least one member defense")
+        self.members: List = list(members)
+        self.name = name
+        self.predictor = predictor if predictor is not None else self.members[0]
+
+    def detect(self, x: np.ndarray) -> np.ndarray:
+        flags = np.zeros(len(x), dtype=bool)
+        for member in self.members:
+            flags |= np.asarray(member.detect(x), dtype=bool)
+        return flags
+
+    def _predict_labels(self, x: np.ndarray) -> np.ndarray:
+        from repro.nn.training import predict_labels
+
+        predictor = self.predictor
+        if hasattr(predictor, "reform") and hasattr(predictor, "classifier"):
+            return predict_labels(predictor.classifier, predictor.reform(x))
+        if hasattr(predictor, "classifier"):
+            return predict_labels(predictor.classifier, x)
+        raise TypeError(
+            f"predictor {predictor!r} exposes neither a reform/classifier "
+            "pair nor a classifier")
+
+    def defense_accuracy(self, x_adv: np.ndarray, y_true: np.ndarray) -> float:
+        """Detected by any member OR correctly classified by the predictor."""
+        x_adv = np.asarray(x_adv, dtype=np.float32)
+        detected = self.detect(x_adv)
+        labels = self._predict_labels(x_adv)
+        ok = detected | (labels == np.asarray(y_true))
+        return float(ok.mean())
+
+    def attack_success_rate(self, x_adv: np.ndarray,
+                            y_true: np.ndarray) -> float:
+        return 1.0 - self.defense_accuracy(x_adv, y_true)
+
+    def clean_accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Not flagged by any member AND correctly classified."""
+        x = np.asarray(x, dtype=np.float32)
+        detected = self.detect(x)
+        labels = self._predict_labels(x)
+        ok = (~detected) & (labels == np.asarray(y))
+        return float(ok.mean())
+
+    def __repr__(self):
+        names = [getattr(m, "name", type(m).__name__) for m in self.members]
+        return f"DetectorUnion({self.name!r}, members={names})"

@@ -1,0 +1,36 @@
+"""MagNet's reformer: project inputs onto the learned data manifold.
+
+The reformer is simply the trained autoencoder applied as a preprocessor:
+examples close to the manifold are approximately unchanged, while small
+adversarial perturbations are (ideally) absorbed by the projection, so
+the downstream classifier sees a rectified image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Module
+
+
+class Reformer:
+    """Autoencoder-based input rectifier."""
+
+    def __init__(self, autoencoder: Module, batch_size: int = 256):
+        self.autoencoder = autoencoder
+        self.batch_size = batch_size
+
+    def reform(self, x: np.ndarray) -> np.ndarray:
+        """Return AE(x), clipped into the valid pixel box."""
+        x = np.asarray(x, dtype=np.float32)
+        outs = []
+        with no_grad():
+            for start in range(0, x.shape[0], self.batch_size):
+                batch = self.autoencoder(Tensor(x[start:start + self.batch_size]))
+                outs.append(batch.data)
+        reformed = np.concatenate(outs, axis=0)
+        return np.clip(reformed, 0.0, 1.0).astype(np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.reform(x)

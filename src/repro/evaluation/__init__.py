@@ -1,0 +1,57 @@
+"""Evaluation harness: oblivious protocol, metrics, and text reporting."""
+
+from repro.evaluation.metrics import (
+    DefenseBreakdown,
+    asr_against,
+    attack_statistics,
+    defense_breakdown,
+)
+from repro.evaluation.protocol import (
+    ObliviousEvaluation,
+    evaluate_oblivious,
+    run_oblivious_attack,
+    select_attack_seeds,
+)
+from repro.evaluation.analysis import (
+    ClassBreakdown,
+    confusion_pairs,
+    per_class_breakdown,
+    perturbation_statistics,
+)
+from repro.evaluation.roc import RocCurve, detector_roc_report, roc_curve
+from repro.evaluation.transfer import (
+    self_transfer_consistency,
+    transfer_matrix,
+    transfer_success,
+)
+from repro.evaluation.reporting import (
+    format_architecture,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+__all__ = [
+    "ClassBreakdown",
+    "DefenseBreakdown",
+    "ObliviousEvaluation",
+    "RocCurve",
+    "asr_against",
+    "attack_statistics",
+    "confusion_pairs",
+    "defense_breakdown",
+    "detector_roc_report",
+    "evaluate_oblivious",
+    "format_architecture",
+    "format_series",
+    "format_table",
+    "per_class_breakdown",
+    "perturbation_statistics",
+    "roc_curve",
+    "run_oblivious_attack",
+    "select_attack_seeds",
+    "self_transfer_consistency",
+    "sparkline",
+    "transfer_matrix",
+    "transfer_success",
+]

@@ -1,0 +1,93 @@
+"""Plain-text rendering of tables and figure series.
+
+The paper's figures are line charts (classification accuracy vs attack
+confidence).  With no plotting stack available offline, every figure is
+reproduced as (a) the underlying numeric series, printed as aligned
+columns, and (b) a coarse ASCII sparkline per curve so trends are visible
+directly in benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0, hi: float = 1.0) -> str:
+    """Unicode sparkline of a numeric series scaled to [lo, hi]."""
+    span = max(hi - lo, 1e-12)
+    out = []
+    for v in values:
+        if v is None or (isinstance(v, float) and np.isnan(v)):
+            out.append("·")
+            continue
+        frac = min(max((v - lo) / span, 0.0), 1.0)
+        out.append(_SPARK_LEVELS[int(round(frac * (len(_SPARK_LEVELS) - 1)))])
+    return "".join(out)
+
+
+def format_series(x_label: str, x_values: Sequence, series: Mapping[str, Sequence[float]],
+                  title: Optional[str] = None, as_percent: bool = True) -> str:
+    """Render a figure's curves: one numeric column per x, plus sparklines.
+
+    ``series`` maps curve name → list of y values aligned with x_values.
+    """
+    headers = [x_label] + list(series.keys())
+    rows: List[List] = []
+    for i, x in enumerate(x_values):
+        row: List = [x]
+        for name in series:
+            y = series[name][i]
+            if y is None or (isinstance(y, float) and np.isnan(y)):
+                row.append(float("nan"))
+            else:
+                row.append(100.0 * y if as_percent else y)
+        rows.append(row)
+    table = format_table(headers, rows, title=title)
+    spark_lines = [
+        f"  {name:<28} {sparkline(list(ys))}" for name, ys in series.items()
+    ]
+    return table + "\n" + "\n".join(spark_lines)
+
+
+def format_architecture(title: str, columns: Mapping[str, Sequence[str]]) -> str:
+    """Render an architecture table (paper Tables II and V)."""
+    names = list(columns.keys())
+    depth = max(len(v) for v in columns.values())
+    rows = []
+    for i in range(depth):
+        rows.append([columns[n][i] if i < len(columns[n]) else "" for n in names])
+    return format_table(names, rows, title=title)

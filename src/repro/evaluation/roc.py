@@ -1,0 +1,81 @@
+"""Detector ROC analysis.
+
+The paper tunes MagNet's detectors by a fixed false-positive budget; the
+natural follow-up question — *could any threshold have worked?* — is
+answered by the detector's full ROC curve over clean vs adversarial
+scores.  These utilities compute ROC points, AUC, and the TPR at a given
+FPR, and power the detector-headroom ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class RocCurve:
+    """An ROC curve: thresholds with their (fpr, tpr) operating points."""
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve (trapezoidal; points are FPR-sorted)."""
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self.tpr, self.fpr))
+
+    def tpr_at_fpr(self, max_fpr: float) -> float:
+        """Best achievable TPR with FPR <= max_fpr."""
+        ok = self.fpr <= max_fpr + 1e-12
+        return float(self.tpr[ok].max()) if ok.any() else 0.0
+
+    def threshold_at_fpr(self, max_fpr: float) -> float:
+        """Lowest threshold whose FPR stays within budget."""
+        ok = self.fpr <= max_fpr + 1e-12
+        if not ok.any():
+            return float(self.thresholds.max())
+        best = np.flatnonzero(ok)[np.argmax(self.tpr[ok])]
+        return float(self.thresholds[best])
+
+
+def roc_curve(clean_scores: Sequence[float],
+              adversarial_scores: Sequence[float]) -> RocCurve:
+    """Compute the ROC of a higher-is-anomalous detector score.
+
+    Positives are adversarial examples (detected when score > threshold).
+    """
+    clean = np.asarray(clean_scores, dtype=np.float64)
+    adv = np.asarray(adversarial_scores, dtype=np.float64)
+    if clean.size == 0 or adv.size == 0:
+        raise ValueError("need both clean and adversarial scores")
+    thresholds = np.unique(np.concatenate([clean, adv]))
+    # Sentinels: below the min (accept everything → (1,1)) and above the
+    # max (reject nothing → (0,0)), so the curve spans the full FPR range.
+    thresholds = np.concatenate(
+        [[thresholds[0] - 1.0], thresholds, [thresholds[-1] + 1.0]])
+    fpr = np.array([(clean > t).mean() for t in thresholds])
+    tpr = np.array([(adv > t).mean() for t in thresholds])
+    order = np.lexsort((tpr, fpr))
+    return RocCurve(thresholds=thresholds[order], fpr=fpr[order],
+                    tpr=tpr[order])
+
+
+def detector_roc_report(detector, x_clean: np.ndarray, x_adv: np.ndarray,
+                        fpr_budgets: Sequence[float] = (0.001, 0.01, 0.05)
+                        ) -> dict:
+    """Summarize a detector's separability for one adversarial batch."""
+    clean_scores = detector.score(x_clean)
+    adv_scores = detector.score(x_adv)
+    curve = roc_curve(clean_scores, adv_scores)
+    return {
+        "detector": detector.name,
+        "auc": curve.auc,
+        "clean_median": float(np.median(clean_scores)),
+        "adv_median": float(np.median(adv_scores)),
+        "tpr_at_fpr": {f"{b:g}": curve.tpr_at_fpr(b) for b in fpr_budgets},
+    }

@@ -1,0 +1,67 @@
+"""Attack transferability analysis.
+
+The paper's entire threat model rests on *transferability*: examples
+crafted on the undefended model transfer to the defended one.  This
+module generalizes that measurement to arbitrary model pairs — craft on
+a source model, evaluate misclassification on every target model — the
+classic transfer-matrix experiment (Papernot et al., 2016).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.gradients import logits_of
+from repro.nn.layers import Module
+
+
+def transfer_success(result: AttackResult, target: Module) -> float:
+    """Fraction of *source-successful* examples that also fool ``target``.
+
+    Returns NaN when the source attack found nothing (no numerator).
+    """
+    if not result.success.any():
+        return float("nan")
+    x = result.x_adv[result.success]
+    y = result.y_true[result.success]
+    preds = logits_of(target, x).argmax(axis=1)
+    return float((preds != y).mean())
+
+
+def transfer_matrix(attack_factory, models: Mapping[str, Module],
+                    x0: np.ndarray, y0: np.ndarray) -> Dict[str, Dict[str, float]]:
+    """Full craft-on-A, evaluate-on-B matrix.
+
+    Args:
+        attack_factory: callable ``model -> Attack`` (fresh attack bound
+            to each source model).
+        models: name -> model mapping; every model is both source and
+            target.
+        x0, y0: clean seeds and labels (should be correctly classified by
+            every model for a clean reading).
+
+    Returns:
+        nested dict ``matrix[source][target]`` = transfer success rate.
+    """
+    results: Dict[str, AttackResult] = {}
+    for name, model in models.items():
+        results[name] = attack_factory(model).attack(x0, y0)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for src, result in results.items():
+        matrix[src] = {
+            tgt: transfer_success(result, model)
+            for tgt, model in models.items()
+        }
+    return matrix
+
+
+def self_transfer_consistency(matrix: Mapping[str, Mapping[str, float]]
+                              ) -> bool:
+    """Diagonal sanity check: an attack always 'transfers' to its source."""
+    return all(
+        np.isnan(row[src]) or row[src] >= 0.999
+        for src, row in matrix.items()
+    )

@@ -1,0 +1,37 @@
+"""Experiment harness: profiles, contexts, and the table/figure registry."""
+
+from repro.experiments.config import (
+    PAPER,
+    PAPER_BETAS,
+    PROFILES,
+    QUICK,
+    SMOKE,
+    ExperimentProfile,
+    current_profile,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    clear_contexts,
+    describe_experiments,
+    get_context,
+    run_experiment,
+)
+from repro.experiments.report import ExperimentReport
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentContext",
+    "ExperimentProfile",
+    "ExperimentReport",
+    "PAPER",
+    "PAPER_BETAS",
+    "PROFILES",
+    "QUICK",
+    "SMOKE",
+    "clear_contexts",
+    "current_profile",
+    "describe_experiments",
+    "get_context",
+    "run_experiment",
+]

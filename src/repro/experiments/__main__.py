@@ -1,0 +1,44 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list            # show experiment ids
+    python -m repro.experiments table1          # run one reproduction
+    python -m repro.experiments all             # run everything in order
+    REPRO_PROFILE=smoke python -m repro.experiments fig2
+
+Reports print to stdout; trained models and attack sweeps are cached
+under .repro_cache (override with REPRO_CACHE_DIR).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import (
+    EXPERIMENT_IDS,
+    describe_experiments,
+    run_experiment,
+)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    target = argv[0]
+    if target == "list":
+        for exp_id, desc in describe_experiments().items():
+            print(f"{exp_id:<8} {desc}")
+        return 0
+    exp_ids = list(EXPERIMENT_IDS) if target == "all" else [target]
+    for exp_id in exp_ids:
+        report = run_experiment(exp_id)
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,260 @@
+"""Shared experiment state: data, models, defenses, and cached attacks.
+
+An :class:`ExperimentContext` binds one dataset to one profile and hands
+out every artifact the table/figure experiments need.  Adversarial
+examples are crafted against the *undefended* (scaled) classifier only —
+the oblivious threat model — and cached on disk keyed by the classifier
+fingerprint and the full attack configuration, so the ~20 experiments
+share one pool of attack sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.attacks.carlini_wagner import CarliniWagnerL2
+from repro.attacks.deepfool import DeepFool
+from repro.attacks.ead import DECISION_RULES, EAD
+from repro.attacks.fgsm import FGSM, IterativeFGSM
+from repro.datasets import load_digit_splits, load_object_splits
+from repro.datasets.base import DataSplits
+from repro.defenses.magnet import MagNet
+from repro.defenses.variants import build_magnet
+from repro.evaluation.protocol import select_attack_seeds
+from repro.experiments.config import ExperimentProfile, current_profile
+from repro.models.classifiers import ScaledLogits
+from repro.models.zoo import ClassifierSpec, ModelZoo
+from repro.nn.layers import Module
+from repro.utils.cache import DiskCache, default_cache, stable_hash
+from repro.utils.logging import get_logger
+
+log = get_logger(__name__)
+
+_RESULT_FIELDS = ("x_adv", "success", "y_true", "y_adv",
+                  "l0", "l1", "l2", "linf", "const")
+
+
+def _result_to_arrays(result: AttackResult) -> Dict[str, np.ndarray]:
+    arrays = {}
+    for field in _RESULT_FIELDS:
+        value = getattr(result, field)
+        if value is None:
+            value = np.full(len(result), np.nan)
+        arrays[field] = np.asarray(value)
+    return arrays
+
+
+def _result_from_arrays(arrays: Dict[str, np.ndarray], name: str) -> AttackResult:
+    return AttackResult(
+        x_adv=arrays["x_adv"].astype(np.float32),
+        success=arrays["success"].astype(bool),
+        y_true=arrays["y_true"].astype(np.int64),
+        y_adv=arrays["y_adv"].astype(np.int64),
+        l0=arrays["l0"], l1=arrays["l1"], l2=arrays["l2"], linf=arrays["linf"],
+        const=arrays["const"],
+        name=name,
+    )
+
+
+class ExperimentContext:
+    """One dataset + one profile: everything the experiments consume."""
+
+    def __init__(self, dataset: str, profile: Optional[ExperimentProfile] = None,
+                 cache: Optional[DiskCache] = None, seed: int = 0):
+        if dataset not in ("digits", "objects"):
+            raise KeyError(f"dataset must be 'digits' or 'objects', got {dataset!r}")
+        self.dataset = dataset
+        self.profile = profile or current_profile()
+        self.cache = cache if cache is not None else default_cache()
+        self.seed = int(seed)
+        self._splits: Optional[DataSplits] = None
+        self._zoo: Optional[ModelZoo] = None
+        self._classifier: Optional[Module] = None
+        self._clf_fingerprint: Optional[str] = None
+        self._seeds: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._magnets: Dict[str, MagNet] = {}
+
+    # ------------------------------------------------------------------
+    # Data & models
+    # ------------------------------------------------------------------
+    @property
+    def splits(self) -> DataSplits:
+        if self._splits is None:
+            n_train, n_val, n_test = self.profile.sizes(self.dataset)
+            loader = load_digit_splits if self.dataset == "digits" else load_object_splits
+            log.info("generating %s splits (%d/%d/%d)", self.dataset,
+                     n_train, n_val, n_test)
+            self._splits = loader(n_train=n_train, n_val=n_val, n_test=n_test,
+                                  seed=self.seed)
+        return self._splits
+
+    @property
+    def zoo(self) -> ModelZoo:
+        if self._zoo is None:
+            self._zoo = ModelZoo(self.splits, cache=self.cache)
+        return self._zoo
+
+    def classifier_spec(self) -> ClassifierSpec:
+        return ClassifierSpec(dataset=self.dataset, seed=self.seed,
+                              epochs=self.profile.classifier_epochs)
+
+    @property
+    def classifier(self) -> Module:
+        """The (logit-scaled) classifier both attacker and defender see."""
+        if self._classifier is None:
+            base = self.zoo.classifier(self.classifier_spec())
+            scale = self.profile.logit_scale(self.dataset)
+            self._classifier = ScaledLogits(base, scale) if scale != 1.0 else base
+        return self._classifier
+
+    @property
+    def classifier_fingerprint(self) -> str:
+        if self._clf_fingerprint is None:
+            base = self.zoo.classifier(self.classifier_spec())
+            self._clf_fingerprint = stable_hash({
+                "state": base.state_dict(),
+                "scale": self.profile.logit_scale(self.dataset),
+            })
+        return self._clf_fingerprint
+
+    def attack_seeds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The correctly-classified test images the attacks start from."""
+        if self._seeds is None:
+            self._seeds = select_attack_seeds(
+                self.classifier, self.splits.test,
+                self.profile.n_attack(self.dataset), seed=self.seed + 101)
+        return self._seeds
+
+    # ------------------------------------------------------------------
+    # Defenses
+    # ------------------------------------------------------------------
+    def magnet(self, variant: str = "default", ae_loss: str = "mse") -> MagNet:
+        """Calibrated MagNet variant wrapping the scaled classifier (memoized)."""
+        key = f"{variant}/{ae_loss}"
+        if key not in self._magnets:
+            self._magnets[key] = build_magnet(
+                self.zoo, self.dataset, variant,
+                classifier=self.classifier,
+                wide_width=self.profile.wide_width,
+                ae_loss=ae_loss,
+                ae_epochs=self.profile.ae_epochs,
+                wide_ae_epochs=self.profile.wide_ae_epochs,
+                fpr_total=self.profile.fpr_total(self.dataset),
+                seed=self.seed,
+            )
+        return self._magnets[key]
+
+    # ------------------------------------------------------------------
+    # Cached attacks (all against the undefended classifier)
+    # ------------------------------------------------------------------
+    def _attack_key(self, spec: Dict) -> str:
+        return stable_hash({
+            "clf": self.classifier_fingerprint,
+            "n_attack": self.profile.n_attack(self.dataset),
+            "seed": self.seed,
+            "spec": spec,
+        })
+
+    def _cached_attack(self, spec: Dict, name: str, run) -> AttackResult:
+        key = self._attack_key(spec)
+        try:
+            return _result_from_arrays(self.cache.load("attacks", key), name)
+        except KeyError:
+            pass
+        log.info("crafting %s on %s (%s profile)", name, self.dataset,
+                 self.profile.name)
+        result = run()
+        self.cache.save("attacks", key, _result_to_arrays(result),
+                        meta={"name": name, "spec": spec})
+        return result
+
+    def cw(self, kappa: float) -> AttackResult:
+        """C&W-L2 at confidence κ (disk-cached)."""
+        p = self.profile
+        spec = {"attack": "cw_l2", "kappa": float(kappa),
+                "iters": p.max_iterations, "bsearch": p.binary_search_steps,
+                "c0": p.initial_const, "lr": p.cw_lr}
+
+        def run():
+            x0, y0 = self.attack_seeds()
+            attack = CarliniWagnerL2(
+                self.classifier, kappa=kappa,
+                binary_search_steps=p.binary_search_steps,
+                max_iterations=p.max_iterations,
+                lr=p.cw_lr, initial_const=p.initial_const)
+            return attack.attack(x0, y0)
+
+        return self._cached_attack(spec, f"cw_l2(kappa={kappa:g})", run)
+
+    def ead(self, beta: float, kappa: float) -> Dict[str, AttackResult]:
+        """EAD at (β, κ); returns both decision rules from one cached run."""
+        p = self.profile
+        results = {}
+        missing = []
+        for rule in DECISION_RULES:
+            spec = self._ead_spec(beta, kappa, rule)
+            key = self._attack_key(spec)
+            try:
+                arrays = self.cache.load("attacks", key)
+                results[rule] = _result_from_arrays(
+                    arrays, f"ead_{rule}(beta={beta:g}, kappa={kappa:g})")
+            except KeyError:
+                missing.append(rule)
+        if missing:
+            log.info("crafting EAD beta=%g kappa=%g on %s (%s profile)",
+                     beta, kappa, self.dataset, self.profile.name)
+            x0, y0 = self.attack_seeds()
+            attack = EAD(self.classifier, beta=beta, kappa=kappa,
+                         binary_search_steps=p.binary_search_steps,
+                         max_iterations=p.max_iterations,
+                         lr=p.ead_lr, initial_const=p.initial_const)
+            both = attack.attack_both(x0, y0)
+            for rule in DECISION_RULES:
+                spec = self._ead_spec(beta, kappa, rule)
+                self.cache.save("attacks", self._attack_key(spec),
+                                _result_to_arrays(both[rule]),
+                                meta={"name": both[rule].name, "spec": spec})
+                results[rule] = both[rule]
+        return results
+
+    def _ead_spec(self, beta: float, kappa: float, rule: str) -> Dict:
+        p = self.profile
+        return {"attack": "ead", "beta": float(beta), "kappa": float(kappa),
+                "rule": rule, "iters": p.max_iterations,
+                "bsearch": p.binary_search_steps, "c0": p.initial_const,
+                "lr": p.ead_lr}
+
+    def fgsm(self, epsilon: float = 0.1) -> AttackResult:
+        """FGSM baseline (disk-cached)."""
+        spec = {"attack": "fgsm", "eps": float(epsilon)}
+
+        def run():
+            x0, y0 = self.attack_seeds()
+            return FGSM(self.classifier, epsilon=epsilon).attack(x0, y0)
+
+        return self._cached_attack(spec, f"fgsm(eps={epsilon:g})", run)
+
+    def ifgsm(self, epsilon: float = 0.1, steps: int = 10) -> AttackResult:
+        """Iterative FGSM baseline (disk-cached)."""
+        spec = {"attack": "ifgsm", "eps": float(epsilon), "steps": int(steps)}
+
+        def run():
+            x0, y0 = self.attack_seeds()
+            return IterativeFGSM(self.classifier, epsilon=epsilon,
+                                 steps=steps).attack(x0, y0)
+
+        return self._cached_attack(spec, f"ifgsm(eps={epsilon:g})", run)
+
+    def deepfool(self, max_iterations: int = 30) -> AttackResult:
+        """DeepFool baseline (disk-cached)."""
+        spec = {"attack": "deepfool", "iters": int(max_iterations)}
+
+        def run():
+            x0, y0 = self.attack_seeds()
+            return DeepFool(self.classifier,
+                            max_iterations=max_iterations).attack(x0, y0)
+
+        return self._cached_attack(spec, "deepfool", run)

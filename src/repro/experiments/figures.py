@@ -1,0 +1,248 @@
+"""Reproductions of the paper's Figures 1–13 as numeric series.
+
+Each figure function returns an :class:`ExperimentReport` whose text
+shows the underlying accuracy-vs-confidence curves (with sparklines) —
+the offline equivalent of the paper's line charts — and whose ``data``
+holds the raw series for assertions and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.defenses.variants import VARIANT_LABELS
+from repro.evaluation.reporting import format_series
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ExperimentReport
+from repro.experiments.sweeps import accuracy_curves, breakdown_curves
+
+
+def _panels_text(panels: List[str]) -> str:
+    return "\n\n".join(panels)
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — adversarial example gallery
+# ----------------------------------------------------------------------
+
+_ASCII_CHARS = " .:-=+*#%@"
+
+
+def _ascii_image(img: np.ndarray, width: int = 28) -> List[str]:
+    """Render (C,H,W) as ASCII rows (mean over channels)."""
+    gray = img.mean(axis=0)
+    return ["".join(_ASCII_CHARS[min(int(v * 9.99), 9)] for v in row)
+            for row in gray]
+
+
+def fig1(ctx: ExperimentContext, kappa: float = None,
+         n_examples: int = 6) -> ExperimentReport:
+    """Figure 1: a gallery of adversarial examples with bypass marks.
+
+    For ``n_examples`` attack seeds, shows the clean image and the C&W /
+    EAD-EN / EAD-L1 adversarial versions; rows that fail to bypass the
+    default MagNet are marked ``[X]`` like the paper's red crosses.
+    """
+    if kappa is None:
+        grid = ctx.profile.kappas(ctx.dataset)
+        kappa = grid[len(grid) // 2]
+    magnet = ctx.magnet("default")
+    x0, y0 = ctx.attack_seeds()
+    n = min(n_examples, len(y0))
+
+    results = {
+        "C&W": ctx.cw(kappa),
+        "EAD-EN": ctx.ead(1e-1, kappa)["en"],
+        "EAD-L1": ctx.ead(1e-1, kappa)["l1"],
+    }
+    blocks: List[str] = []
+    data: Dict[str, List] = {"kappa": kappa, "bypass": {}}
+    for name, result in results.items():
+        decision = magnet.decide(result.x_adv[:n])
+        bypass = (~decision.detected) & (decision.labels_reformed != y0[:n])
+        data["bypass"][name] = bypass.tolist()
+        rows: List[str] = [f"--- {name} (kappa={kappa:g}) ---"]
+        ascii_imgs = [_ascii_image(result.x_adv[i]) for i in range(n)]
+        marks = ["BYPASS" if b else "[X]   " for b in bypass]
+        header = "   ".join(f"{m:<28}" for m in marks)
+        rows.append(header)
+        for line_idx in range(len(ascii_imgs[0])):
+            rows.append("   ".join(img[line_idx] for img in ascii_imgs))
+        blocks.append("\n".join(rows))
+
+    text = (f"Adversarial examples vs default MagNet on {ctx.dataset} "
+            f"([X] = defended, like the paper's red crosses)\n\n"
+            + "\n\n".join(blocks))
+    return ExperimentReport("fig1", "Adversarial example gallery", text, data)
+
+
+# ----------------------------------------------------------------------
+# Figures 2 and 3 — defense accuracy vs confidence, attack comparison
+# ----------------------------------------------------------------------
+
+def _variant_comparison(ctx: ExperimentContext, variants: Sequence[str],
+                        exp_id: str, title: str) -> ExperimentReport:
+    kappas = ctx.profile.kappas(ctx.dataset)
+    panels: List[str] = []
+    data: Dict[str, Dict] = {"kappas": list(kappas)}
+    for variant in variants:
+        magnet = ctx.magnet(variant)
+        curves = accuracy_curves(ctx, magnet, kappas)
+        data[variant] = {k: list(v) for k, v in curves.items()}
+        panels.append(format_series(
+            "kappa", list(kappas), curves,
+            title=f"({VARIANT_LABELS[variant]}) classification accuracy %"))
+    return ExperimentReport(exp_id, title, _panels_text(panels), data)
+
+
+def fig2(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 2: digits — C&W vs EAD against the four MagNet variants."""
+    return _variant_comparison(
+        ctx_digits, ("default", "jsd", "wide", "wide_jsd"), "fig2",
+        "Defense performance of MagNet variants (digits)")
+
+
+def fig3(ctx_objects: ExperimentContext) -> ExperimentReport:
+    """Figure 3: objects — C&W vs EAD against the two MagNet variants."""
+    return _variant_comparison(
+        ctx_objects, ("default", "wide"), "fig3",
+        "Defense performance of MagNet variants (objects)")
+
+
+# ----------------------------------------------------------------------
+# Figures 4 and 5 — C&W defense decomposition
+# ----------------------------------------------------------------------
+
+def _cw_decomposition(ctx: ExperimentContext, variants: Sequence[str],
+                      exp_id: str, title: str) -> ExperimentReport:
+    kappas = ctx.profile.kappas(ctx.dataset)
+    panels: List[str] = []
+    data: Dict[str, Dict] = {"kappas": list(kappas)}
+    for variant in variants:
+        magnet = ctx.magnet(variant)
+        curves = breakdown_curves(ctx, magnet, kappas, lambda k: ctx.cw(k))
+        data[variant] = {k: list(v) for k, v in curves.items()}
+        panels.append(format_series(
+            "kappa", list(kappas), curves,
+            title=f"({VARIANT_LABELS[variant]}) C&W L2 attack — accuracy %"))
+    return ExperimentReport(exp_id, title, _panels_text(panels), data)
+
+
+def fig4(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 4: digits — C&W decomposition across the four variants."""
+    return _cw_decomposition(ctx_digits, ("default", "jsd", "wide", "wide_jsd"),
+                             "fig4", "C&W decomposition (digits)")
+
+
+def fig5(ctx_objects: ExperimentContext) -> ExperimentReport:
+    """Figure 5: objects — C&W decomposition across the two variants."""
+    return _cw_decomposition(ctx_objects, ("default", "wide"),
+                             "fig5", "C&W decomposition (objects)")
+
+
+# ----------------------------------------------------------------------
+# Figures 6–11 — EAD decomposition per (β, rule) panel
+# ----------------------------------------------------------------------
+
+def _ead_decomposition(ctx: ExperimentContext, variant: str, exp_id: str,
+                       title: str) -> ExperimentReport:
+    kappas = ctx.profile.kappas(ctx.dataset)
+    magnet = ctx.magnet(variant)
+    panels: List[str] = []
+    data: Dict[str, Dict] = {"kappas": list(kappas), "variant": variant}
+    for beta in ctx.profile.betas:
+        for rule in ("l1", "en"):
+            curves = breakdown_curves(
+                ctx, magnet, kappas,
+                lambda k, beta=beta, rule=rule: ctx.ead(beta, k)[rule])
+            data[f"{rule}/{beta:g}"] = {k: list(v) for k, v in curves.items()}
+            panels.append(format_series(
+                "kappa", list(kappas), curves,
+                title=(f"({rule.upper()} rule, beta={beta:g}) EAD vs "
+                       f"{VARIANT_LABELS[variant]} — accuracy %")))
+    return ExperimentReport(exp_id, title, _panels_text(panels), data)
+
+
+def fig6(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 6: digits — EAD vs default MagNet, all (β, rule) panels."""
+    return _ead_decomposition(ctx_digits, "default", "fig6",
+                              "EAD decomposition vs default MagNet (digits)")
+
+
+def fig7(ctx_objects: ExperimentContext) -> ExperimentReport:
+    """Figure 7: objects — EAD vs default MagNet, all (β, rule) panels."""
+    return _ead_decomposition(ctx_objects, "default", "fig7",
+                              "EAD decomposition vs default MagNet (objects)")
+
+
+def fig8(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 8: digits — EAD vs D+JSD."""
+    return _ead_decomposition(ctx_digits, "jsd", "fig8",
+                              "EAD decomposition vs D+JSD (digits)")
+
+
+def fig9(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 9: digits — EAD vs D+wide."""
+    return _ead_decomposition(ctx_digits, "wide", "fig9",
+                              "EAD decomposition vs D+256 (digits)")
+
+
+def fig10(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 10: digits — EAD vs D+wide+JSD."""
+    return _ead_decomposition(ctx_digits, "wide_jsd", "fig10",
+                              "EAD decomposition vs D+256+JSD (digits)")
+
+
+def fig11(ctx_objects: ExperimentContext) -> ExperimentReport:
+    """Figure 11: objects — EAD vs D+wide."""
+    return _ead_decomposition(ctx_objects, "wide", "fig11",
+                              "EAD decomposition vs D+256 (objects)")
+
+
+# ----------------------------------------------------------------------
+# Figures 12 and 13 — MSE- vs MAE-trained autoencoders
+# ----------------------------------------------------------------------
+
+def _loss_comparison(ctx: ExperimentContext, exp_id: str,
+                     title: str) -> ExperimentReport:
+    kappas = ctx.profile.kappas(ctx.dataset)
+    betas = (min(ctx.profile.betas), max(ctx.profile.betas))
+    panels: List[str] = []
+    data: Dict[str, Dict] = {"kappas": list(kappas)}
+    _, y0 = ctx.attack_seeds()
+    for loss in ("mse", "mae"):
+        magnet = ctx.magnet("default", ae_loss=loss)
+        curves: Dict[str, List[float]] = {"C&W L2 attack": []}
+        for beta in betas:
+            curves[f"EAD-L1 beta={beta:g}"] = []
+            curves[f"EAD-EN beta={beta:g}"] = []
+        for kappa in kappas:
+            curves["C&W L2 attack"].append(
+                magnet.defense_accuracy(ctx.cw(kappa).x_adv, y0))
+            for beta in betas:
+                ead = ctx.ead(beta, kappa)
+                curves[f"EAD-L1 beta={beta:g}"].append(
+                    magnet.defense_accuracy(ead["l1"].x_adv, y0))
+                curves[f"EAD-EN beta={beta:g}"].append(
+                    magnet.defense_accuracy(ead["en"].x_adv, y0))
+        data[loss] = {k: list(v) for k, v in curves.items()}
+        loss_name = ("mean squared error" if loss == "mse"
+                     else "mean absolute error")
+        panels.append(format_series(
+            "kappa", list(kappas), curves,
+            title=f"({loss_name}) default MagNet — accuracy %"))
+    return ExperimentReport(exp_id, title, _panels_text(panels), data)
+
+
+def fig12(ctx_digits: ExperimentContext) -> ExperimentReport:
+    """Figure 12: digits — AE reconstruction-loss ablation (MSE vs MAE)."""
+    return _loss_comparison(ctx_digits, "fig12",
+                            "AE loss ablation on default MagNet (digits)")
+
+
+def fig13(ctx_objects: ExperimentContext) -> ExperimentReport:
+    """Figure 13: objects — AE reconstruction-loss ablation (MSE vs MAE)."""
+    return _loss_comparison(ctx_objects, "fig13",
+                            "AE loss ablation on default MagNet (objects)")

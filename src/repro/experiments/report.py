@@ -1,0 +1,24 @@
+"""Experiment report container."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """The output of one table/figure reproduction.
+
+    ``text`` is the printable reproduction (aligned table or series plus
+    sparklines); ``data`` holds the raw numbers for tests and for
+    EXPERIMENTS.md generation.
+    """
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"

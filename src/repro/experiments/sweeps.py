@@ -1,0 +1,129 @@
+"""Confidence-sweep primitives shared by the table/figure experiments.
+
+Every figure in the paper is a sweep of defense accuracy over the attack
+confidence κ; every "best ASR" table cell is the max over that sweep.
+These helpers pull cached attack results from an
+:class:`~repro.experiments.context.ExperimentContext` and score them
+against a MagNet variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.attacks.base import AttackResult
+from repro.defenses.magnet import MagNet
+from repro.evaluation.metrics import defense_breakdown
+from repro.experiments.context import ExperimentContext
+
+#: Ordering of the paper's four defense schemes in breakdown figures.
+SCHEMES = ("no_defense", "detector_only", "reformer_only", "full")
+
+SCHEME_LABELS = {
+    "no_defense": "No defense",
+    "detector_only": "With detector",
+    "reformer_only": "With reformer",
+    "full": "With detector & reformer",
+}
+
+
+def attack_result(ctx: ExperimentContext, attack: str, kappa: float,
+                  beta: float = 1e-1, rule: str = "en") -> AttackResult:
+    """Fetch one cached attack result by family name.
+
+    ``attack`` is ``"cw"`` or ``"ead"`` (the latter selected by β + rule).
+    """
+    if attack == "cw":
+        return ctx.cw(kappa)
+    if attack == "ead":
+        return ctx.ead(beta, kappa)[rule]
+    raise KeyError(f"unknown attack family {attack!r}; expected 'cw' or 'ead'")
+
+
+def accuracy_curves(ctx: ExperimentContext, magnet: MagNet,
+                    kappas: Sequence[float], beta: float = 1e-1
+                    ) -> Dict[str, List[float]]:
+    """The three curves of Figures 2/3: C&W, EAD-L1, EAD-EN vs κ."""
+    curves: Dict[str, List[float]] = {
+        "C&W L2 attack": [],
+        f"EAD-L1 beta={beta:g}": [],
+        f"EAD-EN beta={beta:g}": [],
+    }
+    for kappa in kappas:
+        cw = ctx.cw(kappa)
+        ead = ctx.ead(beta, kappa)
+        _, y0 = ctx.attack_seeds()
+        curves["C&W L2 attack"].append(magnet.defense_accuracy(cw.x_adv, y0))
+        curves[f"EAD-L1 beta={beta:g}"].append(
+            magnet.defense_accuracy(ead["l1"].x_adv, y0))
+        curves[f"EAD-EN beta={beta:g}"].append(
+            magnet.defense_accuracy(ead["en"].x_adv, y0))
+    return curves
+
+
+def breakdown_curves(ctx: ExperimentContext, magnet: MagNet,
+                     kappas: Sequence[float],
+                     fetch: Callable[[float], AttackResult]
+                     ) -> Dict[str, List[float]]:
+    """Four defense-scheme curves (supplementary figure panels) vs κ."""
+    series: Dict[str, List[float]] = {SCHEME_LABELS[s]: [] for s in SCHEMES}
+    _, y0 = ctx.attack_seeds()
+    for kappa in kappas:
+        result = fetch(kappa)
+        bd = defense_breakdown(magnet, result.x_adv, y0).as_dict()
+        for scheme in SCHEMES:
+            series[SCHEME_LABELS[scheme]].append(bd[scheme])
+    return series
+
+
+def best_asr(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float],
+             beta: float, rule: str) -> float:
+    """Best-over-κ EAD attack success rate vs a variant (Tables IV/VII cells)."""
+    _, y0 = ctx.attack_seeds()
+    rates = [
+        magnet.attack_success_rate(ctx.ead(beta, kappa)[rule].x_adv, y0)
+        for kappa in kappas
+    ]
+    return float(max(rates))
+
+
+def best_asr_row(ctx: ExperimentContext, magnets: Dict[str, MagNet],
+                 kappas: Sequence[float], beta: float, rule: str
+                 ) -> Dict[str, float]:
+    """One table row: best EAD ASR per MagNet variant."""
+    return {
+        variant: best_asr(ctx, magnet, kappas, beta, rule)
+        for variant, magnet in magnets.items()
+    }
+
+
+def cw_best(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float]
+            ) -> Dict[str, float]:
+    """C&W's best-over-κ ASR and the distortions at that κ (Table I row)."""
+    _, y0 = ctx.attack_seeds()
+    best = {"asr": -1.0, "kappa": float("nan"), "l1": float("nan"),
+            "l2": float("nan")}
+    for kappa in kappas:
+        result = ctx.cw(kappa)
+        asr = magnet.attack_success_rate(result.x_adv, y0)
+        if asr > best["asr"]:
+            best = {"asr": asr, "kappa": float(kappa),
+                    "l1": result.mean_distortion("l1"),
+                    "l2": result.mean_distortion("l2")}
+    return best
+
+
+def ead_best(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float],
+             beta: float, rule: str) -> Dict[str, float]:
+    """EAD's best-over-κ ASR and distortions at that κ (Table I rows)."""
+    _, y0 = ctx.attack_seeds()
+    best = {"asr": -1.0, "kappa": float("nan"), "l1": float("nan"),
+            "l2": float("nan")}
+    for kappa in kappas:
+        result = ctx.ead(beta, kappa)[rule]
+        asr = magnet.attack_success_rate(result.x_adv, y0)
+        if asr > best["asr"]:
+            best = {"asr": asr, "kappa": float(kappa),
+                    "l1": result.mean_distortion("l1"),
+                    "l2": result.mean_distortion("l2")}
+    return best

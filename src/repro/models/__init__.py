@@ -1,0 +1,48 @@
+"""Model zoo: classifier and MagNet-autoencoder architectures + cached training."""
+
+from repro.models.autoencoders import (
+    DEFAULT_WIDTH,
+    ROBUST_WIDTH,
+    architecture_rows,
+    build_autoencoder,
+    build_cifar_ae,
+    build_mnist_ae_deep,
+    build_mnist_ae_shallow,
+)
+from repro.models.io import BUILDERS, load_model, register_builder, save_model
+from repro.models.classifiers import (
+    build_classifier,
+    build_digit_classifier,
+    build_object_classifier,
+)
+from repro.models.zoo import (
+    AutoencoderSpec,
+    ClassifierSpec,
+    ModelZoo,
+    data_fingerprint,
+    train_autoencoder,
+    train_classifier,
+)
+
+__all__ = [
+    "AutoencoderSpec",
+    "BUILDERS",
+    "ClassifierSpec",
+    "DEFAULT_WIDTH",
+    "ModelZoo",
+    "ROBUST_WIDTH",
+    "architecture_rows",
+    "build_autoencoder",
+    "build_cifar_ae",
+    "build_classifier",
+    "build_digit_classifier",
+    "build_mnist_ae_deep",
+    "build_mnist_ae_shallow",
+    "build_object_classifier",
+    "data_fingerprint",
+    "load_model",
+    "register_builder",
+    "save_model",
+    "train_autoencoder",
+    "train_classifier",
+]

@@ -1,0 +1,114 @@
+"""MagNet autoencoder architectures (paper Tables II and V).
+
+MagNet (Meng & Chen, CCS'17) uses three autoencoder shapes, all with
+sigmoid activations:
+
+* MNIST **AE-I** ("Detector I & Reformer"):
+  Conv w — AvgPool 2x2 — Conv w — Conv w — Upsample 2x2 — Conv w — Conv 1,
+  all 3x3, sigmoid throughout.
+* MNIST **AE-II** ("Detector II"): Conv w — Conv w — Conv 1, 3x3, sigmoid.
+* CIFAR AE ("Detectors & Reformer"): Conv w — Conv w — Conv 3, 3x3, sigmoid.
+
+The default MagNet sets the conv width ``w = 3``; the paper's *robust*
+variants raise it to 256 (its Tables II/V).  Width is a constructor
+parameter here; the quick benchmark profile uses an intermediate width so
+pure-numpy convolutions stay tractable (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import AvgPool2D, Conv2D, Sequential, Sigmoid, UpSample2D
+from repro.utils.rng import rng_from_seed
+
+DEFAULT_WIDTH = 3
+ROBUST_WIDTH = 256
+
+
+def build_mnist_ae_deep(width: int = DEFAULT_WIDTH, in_channels: int = 1,
+                        seed: int = 0) -> Sequential:
+    """MNIST AE-I: the pooling/upsampling autoencoder (Detector I & Reformer)."""
+    rng = rng_from_seed(seed)
+    w = int(width)
+    return Sequential(
+        Conv2D(in_channels, w, 3, padding="same", rng=rng), Sigmoid(),
+        AvgPool2D(2),
+        Conv2D(w, w, 3, padding="same", rng=rng), Sigmoid(),
+        Conv2D(w, w, 3, padding="same", rng=rng), Sigmoid(),
+        UpSample2D(2),
+        Conv2D(w, w, 3, padding="same", rng=rng), Sigmoid(),
+        Conv2D(w, in_channels, 3, padding="same", rng=rng), Sigmoid(),
+    )
+
+
+def build_mnist_ae_shallow(width: int = DEFAULT_WIDTH, in_channels: int = 1,
+                           seed: int = 0) -> Sequential:
+    """MNIST AE-II: the shallow autoencoder (Detector II)."""
+    rng = rng_from_seed(seed)
+    w = int(width)
+    return Sequential(
+        Conv2D(in_channels, w, 3, padding="same", rng=rng), Sigmoid(),
+        Conv2D(w, w, 3, padding="same", rng=rng), Sigmoid(),
+        Conv2D(w, in_channels, 3, padding="same", rng=rng), Sigmoid(),
+    )
+
+
+def build_cifar_ae(width: int = DEFAULT_WIDTH, in_channels: int = 3,
+                   seed: int = 0) -> Sequential:
+    """CIFAR AE: the single autoencoder behind both detectors and the reformer."""
+    rng = rng_from_seed(seed)
+    w = int(width)
+    return Sequential(
+        Conv2D(in_channels, w, 3, padding="same", rng=rng), Sigmoid(),
+        Conv2D(w, w, 3, padding="same", rng=rng), Sigmoid(),
+        Conv2D(w, in_channels, 3, padding="same", rng=rng), Sigmoid(),
+    )
+
+
+def build_autoencoder(dataset: str, kind: str, width: int = DEFAULT_WIDTH,
+                      seed: int = 0) -> Sequential:
+    """Dispatch: (dataset, kind) → architecture.
+
+    ``kind`` is ``"deep"`` (AE-I) or ``"shallow"`` (AE-II) for digits;
+    only ``"deep"`` exists for objects (the CIFAR AE).
+    """
+    if dataset == "digits":
+        if kind == "deep":
+            return build_mnist_ae_deep(width=width, seed=seed)
+        if kind == "shallow":
+            return build_mnist_ae_shallow(width=width, seed=seed)
+        raise KeyError(f"unknown MNIST AE kind {kind!r}; expected 'deep' or 'shallow'")
+    if dataset == "objects":
+        if kind in ("deep", "shallow"):
+            return build_cifar_ae(width=width, seed=seed)
+        raise KeyError(f"unknown CIFAR AE kind {kind!r}")
+    raise KeyError(f"unknown dataset {dataset!r}; expected 'digits' or 'objects'")
+
+
+def architecture_rows(dataset: str, kind: str, width: int) -> List[str]:
+    """Layer descriptions in the paper's Table II / Table V notation."""
+    w = int(width)
+    if dataset == "digits" and kind == "deep":
+        return [
+            f"Conv.Sigmoid 3x3x{w}",
+            "AveragePooling 2x2",
+            f"Conv.Sigmoid 3x3x{w}",
+            f"Conv.Sigmoid 3x3x{w}",
+            "Upsampling 2x2",
+            f"Conv.Sigmoid 3x3x{w}",
+            "Conv.Sigmoid 3x3x1",
+        ]
+    if dataset == "digits" and kind == "shallow":
+        return [
+            f"Conv.Sigmoid 3x3x{w}",
+            f"Conv.Sigmoid 3x3x{w}",
+            "Conv.Sigmoid 3x3x1",
+        ]
+    if dataset == "objects":
+        return [
+            f"Conv.Sigmoid 3x3x{w}",
+            f"Conv.Sigmoid 3x3x{w}",
+            "Conv.Sigmoid 3x3x3",
+        ]
+    raise KeyError(f"no architecture row for ({dataset!r}, {kind!r})")

@@ -1,0 +1,148 @@
+"""Image classifier architectures.
+
+Two families per dataset:
+
+* ``compact`` (default) — a scaled-down CNN that reaches the accuracy the
+  experiments need at pure-numpy-friendly cost.  All benchmark profiles
+  use these.
+* ``paper`` — the architecture the MagNet paper trained (4 conv + 3 dense
+  for MNIST; the CIFAR net is similarly heavier).  Available for full-
+  fidelity runs when compute allows.
+
+Classifiers output raw logits; use :func:`repro.nn.functional.softmax`
+for probabilities (the JSD detector does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import rng_from_seed
+
+
+class ScaledLogits(Module):
+    """Multiply a trained classifier's logits by a fixed constant.
+
+    Scaling logits leaves predictions and accuracy untouched but steepens
+    the logit landscape: reaching attack confidence κ on the scaled model
+    costs the same input perturbation as κ/scale on the base model.  The
+    paper's MNIST/CIFAR DNNs have much steeper logits than our compact
+    substitutes (their κ∈[0,100] sweeps stay at small distortion), so the
+    experiment configs wrap classifiers with the scale that calibrates
+    the κ axis to the paper's range (see DESIGN.md §2).
+    """
+
+    def __init__(self, base: Module, scale: float):
+        super().__init__()
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.base = base
+        self.scale = float(scale)
+
+    def forward(self, x):
+        return self.base(x) * self.scale
+
+    def __repr__(self):
+        return f"ScaledLogits(scale={self.scale:g}, base={self.base!r})"
+
+
+def build_digit_classifier(seed: int = 0, variant: str = "compact") -> Sequential:
+    """CNN for 28x28x1 SyntheticDigits (the MNIST stand-in).
+
+    compact: Conv16-Pool-Conv32-Pool-FC128-FC10 (~110k params).
+    paper:   the MagNet MNIST net — Conv32,Conv32,Pool,Conv64,Conv64,Pool,
+             FC200,FC200,FC10.
+    """
+    rng = rng_from_seed(seed)
+    if variant == "compact":
+        return Sequential(
+            Conv2D(1, 16, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(16, 32, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(32 * 7 * 7, 128, rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Dense(128, 10, rng=rng),
+        )
+    if variant == "paper":
+        return Sequential(
+            Conv2D(1, 32, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Conv2D(32, 32, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(32, 64, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Conv2D(64, 64, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(64 * 7 * 7, 200, rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Dense(200, 200, rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Dense(200, 10, rng=rng),
+        )
+    raise ValueError(f"unknown variant {variant!r}; expected 'compact' or 'paper'")
+
+
+def build_object_classifier(seed: int = 0, variant: str = "compact") -> Sequential:
+    """CNN for 32x32x3 SyntheticObjects (the CIFAR-10 stand-in)."""
+    rng = rng_from_seed(seed)
+    if variant == "compact":
+        return Sequential(
+            Conv2D(3, 24, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(24, 48, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(48, 64, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(64 * 4 * 4, 128, rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Dense(128, 10, rng=rng),
+        )
+    if variant == "paper":
+        return Sequential(
+            Conv2D(3, 64, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Conv2D(64, 64, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(64, 128, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Conv2D(128, 128, 3, padding="same", rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(128 * 8 * 8, 256, rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Dense(256, 256, rng=rng, weight_init="he_uniform"),
+            ReLU(),
+            Dense(256, 10, rng=rng),
+        )
+    raise ValueError(f"unknown variant {variant!r}; expected 'compact' or 'paper'")
+
+
+def build_classifier(dataset: str, seed: int = 0, variant: str = "compact") -> Sequential:
+    """Dispatch on canonical dataset name (``digits`` / ``objects``)."""
+    if dataset == "digits":
+        return build_digit_classifier(seed=seed, variant=variant)
+    if dataset == "objects":
+        return build_object_classifier(seed=seed, variant=variant)
+    raise KeyError(f"unknown dataset {dataset!r}; expected 'digits' or 'objects'")

@@ -1,0 +1,86 @@
+"""Full-model serialization: architecture config + weights in one file.
+
+``Module.state_dict`` covers weights; this module adds the architecture
+so a model can be reconstructed without the code that built it being
+re-run with the right arguments.  Models are stored as an ``.npz`` of
+weights plus a JSON header naming a *builder* from :data:`BUILDERS` and
+its kwargs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.models.autoencoders import (
+    build_cifar_ae,
+    build_mnist_ae_deep,
+    build_mnist_ae_shallow,
+)
+from repro.models.classifiers import build_digit_classifier, build_object_classifier
+from repro.nn.layers import Module
+
+#: Registry of reconstructible architectures: name -> builder(**kwargs).
+BUILDERS: Dict[str, Callable[..., Module]] = {
+    "digit_classifier": build_digit_classifier,
+    "object_classifier": build_object_classifier,
+    "mnist_ae_deep": build_mnist_ae_deep,
+    "mnist_ae_shallow": build_mnist_ae_shallow,
+    "cifar_ae": build_cifar_ae,
+}
+
+_HEADER_KEY = "__repro_model_header__"
+
+
+def register_builder(name: str, builder: Callable[..., Module]) -> None:
+    """Register a custom architecture builder for save/load round trips."""
+    if not callable(builder):
+        raise TypeError("builder must be callable")
+    BUILDERS[name] = builder
+
+
+def save_model(model: Module, path: os.PathLike, builder: str,
+               builder_kwargs: Dict[str, Any]) -> Path:
+    """Persist a model: weights + (builder name, kwargs) header.
+
+    ``builder``/``builder_kwargs`` must reconstruct an architecture with
+    identical parameter names and shapes.
+    """
+    if builder not in BUILDERS:
+        raise KeyError(
+            f"unknown builder {builder!r}; register it first "
+            f"(available: {sorted(BUILDERS)})")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = json.dumps({"builder": builder, "kwargs": builder_kwargs})
+    arrays = dict(model.state_dict())
+    if _HEADER_KEY in arrays:
+        raise ValueError(f"parameter name collides with {_HEADER_KEY!r}")
+    arrays[_HEADER_KEY] = np.frombuffer(header.encode("utf-8"), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def load_model(path: os.PathLike) -> Module:
+    """Rebuild a model saved with :func:`save_model`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if _HEADER_KEY not in data.files:
+            raise ValueError(f"{path} is not a repro model file (no header)")
+        header = json.loads(bytes(data[_HEADER_KEY].tobytes()).decode("utf-8"))
+        state = {name: data[name] for name in data.files
+                 if name != _HEADER_KEY}
+    builder_name = header["builder"]
+    if builder_name not in BUILDERS:
+        raise KeyError(
+            f"model was saved with builder {builder_name!r}, which is not "
+            f"registered in this process")
+    model = BUILDERS[builder_name](**header["kwargs"])
+    model.load_state_dict(state)
+    model.eval()
+    return model

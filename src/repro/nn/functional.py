@@ -1,0 +1,321 @@
+"""Neural-network operations built on the autograd engine.
+
+Contains the structured ops the MagNet/EAD reproduction needs beyond basic
+arithmetic: im2col convolutions, average/max pooling, nearest-neighbour
+upsampling (the MagNet decoder uses it), softmax / log-softmax (for
+classifier probabilities and the JSD detector), and the label-gather used
+by the cross-entropy loss.
+
+All ops follow the NCHW layout convention: images are
+``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, _make, as_tensor
+
+__all__ = [
+    "avg_pool2d",
+    "conv2d",
+    "conv_output_size",
+    "log_softmax",
+    "logsumexp",
+    "max_pool2d",
+    "one_hot",
+    "same_padding",
+    "select_index",
+    "softmax",
+    "upsample2d",
+]
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def same_padding(kernel: int) -> int:
+    """Padding that preserves spatial size for stride-1 odd kernels."""
+    if kernel % 2 == 0:
+        raise ValueError(f"'same' padding requires an odd kernel, got {kernel}")
+    return (kernel - 1) // 2
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+            dilation: int = 1) -> np.ndarray:
+    """Extract sliding windows: (N, C, H, W) -> (N, Ho, Wo, C, kh, kw).
+
+    ``dilation`` spaces the kernel taps (effective kernel size
+    ``(k-1)*dilation + 1``).
+    """
+    eff_kh = (kh - 1) * dilation + 1
+    eff_kw = (kw - 1) * dilation + 1
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (eff_kh, eff_kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]      # (N, C, Ho, Wo, ekh, ekw)
+    if dilation > 1:
+        windows = windows[:, :, :, :, ::dilation, ::dilation]
+    return windows.transpose(0, 2, 3, 1, 4, 5)
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
+            stride: int, dilation: int = 1) -> np.ndarray:
+    """Scatter-add window gradients back to image shape (inverse of _im2col)."""
+    n, c, h, w = x_shape
+    _, ho, wo = cols.shape[0], cols.shape[1], cols.shape[2]
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        row = i * dilation
+        h_stop = row + stride * ho
+        for j in range(kw):
+            col = j * dilation
+            w_stop = col + stride * wo
+            out[:, :, row:h_stop:stride, col:w_stop:stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: Union[int, str] = 0,
+           dilation: int = 1) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Args:
+        x: input images ``(N, C_in, H, W)``.
+        weight: filters ``(C_out, C_in, kh, kw)``.
+        bias: optional per-filter bias ``(C_out,)``.
+        stride: spatial stride (same in both axes).
+        padding: integer zero-padding, or ``"same"`` for stride-1 odd kernels.
+        dilation: spacing between kernel taps (atrous convolution).
+
+    Returns:
+        Output tensor ``(N, C_out, Ho, Wo)``.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects OIHW weight, got shape {weight.shape}")
+    co, ci, kh, kw = weight.shape
+    if x.shape[1] != ci:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {ci}")
+    dilation = int(dilation)
+    if dilation < 1:
+        raise ValueError(f"dilation must be >= 1, got {dilation}")
+    eff_kh = (kh - 1) * dilation + 1
+    eff_kw = (kw - 1) * dilation + 1
+    if padding == "same":
+        if stride != 1:
+            raise ValueError("'same' padding supported for stride=1 only")
+        padding = same_padding(eff_kh)
+    padding = int(padding)
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+
+    xd = x.data
+    if padding:
+        xd = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, _, hp, wp = xd.shape
+    ho = conv_output_size(x.shape[2], eff_kh, stride, padding)
+    wo = conv_output_size(x.shape[3], eff_kw, stride, padding)
+    if ho < 1 or wo < 1:
+        raise ValueError(
+            f"conv2d output would be empty: input {x.shape}, kernel ({kh},{kw}), "
+            f"stride {stride}, padding {padding}, dilation {dilation}"
+        )
+
+    cols = _im2col(xd, kh, kw, stride, dilation)           # (N, Ho, Wo, C, kh, kw)
+    cols_flat = cols.reshape(n, ho, wo, ci * kh * kw)
+    w_flat = weight.data.reshape(co, ci * kh * kw)
+    out = cols_flat @ w_flat.T                             # (N, Ho, Wo, C_out)
+    if bias is not None:
+        out = out + bias.data
+    out = out.transpose(0, 3, 1, 2)                        # (N, C_out, Ho, Wo)
+    out = np.ascontiguousarray(out, dtype=x.dtype)
+
+    padded_shape = xd.shape
+
+    def grad_x(g):
+        # g: (N, C_out, Ho, Wo)
+        g_nhwc = g.transpose(0, 2, 3, 1)                   # (N, Ho, Wo, C_out)
+        gc = g_nhwc @ w_flat                               # (N, Ho, Wo, C*kh*kw)
+        gc = gc.reshape(n, ho, wo, ci, kh, kw)
+        gx = _col2im(gc, padded_shape, kh, kw, stride, dilation)
+        if padding:
+            gx = gx[:, :, padding:-padding, padding:-padding]
+        return gx
+
+    def grad_w(g):
+        g_flat = g.transpose(0, 2, 3, 1).reshape(-1, co)   # (N*Ho*Wo, C_out)
+        cols_2d = cols_flat.reshape(-1, ci * kh * kw)
+        gw = g_flat.T @ cols_2d                            # (C_out, C*kh*kw)
+        return gw.reshape(co, ci, kh, kw)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
+    return _make(out, parents)
+
+
+# ----------------------------------------------------------------------
+# Pooling and upsampling
+# ----------------------------------------------------------------------
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling with ``kernel``×``kernel`` windows.
+
+    Input spatial dims must be divisible by ``kernel`` (MagNet's MNIST
+    autoencoders pool 28→14, which satisfies this).
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    k = int(kernel)
+    if h % k or w % k:
+        raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {k}")
+    ho, wo = h // k, w // k
+    blocks = x.data.reshape(n, c, ho, k, wo, k)
+    out = blocks.mean(axis=(3, 5))
+
+    def grad_fn(g):
+        g_scaled = (g / (k * k)).astype(x.dtype)
+        g_up = np.repeat(np.repeat(g_scaled, k, axis=2), k, axis=3)
+        return g_up
+
+    return _make(out.astype(x.dtype), [(x, grad_fn)])
+
+
+def max_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping max pooling; gradient routes to the first argmax."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    k = int(kernel)
+    if h % k or w % k:
+        raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {k}")
+    ho, wo = h // k, w // k
+    blocks = x.data.reshape(n, c, ho, k, wo, k).transpose(0, 1, 2, 4, 3, 5)
+    flat = blocks.reshape(n, c, ho, wo, k * k)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def grad_fn(g):
+        gf = np.zeros_like(flat)
+        np.put_along_axis(gf, arg[..., None], g[..., None], axis=-1)
+        gb = gf.reshape(n, c, ho, wo, k, k).transpose(0, 1, 2, 4, 3, 5)
+        return gb.reshape(n, c, h, w)
+
+    return _make(out.astype(x.dtype), [(x, grad_fn)])
+
+
+def upsample2d(x: Tensor, factor: int) -> Tensor:
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+    x = as_tensor(x)
+    f = int(factor)
+    if f < 1:
+        raise ValueError(f"upsample factor must be >= 1, got {factor}")
+    if f == 1:
+        return x
+    n, c, h, w = x.shape
+    out = np.repeat(np.repeat(x.data, f, axis=2), f, axis=3)
+
+    def grad_fn(g):
+        return g.reshape(n, c, h, f, w, f).sum(axis=(3, 5))
+
+    return _make(out, [(x, grad_fn)])
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp along ``axis``."""
+    x = as_tensor(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    shifted = x.data - m
+    s = np.exp(shifted).sum(axis=axis, keepdims=True)
+    out = m + np.log(s)
+    softmax_vals = np.exp(shifted) / s
+
+    def grad_fn(g):
+        g_expanded = g if keepdims else np.expand_dims(g, axis)
+        return g_expanded * softmax_vals
+
+    data = out if keepdims else np.squeeze(out, axis=axis)
+    return _make(data.astype(x.dtype), [(x, grad_fn)])
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) along ``axis``, computed stably."""
+    x = as_tensor(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    shifted = x.data - m
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    probs = np.exp(out)
+
+    def grad_fn(g):
+        return g - probs * g.sum(axis=axis, keepdims=True)
+
+    return _make(out.astype(x.dtype), [(x, grad_fn)])
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """softmax(x) along ``axis``, computed stably."""
+    x = as_tensor(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    e = np.exp(x.data - m)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def grad_fn(g):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return out * (g - dot)
+
+    return _make(out.astype(x.dtype), [(x, grad_fn)])
+
+
+# ----------------------------------------------------------------------
+# Indexing helpers
+# ----------------------------------------------------------------------
+
+def select_index(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather ``x[i, indices[i]]`` for each row i of a 2-D tensor.
+
+    Used by cross-entropy (pick the true-class log-probability) and by the
+    attack losses (pick the target-class logit).
+    """
+    x = as_tensor(x)
+    if x.ndim != 2:
+        raise ValueError(f"select_index expects a 2-D tensor, got shape {x.shape}")
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.shape != (x.shape[0],):
+        raise ValueError(f"indices shape {idx.shape} != ({x.shape[0]},)")
+    rows = np.arange(x.shape[0])
+    out = x.data[rows, idx]
+
+    def grad_fn(g):
+        gx = np.zeros_like(x.data)
+        gx[rows, idx] = g
+        return gx
+
+    return _make(out.astype(x.dtype), [(x, grad_fn)])
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Return a one-hot ndarray encoding (plain numpy; labels carry no grad)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1
+    return out

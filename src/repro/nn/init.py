@@ -1,0 +1,76 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense (in, out) or conv (O, I, kh, kw) shapes."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = int(np.prod(shape[2:]))
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                  dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, 2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+               dtype=np.float32) -> np.ndarray:
+    """He uniform (appropriate before ReLU): U(-limit, limit), limit = sqrt(6/fan_in)."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+              dtype=np.float32) -> np.ndarray:
+    """He normal (appropriate before ReLU): N(0, 2/fan_in)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def zeros(shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """All-zeros initializer (standard for biases)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises KeyError with options listed."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,55 @@
+"""Training losses.
+
+The reproduction needs three losses:
+
+* softmax cross-entropy — classifier training;
+* mean squared error — MagNet's default autoencoder reconstruction loss;
+* mean absolute error — the paper's MAE-trained autoencoder variant
+  (Figures 12 and 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor, abs_, as_tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy from raw logits.
+
+    Args:
+        logits: ``(N, K)`` unnormalized class scores.
+        labels: ``(N,)`` integer class labels.
+    """
+    logits = as_tensor(logits)
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = F.select_index(log_probs, labels)
+    return -picked.mean()
+
+
+def mse(prediction: Tensor, target) -> Tensor:
+    """Mean squared error over all elements."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error over all elements (the paper's L1 reconstruction loss)."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return abs_(prediction - target).mean()
+
+
+LOSSES = {"cross_entropy": cross_entropy, "mse": mse, "mae": mae}
+
+
+def get_loss(name: str):
+    """Look up a loss by name; raises KeyError with options listed."""
+    try:
+        return LOSSES[name]
+    except KeyError:
+        raise KeyError(f"unknown loss {name!r}; available: {sorted(LOSSES)}") from None

@@ -1,0 +1,119 @@
+"""Regularization layers: Dropout and BatchNorm2D.
+
+Not required by the paper's core pipeline (the MagNet nets use neither)
+but part of any usable training substrate — the custom-model example and
+downstream users training their own classifiers need them.  Both honor
+``Module.training`` (set by ``model.train()`` / ``model.eval()``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, _make, as_tensor, is_grad_enabled
+from repro.nn.layers import Module
+from repro.utils.rng import rng_from_seed
+
+
+class Dropout(Module):
+    """Inverted dropout: zero activations with probability ``p`` at train
+    time, scaling survivors by ``1/(1-p)``; identity at eval time."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng_from_seed(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        data = x.data * mask
+        return _make(data, [(x, lambda g: g * mask)])
+
+    def __repr__(self):
+        return f"Dropout(p={self.p:g})"
+
+
+class BatchNorm2D(Module):
+    """Batch normalization over the channel axis of NCHW tensors.
+
+    Training mode normalizes with batch statistics and updates running
+    estimates; eval mode uses the running estimates.  ``gamma``/``beta``
+    are learnable.
+    """
+
+    def __init__(self, num_channels: int, momentum: float = 0.1,
+                 eps: float = 1e-5):
+        super().__init__()
+        if num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_channels = int(num_channels)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = self.register_parameter(
+            "gamma", Tensor(np.ones(num_channels, dtype=np.float32)))
+        self.beta = self.register_parameter(
+            "beta", Tensor(np.zeros(num_channels, dtype=np.float32)))
+        # Running statistics are buffers, not parameters.
+        self.running_mean = np.zeros(num_channels, dtype=np.float32)
+        self.running_var = np.ones(num_channels, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected NCHW input with {self.num_channels} channels, "
+                f"got shape {x.shape}")
+        if self.training:
+            axes = (0, 2, 3)
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean).astype(np.float32)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+
+        m = mean[None, :, None, None]
+        v = var[None, :, None, None]
+        inv_std = 1.0 / np.sqrt(v + self.eps)
+        x_hat = (x.data - m) * inv_std
+        out = x_hat * self.gamma.data[None, :, None, None] \
+            + self.beta.data[None, :, None, None]
+
+        if not is_grad_enabled():
+            return Tensor(out.astype(x.dtype))
+
+        n = x.shape[0] * x.shape[2] * x.shape[3]
+        gamma_b = self.gamma.data[None, :, None, None]
+
+        if self.training:
+            def grad_x(g):
+                # Standard batchnorm backward through batch statistics.
+                g_hat = g * gamma_b
+                sum_g = g_hat.sum(axis=(0, 2, 3), keepdims=True)
+                sum_gx = (g_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+                return inv_std * (g_hat - sum_g / n - x_hat * sum_gx / n)
+        else:
+            def grad_x(g):
+                return g * gamma_b * inv_std
+
+        def grad_gamma(g):
+            return (g * x_hat).sum(axis=(0, 2, 3))
+
+        def grad_beta(g):
+            return g.sum(axis=(0, 2, 3))
+
+        return _make(out.astype(x.dtype), [
+            (x, grad_x), (self.gamma, grad_gamma), (self.beta, grad_beta)])
+
+    def __repr__(self):
+        return f"BatchNorm2D({self.num_channels})"

@@ -1,0 +1,117 @@
+"""Learning-rate schedules and gradient clipping.
+
+The attacks already embed their published schedules (C&W uses constant
+Adam, EAD uses square-root polynomial decay); these utilities give model
+*training* the same flexibility, and are exercised by the training-loop
+extensions and the custom-model example.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.optim import Optimizer
+
+
+class LRSchedule:
+    """Base schedule: maps epoch index -> learning rate."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = float(base_lr)
+
+    def lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, epoch: int) -> float:
+        """Set the optimizer's lr for this epoch; returns the value."""
+        lr = self.lr_at(epoch)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    """No decay."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.1):
+        super().__init__(base_lr)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from base_lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(base_lr)
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_lr < 0 or min_lr > base_lr:
+            raise ValueError("min_lr must be in [0, base_lr]")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + np.cos(np.pi * t))
+
+
+class SqrtDecayLR(LRSchedule):
+    """The EAD paper's square-root polynomial decay, for completeness:
+    ``lr_k = base * sqrt(1 - k / total)``."""
+
+    def __init__(self, base_lr: float, total_epochs: int):
+        super().__init__(base_lr)
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        self.total_epochs = int(total_epochs)
+
+    def lr_at(self, epoch: int) -> float:
+        frac = max(1.0 - epoch / self.total_epochs, 0.0)
+        return self.base_lr * float(np.sqrt(frac))
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (torch convention).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params: List[Tensor] = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+def clip_grad_value(params: Iterable[Tensor], max_value: float) -> None:
+    """Clamp every gradient element into [-max_value, max_value]."""
+    if max_value <= 0:
+        raise ValueError(f"max_value must be positive, got {max_value}")
+    for p in params:
+        if p.grad is not None:
+            p.grad = np.clip(p.grad, -max_value, max_value)

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG helpers, config hashing, disk caching, logging.
+
+These utilities underpin the determinism guarantees of the whole
+reproduction: every stochastic component receives an explicit seed, and
+every expensive artifact (trained model, attack sweep) is cached on disk
+under a key derived from a stable hash of its full configuration.
+"""
+
+from repro.utils.cache import DiskCache, default_cache, stable_hash
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedSequence, rng_from_seed, spawn_seeds
+
+__all__ = [
+    "DiskCache",
+    "SeedSequence",
+    "default_cache",
+    "get_logger",
+    "rng_from_seed",
+    "spawn_seeds",
+    "stable_hash",
+]

@@ -1,0 +1,148 @@
+"""Disk caching of expensive artifacts keyed by stable config hashes.
+
+Trained models and attack sweeps dominate experiment wall-clock; the
+benchmarks for 7 tables and 13 figures share one pool of artifacts through
+this cache.  Keys are derived from :func:`stable_hash`, which canonicalizes
+nested dict/list/tuple/scalar configs into JSON and hashes with SHA-256, so
+the same logical config always maps to the same file across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+log = get_logger(__name__)
+
+
+def _canonicalize(obj: Any) -> Any:
+    """Convert a config object to a JSON-serializable canonical form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr keeps full precision and is stable across platforms for
+        # the magnitudes used in configs.
+        return ("__float__", repr(obj))
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return ("__float__", repr(float(obj)))
+    if isinstance(obj, np.ndarray):
+        return ("__ndarray__", obj.shape, str(obj.dtype), hashlib.sha256(obj.tobytes()).hexdigest())
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonicalize(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    # Fall back to the type name + repr for simple value objects.
+    return (type(obj).__name__, repr(obj))
+
+
+def stable_hash(config: Any, length: int = 16) -> str:
+    """Return a hex digest of a canonicalized config object.
+
+    The digest is stable across processes and platforms for configs built
+    from dicts, lists, tuples, scalars and ndarrays.
+    """
+    blob = json.dumps(_canonicalize(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
+
+
+class DiskCache:
+    """A content-addressed npz store for numpy-array payloads.
+
+    Each entry is a dict of ndarrays (plus a JSON metadata sidecar) stored
+    as ``<root>/<namespace>/<key>.npz``.  Writes are atomic (tempfile +
+    rename) so concurrent benchmark runs cannot observe torn files.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        self.root = Path(root)
+
+    def _path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / f"{key}.npz"
+
+    def contains(self, namespace: str, key: str) -> bool:
+        return self._path(namespace, key).exists()
+
+    def save(self, namespace: str, key: str, arrays: Dict[str, np.ndarray],
+             meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Atomically store a dict of arrays under (namespace, key)."""
+        path = self._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        if meta is not None:
+            meta_path = path.with_suffix(".json")
+            meta_tmp = meta_path.with_suffix(".json.tmp")
+            meta_tmp.write_text(json.dumps(meta, indent=2, default=str))
+            os.replace(meta_tmp, meta_path)
+        return path
+
+    def load(self, namespace: str, key: str) -> Dict[str, np.ndarray]:
+        """Load a dict of arrays; raises KeyError if absent."""
+        path = self._path(namespace, key)
+        if not path.exists():
+            raise KeyError(f"cache miss: {namespace}/{key}")
+        with np.load(path, allow_pickle=False) as data:
+            return {name: data[name] for name in data.files}
+
+    def load_meta(self, namespace: str, key: str) -> Dict[str, Any]:
+        path = self._path(namespace, key).with_suffix(".json")
+        if not path.exists():
+            raise KeyError(f"cache meta miss: {namespace}/{key}")
+        return json.loads(path.read_text())
+
+    def get_or_compute(self, namespace: str, key: str,
+                       compute: Callable[[], Dict[str, np.ndarray]],
+                       meta: Optional[Dict[str, Any]] = None) -> Dict[str, np.ndarray]:
+        """Return the cached arrays, computing and storing them on a miss."""
+        try:
+            return self.load(namespace, key)
+        except KeyError:
+            pass
+        log.info("cache miss %s/%s — computing", namespace, key)
+        arrays = compute()
+        if not isinstance(arrays, dict):
+            raise TypeError("compute() must return a dict of ndarrays")
+        self.save(namespace, key, arrays, meta=meta)
+        return arrays
+
+    def clear(self, namespace: Optional[str] = None) -> int:
+        """Delete cached entries; returns the number of files removed."""
+        base = self.root / namespace if namespace else self.root
+        if not base.exists():
+            return 0
+        removed = 0
+        for path in sorted(base.rglob("*")):
+            if path.is_file():
+                path.unlink()
+                removed += 1
+        return removed
+
+
+_DEFAULT: Optional[DiskCache] = None
+
+
+def default_cache() -> DiskCache:
+    """Process-wide cache rooted at $REPRO_CACHE_DIR (default .repro_cache)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = DiskCache()
+    return _DEFAULT

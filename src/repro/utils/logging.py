@@ -1,0 +1,38 @@
+"""Minimal logging setup shared by the library, benches and examples."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "INFO").upper()
+    level = getattr(logging, level_name, logging.INFO)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s", "%H:%M:%S")
+    )
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        root.addHandler(handler)
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace, configuring it lazily.
+
+    Level is controlled with the ``REPRO_LOG_LEVEL`` environment variable
+    (default INFO).
+    """
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,68 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the library (dataset synthesis, weight
+initialization, minibatch shuffling, attack tie-breaking) draws from a
+``numpy.random.Generator`` built here, so that a single integer seed
+pins down the entire experiment pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+class SeedSequence:
+    """A tiny deterministic seed dispenser.
+
+    Wraps :class:`numpy.random.SeedSequence` with a friendlier interface:
+    ``SeedSequence(123).next()`` hands out an endless stream of independent
+    32-bit seeds, so components can be seeded in construction order without
+    correlated streams.
+    """
+
+    def __init__(self, root_seed: int):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = int(root_seed)
+        self._seq = np.random.SeedSequence(self.root_seed)
+        self._count = 0
+
+    def next(self) -> int:
+        """Return the next independent 32-bit seed."""
+        child = self._seq.spawn(1)[0]
+        self._count += 1
+        return int(child.generate_state(1, dtype=np.uint32)[0])
+
+    def next_rng(self) -> np.random.Generator:
+        """Return a Generator seeded with the next independent seed."""
+        return np.random.default_rng(self.next())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeedSequence(root_seed={self.root_seed}, dispensed={self._count})"
+
+
+def rng_from_seed(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an int (deterministic), an existing Generator (passed through),
+    or None (OS entropy — only appropriate for exploratory use).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot build an RNG from {type(seed).__name__}")
+
+
+def spawn_seeds(root_seed: int, n: int) -> List[int]:
+    """Derive ``n`` independent integer seeds from one root seed."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return [int(c.generate_state(1, dtype=np.uint32)[0]) for c in children]

@@ -1,0 +1,154 @@
+"""Attack tests against a real trained classifier (session fixture).
+
+These check end-to-end attack semantics at kappa=0 with small budgets:
+success means genuine misclassification, box constraints hold, and the
+attacks' characteristic geometries (EAD sparse, C&W dense-small-L2,
+FGSM eps-bounded) emerge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    CarliniWagnerL2,
+    DeepFool,
+    EAD,
+    FGSM,
+    IterativeFGSM,
+    logits_of,
+)
+
+
+@pytest.fixture(scope="module")
+def seeds(tiny_classifier, tiny_splits):
+    preds = logits_of(tiny_classifier, tiny_splits.test.x).argmax(1)
+    idx = np.flatnonzero(preds == tiny_splits.test.y)[:8]
+    return tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+
+
+class TestCarliniWagner:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        attack = CarliniWagnerL2(tiny_classifier, kappa=0.0,
+                                 binary_search_steps=3, max_iterations=60,
+                                 initial_const=1.0, lr=5e-2)
+        return attack.attack(x0, y0)
+
+    def test_high_success_at_kappa_zero(self, result):
+        assert result.success_rate >= 0.75
+
+    def test_successful_rows_misclassified(self, result, seeds):
+        _, y0 = seeds
+        assert (result.y_adv[result.success] != y0[result.success]).all()
+
+    def test_box_constraint(self, result):
+        assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0
+
+    def test_const_recorded_for_successes(self, result):
+        assert np.isfinite(result.const[result.success]).all()
+
+    def test_distortion_moderate(self, result):
+        if result.success.any():
+            assert result.mean_distortion("l2") < 8.0
+
+    def test_parameter_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(tiny_classifier, kappa=-1)
+        with pytest.raises(ValueError):
+            CarliniWagnerL2(tiny_classifier, max_iterations=0)
+
+
+class TestEADOnModel:
+    @pytest.fixture(scope="class")
+    def results(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        attack = EAD(tiny_classifier, beta=1e-1, kappa=0.0,
+                     binary_search_steps=3, max_iterations=60,
+                     initial_const=1.0)
+        return attack.attack_both(x0, y0)
+
+    def test_high_success(self, results):
+        assert results["en"].success_rate >= 0.75
+
+    def test_rules_share_success_mask(self, results):
+        np.testing.assert_array_equal(results["en"].success,
+                                      results["l1"].success)
+
+    def test_l1_rule_minimizes_l1(self, results):
+        ok = results["en"].success
+        if ok.any():
+            assert (results["l1"].l1[ok]
+                    <= results["en"].l1[ok] + 1e-4).all()
+
+    def test_sparsity_vs_cw(self, results, tiny_classifier, seeds):
+        x0, y0 = seeds
+        cw = CarliniWagnerL2(tiny_classifier, kappa=0.0,
+                             binary_search_steps=3, max_iterations=60,
+                             initial_const=1.0, lr=5e-2).attack(x0, y0)
+        both_ok = results["en"].success & cw.success
+        if both_ok.sum() >= 3:
+            assert (results["en"].l0[both_ok].mean()
+                    < cw.l0[both_ok].mean())
+
+    def test_ista_variant_runs(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        attack = EAD(tiny_classifier, beta=1e-1, kappa=0.0,
+                     binary_search_steps=2, max_iterations=40,
+                     initial_const=1.0, method="ista")
+        result = attack.attack(x0[:4], y0[:4])
+        assert result.x_adv.shape == x0[:4].shape
+
+    def test_box_constraint(self, results):
+        for r in results.values():
+            assert r.x_adv.min() >= 0.0 and r.x_adv.max() <= 1.0
+
+
+class TestFGSMFamily:
+    def test_fgsm_linf_bound(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = FGSM(tiny_classifier, epsilon=0.2).attack(x0, y0)
+        assert result.linf.max() <= 0.2 + 1e-5
+
+    def test_fgsm_zero_epsilon_never_succeeds(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = FGSM(tiny_classifier, epsilon=0.0).attack(x0, y0)
+        assert not result.success.any()
+
+    def test_ifgsm_stays_in_ball(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = IterativeFGSM(tiny_classifier, epsilon=0.15,
+                               step_size=0.03, steps=8).attack(x0, y0)
+        assert result.linf.max() <= 0.15 + 1e-5
+
+    def test_ifgsm_at_least_as_strong_as_fgsm(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        fgsm = FGSM(tiny_classifier, epsilon=0.15).attack(x0, y0)
+        bim = IterativeFGSM(tiny_classifier, epsilon=0.15, step_size=0.03,
+                            steps=8).attack(x0, y0)
+        assert bim.success_rate >= fgsm.success_rate - 1e-9
+
+    def test_parameter_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            FGSM(tiny_classifier, epsilon=-0.1)
+        with pytest.raises(ValueError):
+            IterativeFGSM(tiny_classifier, steps=0)
+
+
+class TestDeepFoolOnModel:
+    def test_finds_small_perturbations(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = DeepFool(tiny_classifier, max_iterations=20).attack(x0, y0)
+        assert result.success_rate >= 0.5
+        if result.success.any():
+            # DeepFool aims for the nearest boundary: small L2.
+            assert result.mean_distortion("l2") < 6.0
+
+    def test_box_constraint(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = DeepFool(tiny_classifier, max_iterations=10).attack(x0, y0)
+        assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0
+
+    def test_parameter_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            DeepFool(tiny_classifier, max_iterations=0)

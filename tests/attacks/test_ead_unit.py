@@ -1,0 +1,173 @@
+"""Unit tests for EAD internals: the shrinkage operator and result plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import EAD, AttackResult, flat_norms, shrink_threshold
+from repro.attacks.base import Attack
+from repro.nn import Dense, Sequential
+
+
+class TestShrinkThreshold:
+    """Paper eq. (5) — the projected shrinkage-thresholding operator."""
+
+    def test_small_perturbations_zeroed(self):
+        x0 = np.full((4,), 0.5, dtype=np.float32)
+        z = x0 + np.array([0.05, -0.05, 0.0, 0.09], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.1)
+        np.testing.assert_allclose(out, x0)
+
+    def test_large_positive_shrunk_by_beta(self):
+        x0 = np.array([0.5], dtype=np.float32)
+        z = np.array([0.8], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.1)
+        np.testing.assert_allclose(out, [0.7], rtol=1e-6)
+
+    def test_large_negative_shrunk_by_beta(self):
+        x0 = np.array([0.5], dtype=np.float32)
+        z = np.array([0.2], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.1)
+        np.testing.assert_allclose(out, [0.3], rtol=1e-6)
+
+    def test_projection_to_upper_box(self):
+        x0 = np.array([0.5], dtype=np.float32)
+        z = np.array([1.5], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.1)
+        np.testing.assert_allclose(out, [1.0])
+
+    def test_projection_to_lower_box(self):
+        x0 = np.array([0.5], dtype=np.float32)
+        z = np.array([-0.7], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.1)
+        np.testing.assert_allclose(out, [0.0])
+
+    def test_beta_zero_is_box_projection_only(self):
+        x0 = np.array([0.5, 0.5], dtype=np.float32)
+        z = np.array([1.7, -0.2], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.0)
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_boundary_exactly_beta_keeps_original(self):
+        x0 = np.array([0.5], dtype=np.float32)
+        z = np.array([0.6], dtype=np.float32)
+        out = shrink_threshold(z, x0, beta=0.1)
+        np.testing.assert_allclose(out, [0.5])
+
+    def test_output_dtype_float32(self):
+        x0 = np.zeros(3, dtype=np.float32)
+        out = shrink_threshold(np.ones(3), x0, 0.1)
+        assert out.dtype == np.float32
+
+
+class TestFlatNorms:
+    def test_values(self):
+        delta = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        delta[0, 0, 0, 0] = 3.0
+        delta[0, 0, 1, 1] = -4.0
+        norms = flat_norms(delta)
+        assert norms["l0"][0] == 2
+        assert norms["l1"][0] == pytest.approx(7.0)
+        assert norms["l2"][0] == pytest.approx(5.0)
+        assert norms["linf"][0] == pytest.approx(4.0)
+
+    def test_zero_perturbation(self):
+        norms = flat_norms(np.zeros((2, 1, 2, 2)))
+        for key in ("l0", "l1", "l2", "linf"):
+            np.testing.assert_allclose(norms[key], 0.0)
+
+
+class TestEADValidation:
+    def _model(self, rng):
+        return Sequential(Dense(4, 4, rng=rng))
+
+    def test_invalid_beta(self, rng):
+        with pytest.raises(ValueError):
+            EAD(self._model(rng), beta=-1.0)
+
+    def test_invalid_kappa(self, rng):
+        with pytest.raises(ValueError):
+            EAD(self._model(rng), kappa=-1.0)
+
+    def test_invalid_rule(self, rng):
+        with pytest.raises(ValueError):
+            EAD(self._model(rng), rule="l2")
+
+    def test_invalid_method(self, rng):
+        with pytest.raises(ValueError):
+            EAD(self._model(rng), method="adam")
+
+    def test_input_validation_shape(self, rng):
+        attack = EAD(self._model(rng))
+        with pytest.raises(ValueError):
+            attack.attack(np.zeros((2, 4)), np.zeros(2))
+
+    def test_input_validation_range(self, rng):
+        attack = EAD(self._model(rng))
+        with pytest.raises(ValueError):
+            attack.attack(np.full((2, 1, 2, 2), 1.5), np.zeros(2))
+
+    def test_label_shape_validation(self, rng):
+        attack = EAD(self._model(rng))
+        with pytest.raises(ValueError):
+            attack.attack(np.zeros((2, 1, 2, 2)), np.zeros(3))
+
+
+class TestAttackResult:
+    def test_failed_rows_carry_original(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng))
+
+        class Flat:
+            def __call__(self, x):
+                return model(x.reshape((x.shape[0], -1)))
+
+        x0 = rng.random((3, 1, 2, 2)).astype(np.float32)
+        x_adv = np.clip(x0 + 0.3, 0, 1)
+        success = np.array([True, False, True])
+        result = AttackResult.from_examples(Flat(), x0, x_adv, success,
+                                            np.array([0, 1, 2]))
+        np.testing.assert_allclose(result.x_adv[1], x0[1])
+        assert result.l1[1] == 0.0
+
+    def test_success_rate(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng))
+
+        class Flat:
+            def __call__(self, x):
+                return model(x.reshape((x.shape[0], -1)))
+
+        x0 = rng.random((4, 1, 2, 2)).astype(np.float32)
+        result = AttackResult.from_examples(
+            Flat(), x0, x0, np.array([True, True, False, False]),
+            np.arange(4))
+        assert result.success_rate == pytest.approx(0.5)
+
+    def test_mean_distortion_over_success_only(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng))
+
+        class Flat:
+            def __call__(self, x):
+                return model(x.reshape((x.shape[0], -1)))
+
+        x0 = np.zeros((2, 1, 2, 2), dtype=np.float32)
+        x_adv = x0.copy()
+        x_adv[0] += 0.5
+        x_adv[1] += 0.9
+        result = AttackResult.from_examples(
+            Flat(), x0, x_adv, np.array([True, False]), np.arange(2))
+        assert result.mean_distortion("l1") == pytest.approx(0.5 * 4)
+
+    def test_mean_distortion_nan_when_no_success(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng))
+
+        class Flat:
+            def __call__(self, x):
+                return model(x.reshape((x.shape[0], -1)))
+
+        x0 = np.zeros((2, 1, 2, 2), dtype=np.float32)
+        result = AttackResult.from_examples(
+            Flat(), x0, x0, np.array([False, False]), np.arange(2))
+        assert np.isnan(result.mean_distortion("l2"))
+
+    def test_base_attack_validates(self):
+        with pytest.raises(ValueError):
+            Attack._validate_inputs(np.zeros((2, 1, 2, 2)), np.zeros((2, 2)))

@@ -1,0 +1,162 @@
+"""Unit tests for the attack-gradient helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.gradients import (
+    attack_margin,
+    class_logit_grads,
+    cross_entropy_grad,
+    is_successful,
+    logits_of,
+    margin_loss_and_grad,
+)
+from repro.nn import Dense, ReLU, Sequential, Tensor
+
+
+@pytest.fixture
+def small_model(rng):
+    return Sequential(Dense(8, 16, rng=rng), ReLU(), Dense(16, 4, rng=rng))
+
+
+def _inputs(rng, n=5, d=8):
+    return rng.random((n, 1, 2, 4)).astype(np.float32).reshape(n, d)
+
+
+class _FlattenWrap:
+    """Adapt a dense model to NCHW inputs for the helpers that expect 4D."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def __call__(self, x):
+        if isinstance(x, Tensor):
+            return self.model(x.reshape((x.shape[0], -1)))
+        return self.model(x.reshape(x.shape[0], -1))
+
+
+class TestAttackMargin:
+    def test_untargeted_sign(self):
+        logits = np.array([[5.0, 1.0, 0.0], [0.0, 3.0, 9.0]])
+        labels = np.array([0, 2])
+        margin = attack_margin(logits, labels)
+        # correctly classified → negative margin
+        np.testing.assert_allclose(margin, [-4.0, -6.0])
+
+    def test_untargeted_positive_when_misclassified(self):
+        logits = np.array([[1.0, 5.0, 0.0]])
+        margin = attack_margin(logits, np.array([0]))
+        np.testing.assert_allclose(margin, [4.0])
+
+    def test_targeted_sign(self):
+        logits = np.array([[5.0, 1.0, 0.0]])
+        margin = attack_margin(logits, np.array([1]), targeted=True)
+        np.testing.assert_allclose(margin, [-4.0])
+
+    def test_is_successful_at_kappa(self):
+        logits = np.array([[0.0, 10.0], [0.0, 4.9]])
+        labels = np.array([0, 0])
+        assert is_successful(logits, labels, kappa=5.0).tolist() == [True, False]
+
+    def test_is_successful_tolerance_at_boundary(self):
+        logits = np.array([[0.0, 5.0]])
+        assert is_successful(logits, np.array([0]), kappa=5.0).tolist() == [True]
+
+
+class TestMarginLossAndGrad:
+    def test_loss_values_match_margin(self, rng, small_model):
+        model = _FlattenWrap(small_model)
+        x = rng.random((6, 1, 2, 4)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3, 0, 1])
+        kappa = 2.0
+        f_vals, grad, logits = margin_loss_and_grad(model, x, labels, kappa)
+        margin = attack_margin(logits, labels)
+        np.testing.assert_allclose(f_vals, np.maximum(-margin, -kappa),
+                                   rtol=1e-5)
+        assert grad.shape == x.shape
+
+    def test_gradient_zero_on_hinge_floor(self, rng, small_model):
+        model = _FlattenWrap(small_model)
+        x = rng.random((4, 1, 2, 4)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3])
+        # Enormous kappa: hinge never saturates, all rows active.
+        _, grad_active, _ = margin_loss_and_grad(model, x, labels, 1e9)
+        assert np.abs(grad_active).sum() > 0
+        # kappa = 0 but flip labels so the "attack" is already successful
+        # for rows the model misclassifies.
+        logits = logits_of(model, x)
+        wrong = logits.argmax(1)  # treat predictions as untargeted labels
+        f_vals, grad, _ = margin_loss_and_grad(model, x, wrong, 1e9)
+        assert np.abs(grad).sum() > 0
+
+    def test_finite_difference_agreement(self, rng, small_model):
+        model = _FlattenWrap(small_model)
+        x = rng.random((3, 1, 2, 4)).astype(np.float64).astype(np.float32)
+        labels = np.array([1, 2, 0])
+        kappa = 100.0  # keep the hinge active everywhere
+        f0, grad, _ = margin_loss_and_grad(model, x, labels, kappa)
+        eps = 1e-3
+        for _ in range(10):
+            i = tuple(rng.integers(0, s) for s in x.shape)
+            xp = x.copy()
+            xp[i] += eps
+            fp, _, _ = margin_loss_and_grad(model, xp, labels, kappa)
+            xm = x.copy()
+            xm[i] -= eps
+            fm, _, _ = margin_loss_and_grad(model, xm, labels, kappa)
+            numeric = (fp[i[0]] - fm[i[0]]) / (2 * eps)
+            np.testing.assert_allclose(grad[i], numeric, atol=2e-2, rtol=5e-2)
+
+    def test_targeted_gradient_direction(self, rng, small_model):
+        """A small step along -grad should increase the target logit margin."""
+        model = _FlattenWrap(small_model)
+        x = rng.random((4, 1, 2, 4)).astype(np.float32)
+        logits = logits_of(model, x)
+        targets = (logits.argmax(1) + 1) % 4
+        f0, grad, _ = margin_loss_and_grad(model, x, targets, 0.0,
+                                           targeted=True)
+        x_new = x - 0.05 * grad
+        f1, _, _ = margin_loss_and_grad(model, x_new, targets, 0.0,
+                                        targeted=True)
+        assert f1.sum() <= f0.sum() + 1e-6
+
+
+class TestCrossEntropyGrad:
+    def test_loss_values(self, rng, small_model):
+        model = _FlattenWrap(small_model)
+        x = rng.random((5, 1, 2, 4)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3, 0])
+        loss, grad = cross_entropy_grad(model, x, labels)
+        assert loss.shape == (5,)
+        assert (loss > 0).all()
+        assert grad.shape == x.shape
+
+    def test_ascending_gradient_increases_loss(self, rng, small_model):
+        model = _FlattenWrap(small_model)
+        x = rng.random((5, 1, 2, 4)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3, 0])
+        loss0, grad = cross_entropy_grad(model, x, labels)
+        loss1, _ = cross_entropy_grad(model, x + 0.05 * np.sign(grad), labels)
+        assert loss1.mean() > loss0.mean()
+
+
+class TestClassLogitGrads:
+    def test_shapes(self, rng, small_model):
+        model = _FlattenWrap(small_model)
+        x = rng.random((3, 1, 2, 4)).astype(np.float32)
+        logits, grads = class_logit_grads(model, x)
+        assert logits.shape == (3, 4)
+        assert grads.shape == (4, 3, 1, 2, 4)
+
+    def test_rows_match_margin_grad(self, rng, small_model):
+        """grad(z_label) - grad(z_other) equals the hinge gradient (active)."""
+        model = _FlattenWrap(small_model)
+        x = rng.random((2, 1, 2, 4)).astype(np.float32)
+        logits, grads = class_logit_grads(model, x)
+        labels = logits.argmax(1)
+        f, hinge_grad, _ = margin_loss_and_grad(model, x, labels, 1e9)
+        masked = logits.copy()
+        masked[np.arange(2), labels] = -np.inf
+        j = masked.argmax(1)
+        manual = (grads[labels, np.arange(2)] - grads[j, np.arange(2)])
+        np.testing.assert_allclose(hinge_grad, manual, rtol=1e-4, atol=1e-6)

@@ -1,0 +1,93 @@
+"""Tests for the gray-box (attack-through-reformer) surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CarliniWagnerL2, ReformedModel, graybox_model, logits_of
+from repro.attacks.graybox import AveragedModel
+from repro.defenses import MagNet, ReconstructionDetector, Reformer
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_classifier, tiny_autoencoder):
+    return ReformedModel(tiny_autoencoder, tiny_classifier)
+
+
+class TestReformedModel:
+    def test_forward_matches_manual_composition(self, pipeline,
+                                                tiny_autoencoder,
+                                                tiny_classifier, tiny_splits):
+        x = tiny_splits.test.x[:4]
+        direct = pipeline(Tensor(x)).data
+        manual = tiny_classifier(tiny_autoencoder(Tensor(x))).data
+        np.testing.assert_allclose(direct, manual, rtol=1e-6)
+
+    def test_gradient_flows_through_autoencoder(self, pipeline, tiny_splits):
+        x = Tensor(tiny_splits.test.x[:2], requires_grad=True)
+        pipeline(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+    def test_graybox_cw_survives_reforming(self, pipeline, tiny_classifier,
+                                           tiny_autoencoder, tiny_splits):
+        """Examples crafted through the reformer keep fooling it."""
+        preds = logits_of(pipeline, tiny_splits.test.x).argmax(1)
+        idx = np.flatnonzero(preds == tiny_splits.test.y)[:6]
+        x0, y0 = tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+        attack = CarliniWagnerL2(pipeline, kappa=0.0, binary_search_steps=3,
+                                 max_iterations=60, initial_const=1.0,
+                                 lr=5e-2)
+        result = attack.attack(x0, y0)
+        if result.success.any():
+            # By construction: the reformed prediction is wrong.
+            reformed_preds = logits_of(pipeline,
+                                       result.x_adv[result.success]).argmax(1)
+            assert (reformed_preds != y0[result.success]).all()
+
+
+class TestAveragedModel:
+    def test_weight_extremes(self, tiny_classifier, tiny_autoencoder,
+                             tiny_splits):
+        x = Tensor(tiny_splits.test.x[:3])
+        raw_only = AveragedModel(tiny_autoencoder, tiny_classifier,
+                                 weight_reformed=0.0)
+        np.testing.assert_allclose(raw_only(x).data,
+                                   tiny_classifier(x).data, rtol=1e-6)
+        ref_only = AveragedModel(tiny_autoencoder, tiny_classifier,
+                                 weight_reformed=1.0)
+        manual = tiny_classifier(tiny_autoencoder(x)).data
+        np.testing.assert_allclose(ref_only(x).data, manual, rtol=1e-6)
+
+    def test_invalid_weight(self, tiny_classifier, tiny_autoencoder):
+        with pytest.raises(ValueError):
+            AveragedModel(tiny_autoencoder, tiny_classifier,
+                          weight_reformed=1.5)
+
+
+class TestGrayboxFactory:
+    def _magnet(self, tiny_classifier, tiny_autoencoder, with_reformer=True):
+        det = ReconstructionDetector(tiny_autoencoder, norm=1)
+        reformer = Reformer(tiny_autoencoder) if with_reformer else None
+        return MagNet(tiny_classifier, [det], reformer)
+
+    def test_reformed_mode(self, tiny_classifier, tiny_autoencoder):
+        magnet = self._magnet(tiny_classifier, tiny_autoencoder)
+        model = graybox_model(magnet, mode="reformed")
+        assert isinstance(model, ReformedModel)
+
+    def test_averaged_mode(self, tiny_classifier, tiny_autoencoder):
+        magnet = self._magnet(tiny_classifier, tiny_autoencoder)
+        model = graybox_model(magnet, mode="averaged")
+        assert isinstance(model, AveragedModel)
+
+    def test_invalid_mode(self, tiny_classifier, tiny_autoencoder):
+        magnet = self._magnet(tiny_classifier, tiny_autoencoder)
+        with pytest.raises(ValueError):
+            graybox_model(magnet, mode="whitebox")
+
+    def test_no_reformer_rejected(self, tiny_classifier, tiny_autoencoder):
+        magnet = self._magnet(tiny_classifier, tiny_autoencoder,
+                              with_reformer=False)
+        with pytest.raises(ValueError):
+            graybox_model(magnet)

@@ -1,0 +1,138 @@
+"""Tests for the extension attacks: PGD, MI-FGSM, JSMA."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import JSMA, MomentumFGSM, PGD, logits_of
+from repro.attacks.pgd import _project_l2
+
+
+@pytest.fixture(scope="module")
+def seeds(tiny_classifier, tiny_splits):
+    preds = logits_of(tiny_classifier, tiny_splits.test.x).argmax(1)
+    idx = np.flatnonzero(preds == tiny_splits.test.y)[:8]
+    return tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+
+
+class TestL2Projection:
+    def test_inside_ball_unchanged(self, rng):
+        delta = rng.standard_normal((2, 1, 3, 3)).astype(np.float32) * 0.01
+        out = _project_l2(delta, 10.0)
+        np.testing.assert_allclose(out, delta, rtol=1e-6)
+
+    def test_outside_ball_projected_to_radius(self, rng):
+        delta = rng.standard_normal((3, 1, 4, 4)).astype(np.float32) * 5
+        out = _project_l2(delta, 1.0)
+        norms = np.sqrt((out.reshape(3, -1) ** 2).sum(axis=1))
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-5)
+
+    def test_direction_preserved(self, rng):
+        delta = rng.standard_normal((1, 1, 2, 2)).astype(np.float32) * 5
+        out = _project_l2(delta, 1.0)
+        cos = (delta.ravel() @ out.ravel()) / (
+            np.linalg.norm(delta) * np.linalg.norm(out))
+        assert cos == pytest.approx(1.0, abs=1e-5)
+
+
+class TestPGD:
+    def test_linf_ball_respected(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = PGD(tiny_classifier, epsilon=0.1, step_size=0.02,
+                     steps=10).attack(x0, y0)
+        assert result.linf.max() <= 0.1 + 1e-5
+
+    def test_l2_ball_respected(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = PGD(tiny_classifier, epsilon=2.0, step_size=0.5,
+                     steps=10, norm="l2").attack(x0, y0)
+        assert result.l2.max() <= 2.0 + 1e-4
+
+    def test_succeeds_with_budget(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = PGD(tiny_classifier, epsilon=0.25, step_size=0.05,
+                     steps=15).attack(x0, y0)
+        assert result.success_rate > 0.5
+
+    def test_random_start_seeded(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        a = PGD(tiny_classifier, epsilon=0.1, steps=3, seed=9).attack(x0, y0)
+        b = PGD(tiny_classifier, epsilon=0.1, steps=3, seed=9).attack(x0, y0)
+        np.testing.assert_allclose(a.x_adv, b.x_adv)
+
+    def test_no_random_start_deterministic_from_x0(self, tiny_classifier,
+                                                   seeds):
+        x0, y0 = seeds
+        a = PGD(tiny_classifier, epsilon=0.1, steps=3,
+                random_start=False).attack(x0, y0)
+        b = PGD(tiny_classifier, epsilon=0.1, steps=3,
+                random_start=False).attack(x0, y0)
+        np.testing.assert_allclose(a.x_adv, b.x_adv)
+
+    def test_box_constraint(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = PGD(tiny_classifier, epsilon=0.3, steps=5).attack(x0, y0)
+        assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0
+
+    def test_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            PGD(tiny_classifier, norm="l1")
+        with pytest.raises(ValueError):
+            PGD(tiny_classifier, steps=0)
+
+
+class TestMomentumFGSM:
+    def test_eps_ball_respected(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = MomentumFGSM(tiny_classifier, epsilon=0.12,
+                              steps=8).attack(x0, y0)
+        assert result.linf.max() <= 0.12 + 1e-5
+
+    def test_succeeds_with_budget(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = MomentumFGSM(tiny_classifier, epsilon=0.25,
+                              steps=10).attack(x0, y0)
+        assert result.success_rate > 0.5
+
+    def test_default_step_size(self, tiny_classifier):
+        attack = MomentumFGSM(tiny_classifier, epsilon=0.2, steps=10)
+        assert attack.step_size == pytest.approx(0.02)
+
+    def test_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            MomentumFGSM(tiny_classifier, decay=-1.0)
+
+
+class TestJSMA:
+    def test_perturbations_sparse(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = JSMA(tiny_classifier, theta=1.0,
+                      max_fraction=0.05).attack(x0, y0)
+        n_pixels = np.prod(x0.shape[1:])
+        if result.success.any():
+            # L0 bounded by the pixel budget.
+            assert result.l0[result.success].max() <= 0.05 * n_pixels + 1
+
+    def test_perturbations_only_increase_pixels(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = JSMA(tiny_classifier, theta=0.5,
+                      max_fraction=0.05).attack(x0, y0)
+        delta = result.x_adv - x0
+        assert delta.min() >= -1e-6  # increasing-only variant
+
+    def test_some_success_with_generous_budget(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = JSMA(tiny_classifier, theta=1.0,
+                      max_fraction=0.15).attack(x0, y0)
+        assert result.success_rate > 0.3
+
+    def test_box_constraint(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = JSMA(tiny_classifier, theta=1.0,
+                      max_fraction=0.03).attack(x0, y0)
+        assert result.x_adv.max() <= 1.0 + 1e-6
+
+    def test_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            JSMA(tiny_classifier, max_fraction=0.0)
+        with pytest.raises(ValueError):
+            JSMA(tiny_classifier, theta=-0.5)

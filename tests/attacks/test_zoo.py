@@ -1,0 +1,87 @@
+"""Tests for the black-box ZOO attack and the random-noise baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomNoise, ZOO, logits_of
+
+
+@pytest.fixture(scope="module")
+def seeds(tiny_classifier, tiny_splits):
+    preds = logits_of(tiny_classifier, tiny_splits.test.x).argmax(1)
+    idx = np.flatnonzero(preds == tiny_splits.test.y)[:6]
+    return tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+
+
+class TestZOO:
+    def test_black_box_finds_adversarial_examples(self, tiny_classifier,
+                                                  seeds):
+        x0, y0 = seeds
+        attack = ZOO(tiny_classifier, kappa=0.0, const=10.0,
+                     max_iterations=150, coords_per_step=48, lr=0.1)
+        result = attack.attack(x0, y0)
+        # Black-box with a small budget: expect at least some successes.
+        assert result.success_rate > 0.25
+        if result.success.any():
+            preds = logits_of(tiny_classifier,
+                              result.x_adv[result.success]).argmax(1)
+            assert (preds != y0[result.success]).all()
+
+    def test_box_constraint(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = ZOO(tiny_classifier, const=10.0, max_iterations=30,
+                     coords_per_step=16).attack(x0, y0)
+        assert result.x_adv.min() >= 0.0 and result.x_adv.max() <= 1.0
+
+    def test_deterministic_given_seed(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        a = ZOO(tiny_classifier, max_iterations=10, coords_per_step=8,
+                seed=4).attack(x0[:2], y0[:2])
+        b = ZOO(tiny_classifier, max_iterations=10, coords_per_step=8,
+                seed=4).attack(x0[:2], y0[:2])
+        np.testing.assert_allclose(a.x_adv, b.x_adv)
+
+    def test_parameter_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            ZOO(tiny_classifier, kappa=-1)
+        with pytest.raises(ValueError):
+            ZOO(tiny_classifier, coords_per_step=0)
+        with pytest.raises(ValueError):
+            ZOO(tiny_classifier, delta=0.0)
+
+
+class TestRandomNoise:
+    def test_zero_epsilon_never_succeeds(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = RandomNoise(tiny_classifier, epsilon=0.0).attack(x0, y0)
+        assert not result.success.any()
+
+    def test_failed_rows_unchanged(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = RandomNoise(tiny_classifier, epsilon=0.05,
+                             tries=2).attack(x0, y0)
+        unchanged = ~result.success
+        np.testing.assert_allclose(result.x_adv[unchanged], x0[unchanged])
+
+    def test_linf_bounded(self, tiny_classifier, seeds):
+        x0, y0 = seeds
+        result = RandomNoise(tiny_classifier, epsilon=0.2,
+                             tries=3).attack(x0, y0)
+        assert result.linf.max() <= 0.2 + 1e-5
+
+    def test_gradient_attacks_beat_noise_floor(self, tiny_classifier, seeds):
+        """White-box attacks dominate the unstructured baseline."""
+        from repro.attacks import IterativeFGSM
+
+        x0, y0 = seeds
+        noise = RandomNoise(tiny_classifier, epsilon=0.15,
+                            tries=5).attack(x0, y0)
+        bim = IterativeFGSM(tiny_classifier, epsilon=0.15, step_size=0.03,
+                            steps=8).attack(x0, y0)
+        assert bim.success_rate >= noise.success_rate
+
+    def test_validation(self, tiny_classifier):
+        with pytest.raises(ValueError):
+            RandomNoise(tiny_classifier, epsilon=-0.1)
+        with pytest.raises(ValueError):
+            RandomNoise(tiny_classifier, tries=0)

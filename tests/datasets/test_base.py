@@ -1,0 +1,83 @@
+"""Unit tests for dataset containers and split helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import DataSplits, Dataset, stratified_indices
+
+
+def _dataset(n=20, c=1, h=4, w=4, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, c, h, w)).astype(np.float32)
+    y = np.arange(n) % classes
+    return Dataset(x, y, name="toy")
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = _dataset()
+        assert len(ds) == 20
+        assert ds.image_shape == (1, 4, 4)
+        assert ds.num_classes == 4
+
+    def test_dtype_coercion(self):
+        ds = Dataset(np.zeros((2, 1, 2, 2), dtype=np.float64),
+                     np.array([0, 1], dtype=np.int32))
+        assert ds.x.dtype == np.float32
+        assert ds.y.dtype == np.int64
+
+    def test_non_nchw_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 4, 4)), np.zeros(2))
+
+    def test_label_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 1, 4, 4)), np.zeros(3))
+
+    def test_pixel_range_validated(self):
+        with pytest.raises(ValueError):
+            Dataset(np.full((1, 1, 2, 2), 2.0), np.zeros(1))
+        with pytest.raises(ValueError):
+            Dataset(np.full((1, 1, 2, 2), -0.5), np.zeros(1))
+
+    def test_subset(self):
+        ds = _dataset()
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, ds.y[[0, 5, 7]])
+
+    def test_take(self):
+        ds = _dataset()
+        assert len(ds.take(5)) == 5
+        assert len(ds.take(100)) == 20
+
+    def test_shuffled_preserves_pairs(self):
+        ds = _dataset()
+        # Make pixel content encode the label so alignment is checkable.
+        ds.x[:, 0, 0, 0] = ds.y / 10.0
+        shuffled = ds.shuffled(np.random.default_rng(0))
+        np.testing.assert_allclose(shuffled.x[:, 0, 0, 0],
+                                   shuffled.y / 10.0, atol=1e-6)
+
+
+class TestDataSplits:
+    def test_summary_and_shapes(self):
+        splits = DataSplits(train=_dataset(40), val=_dataset(10),
+                            test=_dataset(20), name="toy")
+        assert splits.image_shape == (1, 4, 4)
+        assert splits.num_classes == 4
+        assert "40 train" in splits.summary()
+
+
+class TestStratifiedIndices:
+    def test_per_class_counts(self):
+        y = np.repeat(np.arange(4), 10)
+        idx = stratified_indices(y, 3, np.random.default_rng(0))
+        assert len(idx) == 12
+        counts = np.bincount(y[idx], minlength=4)
+        np.testing.assert_array_equal(counts, [3, 3, 3, 3])
+
+    def test_insufficient_class_raises(self):
+        y = np.array([0, 0, 1])
+        with pytest.raises(ValueError):
+            stratified_indices(y, 2, np.random.default_rng(0))

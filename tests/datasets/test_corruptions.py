@@ -1,0 +1,97 @@
+"""Tests for the common-corruption utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corruptions import (
+    CORRUPTIONS,
+    brightness,
+    contrast,
+    corrupt,
+    gaussian_blur,
+    gaussian_noise,
+    occlusion,
+    pixelate,
+    robustness_curve,
+)
+
+
+@pytest.fixture
+def images(rng):
+    return rng.random((4, 1, 28, 28)).astype(np.float32)
+
+
+class TestIndividualCorruptions:
+    def test_all_preserve_shape_and_box(self, images, rng):
+        for name, fn in CORRUPTIONS.items():
+            out = fn(images, 3, np.random.default_rng(0))
+            assert out.shape == images.shape, name
+            assert out.min() >= -1e-6 and out.max() <= 1 + 1e-6, name
+
+    def test_noise_severity_monotone(self, images):
+        rng0 = np.random.default_rng(0)
+        low = gaussian_noise(images, 1, np.random.default_rng(0))
+        high = gaussian_noise(images, 5, np.random.default_rng(0))
+        assert (np.abs(high - images).mean()
+                > np.abs(low - images).mean())
+
+    def test_blur_reduces_variance(self, images):
+        out = gaussian_blur(images, 5, np.random.default_rng(0))
+        assert out.std() < images.std()
+
+    def test_contrast_compresses_toward_mean(self, images):
+        out = contrast(images, 5, np.random.default_rng(0))
+        assert out.std() < images.std()
+        np.testing.assert_allclose(out.mean(axis=(2, 3)),
+                                   images.mean(axis=(2, 3)), atol=0.05)
+
+    def test_brightness_shifts_mean(self, images):
+        out = brightness(images, 5, np.random.default_rng(0))
+        per_image = np.abs(out.mean(axis=(1, 2, 3))
+                           - images.mean(axis=(1, 2, 3)))
+        assert (per_image > 0.05).all()
+
+    def test_pixelate_blocks_constant(self, images):
+        out = pixelate(images, 5, np.random.default_rng(0))
+        # 4x4 blocks are constant
+        blocks = out.reshape(4, 1, 7, 4, 7, 4)
+        assert np.abs(blocks - blocks.mean(axis=(3, 5),
+                                           keepdims=True)).max() < 1e-6
+
+    def test_occlusion_zeroes_patch(self, rng):
+        x = np.ones((2, 1, 28, 28), dtype=np.float32)
+        out = occlusion(x, 4, np.random.default_rng(0))
+        assert (out == 0).any(axis=(1, 2, 3)).all()
+
+    def test_severity_validation(self, images):
+        with pytest.raises(ValueError):
+            gaussian_noise(images, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gaussian_noise(images, 6, np.random.default_rng(0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_noise(np.zeros((2, 28, 28)), 1, np.random.default_rng(0))
+
+
+class TestCorruptDispatch:
+    def test_deterministic_given_seed(self, images):
+        a = corrupt(images, "gaussian_noise", 3, seed=5)
+        b = corrupt(images, "gaussian_noise", 3, seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_unknown_corruption(self, images):
+        with pytest.raises(KeyError):
+            corrupt(images, "fog", 1)
+
+
+class TestRobustnessCurve:
+    def test_accuracy_degrades_with_severity(self, tiny_classifier,
+                                             tiny_splits):
+        x = tiny_splits.test.x[:200]
+        y = tiny_splits.test.y[:200]
+        curve = robustness_curve(tiny_classifier, x, y, "gaussian_noise",
+                                 severities=(1, 5))
+        assert set(curve) == {1, 5}
+        assert curve[5] <= curve[1] + 0.05
+        assert 0.0 <= curve[5] <= 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for the SyntheticDigits (MNIST stand-in) generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import digits as D
+from repro.datasets import load_digit_splits
+
+
+class TestSkeletons:
+    def test_all_ten_digits_defined(self):
+        assert sorted(D.DIGIT_SEGMENTS) == list(range(10))
+
+    def test_skeletons_are_distinct(self):
+        segs = set(D.DIGIT_SEGMENTS.values())
+        assert len(segs) == 10
+
+    def test_skeleton_strokes_within_unit_box(self):
+        for d in range(10):
+            for stroke in D.digit_skeleton(d):
+                for x, y in stroke:
+                    assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            D.digit_skeleton(10)
+
+    def test_eight_has_all_segments(self):
+        assert set(D.DIGIT_SEGMENTS[8]) == set("ABCDEFG")
+
+
+class TestRenderDigit:
+    def test_output_shape_and_range(self, rng):
+        img = D.render_digit(3, rng)
+        assert img.shape == (1, 28, 28)
+        assert img.dtype == np.float32
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_clean_rendering_deterministic(self, rng):
+        a = D.render_digit(5, np.random.default_rng(0), clean=True)
+        b = D.render_digit(5, np.random.default_rng(99), clean=True)
+        np.testing.assert_allclose(a, b)
+
+    def test_noisy_renderings_differ(self):
+        rng = np.random.default_rng(0)
+        a = D.render_digit(5, rng)
+        b = D.render_digit(5, rng)
+        assert np.abs(a - b).max() > 0.05
+
+    def test_ink_present(self, rng):
+        img = D.render_digit(8, rng)
+        assert img.max() > 0.9  # strokes saturate
+        assert img.mean() < 0.5  # mostly background
+
+    def test_different_digits_visually_distinct(self):
+        one = D.render_digit(1, np.random.default_rng(0), clean=True)
+        eight = D.render_digit(8, np.random.default_rng(0), clean=True)
+        assert np.abs(one - eight).mean() > 0.05
+
+    def test_custom_size(self, rng):
+        img = D.render_digit(2, rng, size=14)
+        assert img.shape == (1, 14, 14)
+
+
+class TestGenerateDigits:
+    def test_class_balance(self):
+        ds = D.generate_digits(100, seed=1)
+        counts = np.bincount(ds.y, minlength=10)
+        np.testing.assert_array_equal(counts, np.full(10, 10))
+
+    def test_deterministic_given_seed(self):
+        a = D.generate_digits(20, seed=5)
+        b = D.generate_digits(20, seed=5)
+        np.testing.assert_allclose(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_seed_changes_content(self):
+        a = D.generate_digits(20, seed=1)
+        b = D.generate_digits(20, seed=2)
+        assert np.abs(a.x - b.x).max() > 0.1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            D.generate_digits(0)
+
+
+class TestSplits:
+    def test_sizes(self):
+        splits = load_digit_splits(n_train=50, n_val=20, n_test=30, seed=0)
+        assert len(splits.train) == 50
+        assert len(splits.val) == 20
+        assert len(splits.test) == 30
+
+    def test_splits_disjoint_content(self):
+        splits = load_digit_splits(n_train=30, n_val=30, n_test=30, seed=0)
+        # Independent streams: train and test images should not coincide.
+        assert np.abs(splits.train.x[:10] - splits.test.x[:10]).max() > 0.05
+
+    def test_seed_isolation(self):
+        a = load_digit_splits(n_train=10, n_val=10, n_test=10, seed=0)
+        b = load_digit_splits(n_train=10, n_val=10, n_test=10, seed=1)
+        assert np.abs(a.train.x - b.train.x).max() > 0.05

@@ -1,0 +1,86 @@
+"""Unit tests for the SyntheticObjects (CIFAR-10 stand-in) generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_object_splits
+from repro.datasets import objects as O
+
+
+class TestRenderObject:
+    def test_output_shape_and_range(self, rng):
+        img = O.render_object(0, rng)
+        assert img.shape == (3, 32, 32)
+        assert img.dtype == np.float32
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_all_classes_render(self, rng):
+        for cls in range(O.NUM_CLASSES):
+            img = O.render_object(cls, rng)
+            assert np.isfinite(img).all()
+
+    def test_invalid_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            O.render_object(10, rng)
+        with pytest.raises(ValueError):
+            O.render_object(-1, rng)
+
+    def test_images_are_colored(self, rng):
+        img = O.render_object(0, rng)
+        # channels should differ somewhere (not grayscale)
+        assert np.abs(img[0] - img[1]).max() > 0.05
+
+    def test_scene_has_structure(self, rng):
+        img = O.render_object(0, rng)
+        assert img.std() > 0.05
+
+    def test_custom_size(self, rng):
+        img = O.render_object(4, rng, size=16)
+        assert img.shape == (3, 16, 16)
+
+    def test_class_names_count(self):
+        assert len(O.CLASS_NAMES) == O.NUM_CLASSES
+
+
+class TestGenerateObjects:
+    def test_class_balance(self):
+        ds = O.generate_objects(50, seed=3)
+        counts = np.bincount(ds.y, minlength=10)
+        np.testing.assert_array_equal(counts, np.full(10, 5))
+
+    def test_deterministic(self):
+        a = O.generate_objects(10, seed=4)
+        b = O.generate_objects(10, seed=4)
+        np.testing.assert_allclose(a.x, b.x)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            O.generate_objects(-1)
+
+
+class TestObjectSplits:
+    def test_sizes_and_shape(self):
+        splits = load_object_splits(n_train=20, n_val=10, n_test=10, seed=0)
+        assert len(splits.train) == 20
+        assert splits.image_shape == (3, 32, 32)
+
+
+class TestRegistry:
+    def test_aliases(self):
+        from repro.datasets import canonical_name
+
+        assert canonical_name("mnist") == "digits"
+        assert canonical_name("CIFAR10") == "objects"
+        assert canonical_name("digits") == "digits"
+
+    def test_unknown_name(self):
+        from repro.datasets import canonical_name
+
+        with pytest.raises(KeyError):
+            canonical_name("imagenet")
+
+    def test_load_splits_by_alias(self):
+        from repro.datasets import load_splits
+
+        splits = load_splits("mnist", n_train=10, n_val=5, n_test=5, seed=0)
+        assert splits.image_shape == (1, 28, 28)

@@ -1,0 +1,90 @@
+"""Tests for adversarial training."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM, logits_of
+from repro.defenses.adversarial_training import (
+    AdversarialTrainer,
+    adversarially_train_classifier,
+)
+from repro.models import build_digit_classifier
+from repro.nn import accuracy
+
+
+@pytest.fixture(scope="module")
+def at_model(tiny_splits):
+    """A small adversarially trained classifier (trained once per session)."""
+    return adversarially_train_classifier(
+        lambda: build_digit_classifier(seed=2),
+        tiny_splits.train.x, tiny_splits.train.y,
+        attack_factory=lambda m: FGSM(m, epsilon=0.1),
+        epochs=4, batch_size=64, adversarial_fraction=0.5, lr=1e-3,
+        seed=2)
+
+
+@pytest.fixture(scope="module")
+def plain_model(tiny_splits):
+    """The same architecture trained without adversarial examples."""
+    return adversarially_train_classifier(
+        lambda: build_digit_classifier(seed=2),
+        tiny_splits.train.x, tiny_splits.train.y,
+        attack_factory=lambda m: FGSM(m, epsilon=0.1),
+        epochs=4, batch_size=64, adversarial_fraction=0.0, lr=1e-3,
+        seed=2)
+
+
+class TestAdversarialTrainer:
+    def test_clean_accuracy_maintained(self, at_model, tiny_splits):
+        acc = accuracy(at_model, tiny_splits.test.x, tiny_splits.test.y)
+        assert acc > 0.8
+
+    def test_more_robust_than_plain_training(self, at_model, plain_model,
+                                             tiny_splits):
+        """The point of AT: higher accuracy under the training attack."""
+        preds_at = logits_of(at_model, tiny_splits.test.x).argmax(1)
+        preds_pl = logits_of(plain_model, tiny_splits.test.x).argmax(1)
+        both_ok = (preds_at == tiny_splits.test.y) & \
+                  (preds_pl == tiny_splits.test.y)
+        idx = np.flatnonzero(both_ok)[:40]
+        x0, y0 = tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+        asr_at = FGSM(at_model, epsilon=0.1).attack(x0, y0).success_rate
+        asr_plain = FGSM(plain_model, epsilon=0.1).attack(x0, y0).success_rate
+        assert asr_at <= asr_plain + 0.05, (
+            f"AT model should resist its training attack better "
+            f"(AT ASR {asr_at:.2f} vs plain {asr_plain:.2f})")
+
+    def test_zero_fraction_is_plain_training(self, tiny_splits):
+        model = build_digit_classifier(seed=9)
+        trainer = AdversarialTrainer(
+            model, lambda m: FGSM(m, epsilon=0.1),
+            adversarial_fraction=0.0, lr=1e-3)
+        history = trainer.fit(tiny_splits.train.x[:128],
+                              tiny_splits.train.y[:128],
+                              epochs=1, batch_size=32, verbose=False)
+        assert len(history.epochs) == 1
+
+    def test_model_left_in_eval_mode(self, at_model):
+        assert not at_model.training
+
+    def test_history_records_val_accuracy(self, tiny_splits):
+        model = build_digit_classifier(seed=5)
+        trainer = AdversarialTrainer(
+            model, lambda m: FGSM(m, epsilon=0.1),
+            adversarial_fraction=0.25, lr=1e-3)
+        history = trainer.fit(tiny_splits.train.x[:128],
+                              tiny_splits.train.y[:128],
+                              epochs=1, batch_size=64,
+                              x_val=tiny_splits.val.x[:40],
+                              y_val=tiny_splits.val.y[:40], verbose=False)
+        assert history.epochs[0].val_accuracy is not None
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            AdversarialTrainer(build_digit_classifier(),
+                               lambda m: FGSM(m, epsilon=0.1),
+                               adversarial_fraction=1.5)
+
+    def test_invalid_factory(self):
+        with pytest.raises(TypeError):
+            AdversarialTrainer(build_digit_classifier(), lambda m: object())

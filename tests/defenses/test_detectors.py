@@ -1,0 +1,162 @@
+"""Unit tests for MagNet's detectors."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.detectors import (
+    Detector,
+    JSDDetector,
+    ReconstructionDetector,
+    jensen_shannon_divergence,
+)
+from repro.nn import Module, Tensor
+
+
+class _IdentityAE(Module):
+    """AE stub that reproduces its input exactly (zero reconstruction error)."""
+
+    def forward(self, x):
+        return x
+
+
+class _ConstantAE(Module):
+    """AE stub that always outputs a constant image."""
+
+    def __init__(self, value=0.5):
+        super().__init__()
+        self.value = value
+
+    def forward(self, x):
+        return Tensor(np.full_like(x.data, self.value))
+
+
+class _LinearLogits(Module):
+    """Classifier stub: logits are linear in the mean pixel value."""
+
+    def forward(self, x):
+        m = x.reshape((x.shape[0], -1)).mean(axis=1, keepdims=True)
+        zero = m * 0.0
+        from repro.nn.autograd import concatenate
+        return concatenate([m * 10.0, zero], axis=1)
+
+
+class TestJensenShannonDivergence:
+    def test_identical_distributions_zero(self):
+        p = np.array([[0.3, 0.7], [0.5, 0.5]])
+        np.testing.assert_allclose(jensen_shannon_divergence(p, p), 0.0,
+                                   atol=1e-10)
+
+    def test_symmetry(self, rng):
+        p = rng.random((5, 4))
+        p /= p.sum(1, keepdims=True)
+        q = rng.random((5, 4))
+        q /= q.sum(1, keepdims=True)
+        np.testing.assert_allclose(jensen_shannon_divergence(p, q),
+                                   jensen_shannon_divergence(q, p), rtol=1e-9)
+
+    def test_upper_bound_ln2(self):
+        p = np.array([[1.0, 0.0]])
+        q = np.array([[0.0, 1.0]])
+        out = jensen_shannon_divergence(p, q)
+        assert out[0] == pytest.approx(np.log(2), rel=1e-6)
+
+    def test_nonnegative(self, rng):
+        p = rng.random((20, 10))
+        p /= p.sum(1, keepdims=True)
+        q = rng.random((20, 10))
+        q /= q.sum(1, keepdims=True)
+        assert (jensen_shannon_divergence(p, q) >= 0).all()
+
+
+class TestReconstructionDetector:
+    def test_identity_ae_scores_zero(self, rng):
+        det = ReconstructionDetector(_IdentityAE(), norm=1)
+        x = rng.random((4, 1, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(det.score(x), 0.0, atol=1e-7)
+
+    def test_l1_score_value(self):
+        det = ReconstructionDetector(_ConstantAE(0.0), norm=1)
+        x = np.full((2, 1, 2, 2), 0.25, dtype=np.float32)
+        np.testing.assert_allclose(det.score(x), 0.25, rtol=1e-6)
+
+    def test_l2_score_value(self):
+        det = ReconstructionDetector(_ConstantAE(0.0), norm=2)
+        x = np.full((2, 1, 2, 2), 0.25, dtype=np.float32)
+        np.testing.assert_allclose(det.score(x), 0.25, rtol=1e-6)
+
+    def test_l2_emphasizes_spikes(self):
+        det1 = ReconstructionDetector(_IdentityAE(), norm=1)
+        det2 = ReconstructionDetector(_ConstantAE(0.0), norm=2)
+        spread = np.full((1, 1, 4, 4), 0.1, dtype=np.float32)
+        spike = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        spike[0, 0, 0, 0] = 1.0  # same L1? 16*0.1=1.6 vs 1.0 — use L2 compare
+        s_spread = det2.score(spread)[0]
+        s_spike = det2.score(spike)[0]
+        # spike has smaller L1 (1.0 < 1.6) but larger L2 score
+        assert s_spike > s_spread
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            ReconstructionDetector(_IdentityAE(), norm=3)
+
+    def test_calibrate_sets_threshold_at_quantile(self, rng):
+        det = ReconstructionDetector(_ConstantAE(0.0), norm=1)
+        x = rng.random((100, 1, 2, 2)).astype(np.float32)
+        thr = det.calibrate(x, fpr=0.1)
+        flags = det.flags(x)
+        assert flags.mean() == pytest.approx(0.1, abs=0.03)
+        assert det.threshold == thr
+
+    def test_flags_without_calibration_raises(self, rng):
+        det = ReconstructionDetector(_IdentityAE())
+        with pytest.raises(RuntimeError):
+            det.flags(rng.random((2, 1, 2, 2)).astype(np.float32))
+
+    def test_invalid_fpr_rejected(self, rng):
+        det = ReconstructionDetector(_IdentityAE())
+        x = rng.random((10, 1, 2, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            det.calibrate(x, fpr=0.0)
+        with pytest.raises(ValueError):
+            det.calibrate(x, fpr=1.0)
+
+    def test_repr_mentions_threshold(self, rng):
+        det = ReconstructionDetector(_IdentityAE())
+        assert "uncalibrated" in repr(det)
+        det.calibrate(rng.random((10, 1, 2, 2)).astype(np.float32) * 0 + 0.5,
+                      fpr=0.5)
+        assert "uncalibrated" not in repr(det)
+
+
+class TestJSDDetector:
+    def test_identity_ae_scores_zero(self, rng):
+        det = JSDDetector(_IdentityAE(), _LinearLogits(), temperature=10)
+        x = rng.random((4, 1, 2, 2)).astype(np.float32)
+        np.testing.assert_allclose(det.score(x), 0.0, atol=1e-8)
+
+    def test_disagreement_scores_positive(self):
+        det = JSDDetector(_ConstantAE(0.0), _LinearLogits(), temperature=1.0)
+        x = np.full((3, 1, 2, 2), 1.0, dtype=np.float32)
+        assert (det.score(x) > 1e-4).all()
+
+    def test_higher_temperature_softens_scores(self):
+        x = np.full((3, 1, 2, 2), 1.0, dtype=np.float32)
+        sharp = JSDDetector(_ConstantAE(0.0), _LinearLogits(),
+                            temperature=1.0).score(x)
+        soft = JSDDetector(_ConstantAE(0.0), _LinearLogits(),
+                           temperature=40.0).score(x)
+        assert (soft < sharp).all()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            JSDDetector(_IdentityAE(), _LinearLogits(), temperature=0.0)
+
+    def test_name_encodes_temperature(self):
+        det = JSDDetector(_IdentityAE(), _LinearLogits(), temperature=40)
+        assert det.name == "jsd_T40"
+
+
+class TestDetectorBase:
+    def test_score_abstract(self, rng):
+        with pytest.raises(NotImplementedError):
+            Detector().score(rng.random((1, 1, 2, 2)))

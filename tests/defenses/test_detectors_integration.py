@@ -1,0 +1,57 @@
+"""Detector tests against a real trained autoencoder (session fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import JSDDetector, ReconstructionDetector
+
+
+@pytest.fixture(scope="module")
+def calibrated_recon(tiny_autoencoder, tiny_splits):
+    det = ReconstructionDetector(tiny_autoencoder, norm=1)
+    det.calibrate(tiny_splits.val.x, fpr=0.02)
+    return det
+
+
+class TestReconstructionDetectorIntegration:
+    def test_clean_data_mostly_passes(self, calibrated_recon, tiny_splits):
+        flags = calibrated_recon.flags(tiny_splits.test.x[:200])
+        assert flags.mean() < 0.15
+
+    def test_heavy_noise_is_flagged(self, calibrated_recon, tiny_splits,
+                                    rng):
+        x = tiny_splits.test.x[:50]
+        noisy = np.clip(x + rng.normal(0, 0.35, x.shape), 0, 1
+                        ).astype(np.float32)
+        assert calibrated_recon.flags(noisy).mean() > 0.8
+
+    def test_uniform_random_images_flagged(self, calibrated_recon, rng):
+        junk = rng.random((30, 1, 28, 28)).astype(np.float32)
+        assert calibrated_recon.flags(junk).mean() > 0.9
+
+    def test_scores_increase_with_noise_level(self, calibrated_recon,
+                                              tiny_splits, rng):
+        x = tiny_splits.test.x[:50]
+        scores = []
+        for level in (0.0, 0.1, 0.3):
+            noisy = np.clip(x + rng.normal(0, level, x.shape), 0, 1
+                            ).astype(np.float32)
+            scores.append(calibrated_recon.score(noisy).mean())
+        assert scores[0] < scores[1] < scores[2]
+
+
+class TestJSDDetectorIntegration:
+    def test_clean_data_low_divergence(self, tiny_autoencoder,
+                                       tiny_classifier, tiny_splits):
+        det = JSDDetector(tiny_autoencoder, tiny_classifier, temperature=10)
+        det.calibrate(tiny_splits.val.x, fpr=0.02)
+        flags = det.flags(tiny_splits.test.x[:200])
+        assert flags.mean() < 0.2
+
+    def test_noise_raises_divergence(self, tiny_autoencoder, tiny_classifier,
+                                     tiny_splits, rng):
+        det = JSDDetector(tiny_autoencoder, tiny_classifier, temperature=10)
+        x = tiny_splits.test.x[:50]
+        noisy = np.clip(x + rng.normal(0, 0.3, x.shape), 0, 1
+                        ).astype(np.float32)
+        assert det.score(noisy).mean() > det.score(x).mean()

@@ -1,0 +1,93 @@
+"""Tests for the detector-union defense ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.ensemble import DetectorUnion
+from repro.nn import Module
+from repro.nn.autograd import concatenate
+
+
+class _StubDefense:
+    """Minimal member: flags inputs whose mean exceeds ``cut``."""
+
+    def __init__(self, cut, name="stub"):
+        self.cut = cut
+        self.name = name
+        self.classifier = _MeanClassifier()
+
+    def detect(self, x):
+        return x.reshape(len(x), -1).mean(axis=1) > self.cut
+
+
+class _MeanClassifier(Module):
+    def forward(self, x):
+        m = x.reshape((x.shape[0], -1)).mean(axis=1, keepdims=True)
+        return concatenate([(0.5 - m) * 20.0, (m - 0.5) * 20.0], axis=1)
+
+
+class _ReformingDefense(_StubDefense):
+    def reform(self, x):
+        return np.zeros_like(x)  # everything reforms to dark → class 0
+
+
+def _batch(value, n=4):
+    return np.full((n, 1, 2, 2), value, dtype=np.float32)
+
+
+class TestDetectorUnion:
+    def test_union_of_flags(self):
+        union = DetectorUnion([_StubDefense(0.8), _StubDefense(0.3)])
+        x = _batch(0.5)
+        # second member fires (0.5 > 0.3), first doesn't.
+        assert union.detect(x).all()
+
+    def test_no_flags_when_all_quiet(self):
+        union = DetectorUnion([_StubDefense(0.8), _StubDefense(0.9)])
+        assert not union.detect(_batch(0.5)).any()
+
+    def test_prediction_via_first_member_classifier(self):
+        union = DetectorUnion([_StubDefense(0.99)])
+        # bright inputs → class 1
+        acc = union.defense_accuracy(_batch(0.9), np.ones(4, dtype=int))
+        assert acc == 1.0
+
+    def test_prediction_via_reformer_when_available(self):
+        union = DetectorUnion([_ReformingDefense(0.99)])
+        # reformer maps everything to dark → class 0
+        acc = union.defense_accuracy(_batch(0.9), np.zeros(4, dtype=int))
+        assert acc == 1.0
+
+    def test_detected_counts_as_defended(self):
+        union = DetectorUnion([_StubDefense(0.3)])
+        # bright inputs detected → accuracy 1 regardless of label
+        acc = union.defense_accuracy(_batch(0.9), np.zeros(4, dtype=int))
+        assert acc == 1.0
+
+    def test_clean_accuracy_penalizes_fps(self):
+        union = DetectorUnion([_StubDefense(0.3)])
+        # bright clean inputs get flagged → clean accuracy 0
+        acc = union.clean_accuracy(_batch(0.9), np.ones(4, dtype=int))
+        assert acc == 0.0
+
+    def test_asr_complement(self):
+        union = DetectorUnion([_StubDefense(0.7)])
+        x = np.concatenate([_batch(0.9, 2), _batch(0.1, 2)])
+        y = np.zeros(4, dtype=int)
+        assert union.attack_success_rate(x, y) == pytest.approx(
+            1.0 - union.defense_accuracy(x, y))
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorUnion([])
+
+    def test_bad_predictor_rejected(self):
+        union = DetectorUnion([_StubDefense(0.5)], predictor=object())
+        with pytest.raises(TypeError):
+            union.defense_accuracy(_batch(0.5), np.zeros(4, dtype=int))
+
+    def test_repr_lists_members(self):
+        union = DetectorUnion([_StubDefense(0.5, name="magnet"),
+                               _StubDefense(0.6, name="squeeze")])
+        assert "magnet" in repr(union)
+        assert "squeeze" in repr(union)

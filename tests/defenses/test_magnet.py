@@ -1,0 +1,158 @@
+"""Unit tests for the MagNet pipeline and reformer."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.detectors import ReconstructionDetector
+from repro.defenses.magnet import MagNet
+from repro.defenses.reformer import Reformer
+from repro.nn import Module, Tensor
+
+
+class _IdentityAE(Module):
+    def forward(self, x):
+        return x
+
+
+class _ConstantAE(Module):
+    def __init__(self, value=0.5):
+        super().__init__()
+        self.value = value
+
+    def forward(self, x):
+        return Tensor(np.full_like(x.data, self.value))
+
+
+class _OutOfRangeAE(Module):
+    def forward(self, x):
+        return x * 3.0 - 1.0
+
+
+class _FixedClassifier(Module):
+    """Classifies by mean pixel: > 0.5 → class 1, else class 0."""
+
+    def forward(self, x):
+        m = x.reshape((x.shape[0], -1)).mean(axis=1, keepdims=True)
+        from repro.nn.autograd import concatenate
+        return concatenate([(0.5 - m) * 20.0, (m - 0.5) * 20.0], axis=1)
+
+
+def _bright(n):
+    return np.full((n, 1, 2, 2), 0.9, dtype=np.float32)
+
+
+def _dark(n):
+    return np.full((n, 1, 2, 2), 0.1, dtype=np.float32)
+
+
+class TestReformer:
+    def test_applies_autoencoder(self):
+        ref = Reformer(_ConstantAE(0.7))
+        out = ref.reform(_dark(3))
+        np.testing.assert_allclose(out, 0.7, rtol=1e-6)
+
+    def test_clips_to_valid_box(self):
+        ref = Reformer(_OutOfRangeAE())
+        out = ref.reform(_bright(2))
+        assert out.max() <= 1.0 and out.min() >= 0.0
+
+    def test_callable_alias(self):
+        ref = Reformer(_IdentityAE())
+        x = _dark(2)
+        np.testing.assert_allclose(ref(x), x)
+
+    def test_output_dtype(self):
+        out = Reformer(_IdentityAE()).reform(_dark(2).astype(np.float64))
+        assert out.dtype == np.float32
+
+
+def _calibrated_magnet(reformer_value=None):
+    """MagNet with one reconstruction detector calibrated on dark images."""
+    ae = _IdentityAE() if reformer_value is None else _ConstantAE(reformer_value)
+    det = ReconstructionDetector(_ConstantAE(0.1), norm=1)
+    magnet = MagNet(_FixedClassifier(), [det], Reformer(ae), name="test")
+    # Clean data = dark images → scores ~0; threshold just above.
+    rng = np.random.default_rng(0)
+    x_val = np.clip(_dark(200) + rng.normal(0, 0.01, (200, 1, 2, 2)), 0, 1
+                    ).astype(np.float32)
+    magnet.calibrate(x_val, fpr_total=0.02)
+    return magnet
+
+
+class TestMagNetDetection:
+    def test_clean_inputs_pass(self):
+        magnet = _calibrated_magnet()
+        assert magnet.detect(_dark(5)).mean() < 0.5
+
+    def test_anomalous_inputs_flagged(self):
+        magnet = _calibrated_magnet()
+        assert magnet.detect(_bright(5)).all()
+
+    def test_no_detectors_never_flags(self):
+        magnet = MagNet(_FixedClassifier(), [], Reformer(_IdentityAE()))
+        assert not magnet.detect(_bright(4)).any()
+
+    def test_detector_flags_shape(self):
+        magnet = _calibrated_magnet()
+        flags = magnet.detector_flags(_dark(3))
+        assert flags.shape == (1, 3)
+
+
+class TestMagNetDecision:
+    def test_decision_fields(self):
+        magnet = _calibrated_magnet()
+        decision = magnet.decide(_dark(4))
+        assert decision.detected.shape == (4,)
+        assert decision.labels_raw.shape == (4,)
+        assert decision.labels_reformed.shape == (4,)
+        assert len(decision) == 4
+
+    def test_reformer_changes_labels(self):
+        # Reformer maps everything to bright → class 1.
+        magnet = _calibrated_magnet(reformer_value=0.9)
+        decision = magnet.decide(_dark(3))
+        np.testing.assert_array_equal(decision.labels_raw, 0)
+        np.testing.assert_array_equal(decision.labels_reformed, 1)
+
+    def test_no_reformer_means_identity(self):
+        magnet = MagNet(_FixedClassifier(), [], None)
+        x = _dark(3)
+        np.testing.assert_allclose(magnet.reform(x), x)
+
+
+class TestMagNetMetrics:
+    def test_defense_accuracy_detected_counts(self):
+        magnet = _calibrated_magnet()
+        # Bright inputs: detected (recon error huge) → accuracy 1 even
+        # though the classifier calls them class 1 and we claim label 0.
+        acc = magnet.defense_accuracy(_bright(5), np.zeros(5, dtype=int))
+        assert acc == 1.0
+
+    def test_defense_accuracy_reformed_counts(self):
+        magnet = _calibrated_magnet()
+        # Dark inputs pass detection, reform(identity) keeps class 0.
+        acc = magnet.defense_accuracy(_dark(5), np.zeros(5, dtype=int))
+        assert acc == 1.0
+
+    def test_asr_complements_accuracy(self):
+        magnet = _calibrated_magnet()
+        x = np.concatenate([_dark(3), _bright(3)])
+        y = np.zeros(6, dtype=int)
+        assert magnet.attack_success_rate(x, y) == pytest.approx(
+            1.0 - magnet.defense_accuracy(x, y))
+
+    def test_clean_accuracy_counts_false_positives_as_errors(self):
+        magnet = _calibrated_magnet()
+        # Bright inputs ARE class 1 (classifier is right), but the
+        # detector flags them → clean accuracy 0.
+        acc = magnet.clean_accuracy(_bright(4), np.ones(4, dtype=int))
+        assert acc == 0.0
+
+    def test_clean_accuracy_correct_and_passed(self):
+        magnet = _calibrated_magnet()
+        acc = magnet.clean_accuracy(_dark(4), np.zeros(4, dtype=int))
+        assert acc == 1.0
+
+    def test_repr(self):
+        magnet = _calibrated_magnet()
+        assert "recon_l1" in repr(magnet)

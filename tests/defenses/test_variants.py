@@ -1,0 +1,93 @@
+"""Tests for the MagNet variant factory against real (tiny) models."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    CIFAR_VARIANTS,
+    JSDDetector,
+    MNIST_VARIANTS,
+    ReconstructionDetector,
+    VARIANT_LABELS,
+    build_magnet,
+)
+
+
+class TestVariantCatalog:
+    def test_variant_names(self):
+        assert MNIST_VARIANTS == ("default", "jsd", "wide", "wide_jsd")
+        assert CIFAR_VARIANTS == ("default", "wide")
+
+    def test_labels_cover_variants(self):
+        for v in MNIST_VARIANTS + CIFAR_VARIANTS:
+            assert v in VARIANT_LABELS
+
+    def test_unknown_variant_rejected(self, tiny_zoo):
+        with pytest.raises(KeyError):
+            build_magnet(tiny_zoo, "digits", "ultra")
+
+    def test_unknown_dataset_rejected(self, tiny_zoo):
+        with pytest.raises(KeyError):
+            build_magnet(tiny_zoo, "speech", "default")
+
+    def test_cifar_variant_names_enforced(self, tiny_zoo):
+        with pytest.raises(KeyError):
+            build_magnet(tiny_zoo, "objects", "jsd")
+
+
+class TestDigitsVariants:
+    @pytest.fixture(scope="class")
+    def default_magnet(self, tiny_zoo):
+        return build_magnet(tiny_zoo, "digits", "default", ae_epochs=8,
+                            fpr_total=0.01)
+
+    def test_default_composition(self, default_magnet):
+        dets = default_magnet.detectors
+        assert len(dets) == 2
+        assert isinstance(dets[0], ReconstructionDetector)
+        assert dets[0].norm == 1
+        assert isinstance(dets[1], ReconstructionDetector)
+        assert dets[1].norm == 2
+        assert default_magnet.reformer is not None
+
+    def test_detectors_calibrated(self, default_magnet):
+        assert all(d.threshold is not None for d in default_magnet.detectors)
+
+    def test_detector_i_and_reformer_share_autoencoder(self, default_magnet):
+        assert (default_magnet.detectors[0].autoencoder
+                is default_magnet.reformer.autoencoder)
+
+    def test_detector_ii_uses_different_autoencoder(self, default_magnet):
+        assert (default_magnet.detectors[0].autoencoder
+                is not default_magnet.detectors[1].autoencoder)
+
+    def test_jsd_variant_adds_two_jsd_detectors(self, tiny_zoo):
+        magnet = build_magnet(tiny_zoo, "digits", "jsd", ae_epochs=8,
+                              fpr_total=0.01)
+        jsd = [d for d in magnet.detectors if isinstance(d, JSDDetector)]
+        assert len(jsd) == 2
+        assert sorted(d.temperature for d in jsd) == [10.0, 40.0]
+
+    def test_wide_variant_uses_wider_ae(self, tiny_zoo, default_magnet):
+        wide = build_magnet(tiny_zoo, "digits", "wide", wide_width=6,
+                            ae_epochs=8, fpr_total=0.01)
+        wide_params = sum(p.size for p in
+                          wide.reformer.autoencoder.parameters())
+        thin_params = sum(p.size for p in
+                          default_magnet.reformer.autoencoder.parameters())
+        assert wide_params > thin_params
+
+    def test_classifier_override_used_in_jsd(self, tiny_zoo, tiny_classifier):
+        from repro.models.classifiers import ScaledLogits
+
+        scaled = ScaledLogits(tiny_classifier, 4.0)
+        magnet = build_magnet(tiny_zoo, "digits", "jsd", classifier=scaled,
+                              ae_epochs=8, fpr_total=0.01)
+        jsd = [d for d in magnet.detectors if isinstance(d, JSDDetector)]
+        assert all(d.classifier is scaled for d in jsd)
+        assert magnet.classifier is scaled
+
+    def test_mae_loss_changes_name(self, tiny_zoo):
+        magnet = build_magnet(tiny_zoo, "digits", "default", ae_loss="mae",
+                              ae_epochs=4, fpr_total=0.01)
+        assert "mae" in magnet.name

@@ -1,0 +1,91 @@
+"""Tests for result-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.evaluation.analysis import (
+    confusion_pairs,
+    per_class_breakdown,
+    perturbation_statistics,
+)
+
+
+def _result(rng, n=12, classes=3):
+    y_true = np.arange(n) % classes
+    success = np.ones(n, dtype=bool)
+    success[::4] = False
+    y_adv = (y_true + 1) % classes
+    y_adv[~success] = y_true[~success]
+    return AttackResult(
+        x_adv=rng.random((n, 1, 4, 4)).astype(np.float32),
+        success=success,
+        y_true=y_true.astype(np.int64),
+        y_adv=y_adv.astype(np.int64),
+        l0=rng.integers(1, 16, n).astype(float),
+        l1=rng.random(n) * 5,
+        l2=rng.random(n) * 2,
+        linf=rng.random(n),
+    )
+
+
+class TestPerClassBreakdown:
+    def test_covers_all_classes(self, rng):
+        result = _result(rng)
+        rows = per_class_breakdown(result)
+        assert sorted(r.label for r in rows) == [0, 1, 2]
+        assert sum(r.count for r in rows) == len(result)
+
+    def test_success_rates_match_overall(self, rng):
+        result = _result(rng)
+        rows = per_class_breakdown(result)
+        weighted = sum(r.attack_success * r.count for r in rows) / len(result)
+        assert weighted == pytest.approx(result.success_rate)
+
+    def test_defense_asr_none_without_magnet(self, rng):
+        rows = per_class_breakdown(_result(rng))
+        assert all(r.defense_asr is None for r in rows)
+
+    def test_as_row_format(self, rng):
+        row = per_class_breakdown(_result(rng))[0].as_row()
+        assert len(row) == 5
+
+
+class TestPerturbationStatistics:
+    def test_fields_present(self, rng):
+        stats = perturbation_statistics(_result(rng))
+        for key in ("n", "sparsity", "mean_l1", "mean_linf",
+                    "mean_abs_changed", "peak_to_average", "l1_q0.5"):
+            assert key in stats
+
+    def test_sparsity_in_unit_interval(self, rng):
+        stats = perturbation_statistics(_result(rng))
+        assert 0.0 <= stats["sparsity"] <= 1.0
+
+    def test_empty_success(self, rng):
+        result = _result(rng)
+        result.success[:] = False
+        assert perturbation_statistics(result) == {"n": 0}
+
+    def test_counts_only_successes(self, rng):
+        result = _result(rng)
+        stats = perturbation_statistics(result)
+        assert stats["n"] == int(result.success.sum())
+
+
+class TestConfusionPairs:
+    def test_pairs_ranked_by_count(self, rng):
+        result = _result(rng)
+        pairs = confusion_pairs(result)
+        counts = [p["count"] for p in pairs]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fractions_sum_to_one_when_unbounded(self, rng):
+        result = _result(rng)
+        pairs = confusion_pairs(result, top_k=100)
+        assert sum(p["fraction"] for p in pairs) == pytest.approx(1.0)
+
+    def test_empty_when_no_success(self, rng):
+        result = _result(rng)
+        result.success[:] = False
+        assert confusion_pairs(result) == []

@@ -1,0 +1,112 @@
+"""Unit tests for evaluation metrics and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.magnet import MagNetDecision
+from repro.evaluation.metrics import DefenseBreakdown
+from repro.evaluation.reporting import (
+    format_architecture,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+
+class TestDefenseBreakdown:
+    def _decision(self):
+        return MagNetDecision(
+            detected=np.array([True, False, False, False]),
+            labels_raw=np.array([0, 1, 2, 9]),
+            labels_reformed=np.array([0, 1, 9, 9]),
+            detector_flags=np.array([[True, False, False, False]]),
+        )
+
+    def test_all_schemes(self):
+        y = np.array([0, 1, 2, 3])
+        bd = DefenseBreakdown.from_decision(self._decision(), y)
+        # raw correct: rows 0,1,2 → 0.75
+        assert bd.no_defense == pytest.approx(0.75)
+        # detected OR raw-correct: rows 0 (det), 1, 2 → 0.75
+        assert bd.detector_only == pytest.approx(0.75)
+        # reformed correct: rows 0,1 → 0.5
+        assert bd.reformer_only == pytest.approx(0.5)
+        # detected OR reformed-correct: rows 0,1 → 0.5
+        assert bd.full == pytest.approx(0.5)
+
+    def test_full_at_least_reformer_only(self):
+        y = np.array([0, 1, 2, 3])
+        bd = DefenseBreakdown.from_decision(self._decision(), y)
+        assert bd.full >= bd.reformer_only
+
+    def test_as_dict_keys(self):
+        y = np.array([0, 1, 2, 3])
+        bd = DefenseBreakdown.from_decision(self._decision(), y)
+        assert set(bd.as_dict()) == {"no_defense", "detector_only",
+                                     "reformer_only", "full"}
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "val"], [["a", 1.5], ["bbbb", 22.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_out_of_range_clipped(self):
+        line = sparkline([-1.0, 2.0])
+        assert line == " █"
+
+    def test_nan_rendered_as_dot(self):
+        assert sparkline([float("nan")]) == "·"
+
+
+class TestFormatSeries:
+    def test_structure(self):
+        text = format_series("kappa", [0, 10], {"curve": [0.5, 1.0]},
+                             title="t")
+        assert "kappa" in text
+        assert "curve" in text
+        assert "50.000" in text  # percent conversion
+        assert "█" in text
+
+    def test_no_percent(self):
+        text = format_series("k", [0], {"c": [0.5]}, as_percent=False)
+        assert "0.500" in text
+
+    def test_nan_handling(self):
+        text = format_series("k", [0], {"c": [float("nan")]})
+        assert "·" in text
+
+
+class TestFormatArchitecture:
+    def test_uneven_columns_padded(self):
+        text = format_architecture("arch", {
+            "left": ["a", "b", "c"],
+            "right": ["x"],
+        })
+        lines = text.splitlines()
+        assert lines[0] == "arch"
+        # title + header + divider + one line per deepest column row
+        assert len(lines) == 3 + 3
+        assert "left" in lines[1] and "right" in lines[1]

@@ -1,0 +1,90 @@
+"""Unit tests for the oblivious-protocol containers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.defenses.magnet import MagNet
+from repro.defenses.reformer import Reformer
+from repro.evaluation.protocol import evaluate_oblivious, select_attack_seeds
+from repro.datasets.base import Dataset
+from repro.nn import Module
+from repro.nn.autograd import concatenate
+
+
+class _MeanClassifier(Module):
+    def forward(self, x):
+        m = x.reshape((x.shape[0], -1)).mean(axis=1, keepdims=True)
+        return concatenate([(0.5 - m) * 20.0, (m - 0.5) * 20.0], axis=1)
+
+
+class _IdentityAE(Module):
+    def forward(self, x):
+        return x
+
+
+def _dataset():
+    # 10 dark (class 0) + 10 bright (class 1) images, each with a unique
+    # watermark pixel so subsets are distinguishable.
+    x = np.concatenate([np.full((10, 1, 2, 2), 0.1),
+                        np.full((10, 1, 2, 2), 0.9)]).astype(np.float32)
+    x[:, 0, 0, 0] = np.linspace(0.0, 1.0, 20)
+    y = np.concatenate([np.zeros(10), np.ones(10)]).astype(np.int64)
+    return Dataset(x, y, name="toy")
+
+
+class TestSelectAttackSeeds:
+    def test_all_selected_are_correct(self):
+        model = _MeanClassifier()
+        data = _dataset()
+        x0, y0 = select_attack_seeds(model, data, n=12, seed=1)
+        assert len(y0) == 12
+        preds = model(x0).data.argmax(1)
+        np.testing.assert_array_equal(preds, y0)
+
+    def test_deterministic_given_seed(self):
+        model = _MeanClassifier()
+        data = _dataset()
+        a = select_attack_seeds(model, data, n=8, seed=3)
+        b = select_attack_seeds(model, data, n=8, seed=3)
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_different_seeds_differ(self):
+        model = _MeanClassifier()
+        data = _dataset()
+        a = select_attack_seeds(model, data, n=8, seed=3)
+        b = select_attack_seeds(model, data, n=8, seed=4)
+        assert not np.array_equal(a[1], b[1]) or not np.allclose(a[0], b[0])
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            select_attack_seeds(_MeanClassifier(), _dataset(), n=100)
+
+
+class TestEvaluateOblivious:
+    def _magnet(self):
+        magnet = MagNet(_MeanClassifier(), [], Reformer(_IdentityAE()),
+                        name="toy")
+        return magnet
+
+    def _result(self):
+        # "adversarial" bright images labelled 0 → model says 1 (fooled).
+        x_adv = np.full((6, 1, 2, 2), 0.9, dtype=np.float32)
+        return AttackResult(
+            x_adv=x_adv, success=np.ones(6, bool),
+            y_true=np.zeros(6, np.int64), y_adv=np.ones(6, np.int64),
+            l0=np.full(6, 4.0), l1=np.full(6, 3.2), l2=np.full(6, 1.6),
+            linf=np.full(6, 0.8), name="toy_attack")
+
+    def test_fields_consistent(self):
+        ev = evaluate_oblivious(self._magnet(), self._result())
+        assert ev.attack_success_rate == pytest.approx(1.0)
+        assert ev.defense_accuracy == pytest.approx(0.0)
+        assert ev.undefended_success_rate == 1.0
+        assert ev.mean_l1 == pytest.approx(3.2)
+
+    def test_summary_string(self):
+        ev = evaluate_oblivious(self._magnet(), self._result())
+        text = ev.summary()
+        assert "toy_attack" in text
+        assert "ASR=100.0%" in text

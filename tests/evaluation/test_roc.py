@@ -1,0 +1,68 @@
+"""Tests for ROC analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.roc import RocCurve, detector_roc_report, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation_auc_one(self):
+        curve = roc_curve([0.1, 0.2, 0.3], [0.7, 0.8, 0.9])
+        assert curve.auc == pytest.approx(1.0)
+
+    def test_no_separation_auc_half(self, rng):
+        scores = rng.random(500)
+        curve = roc_curve(scores, scores.copy())
+        assert curve.auc == pytest.approx(0.5, abs=0.02)
+
+    def test_inverted_detector_auc_below_half(self):
+        curve = roc_curve([0.7, 0.8, 0.9], [0.1, 0.2, 0.3])
+        assert curve.auc < 0.2
+
+    def test_tpr_at_fpr_budget(self):
+        clean = np.linspace(0, 1, 100)
+        adv = np.linspace(0.9, 2.0, 100)
+        curve = roc_curve(clean, adv)
+        # at fpr ~0: threshold ~1.0 → adv > 1.0 fraction
+        assert curve.tpr_at_fpr(0.0) > 0.85
+
+    def test_tpr_at_fpr_one_is_total(self):
+        curve = roc_curve([0.5, 0.6], [0.4, 0.7])
+        assert curve.tpr_at_fpr(1.0) == pytest.approx(1.0, abs=0.5)
+        # with max budget we can always use the lowest threshold
+        assert curve.tpr_at_fpr(1.0) >= curve.tpr_at_fpr(0.0)
+
+    def test_threshold_at_fpr_respects_budget(self):
+        clean = np.linspace(0, 1, 200)
+        adv = np.linspace(0.5, 1.5, 200)
+        curve = roc_curve(clean, adv)
+        thr = curve.threshold_at_fpr(0.05)
+        assert (clean > thr).mean() <= 0.05 + 1e-9
+
+    def test_curve_endpoints(self):
+        curve = roc_curve([0.1, 0.5], [0.3, 0.9])
+        assert curve.fpr.min() == 0.0
+        assert curve.tpr.min() == 0.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve([], [0.5])
+
+
+class _StubDetector:
+    name = "stub"
+
+    def score(self, x):
+        return np.asarray(x).reshape(len(x), -1).mean(axis=1)
+
+
+class TestDetectorRocReport:
+    def test_report_fields(self):
+        clean = np.random.default_rng(0).uniform(0, 0.4, (50, 1, 2, 2))
+        adv = np.random.default_rng(1).uniform(0.6, 1.0, (50, 1, 2, 2))
+        report = detector_roc_report(_StubDetector(), clean, adv)
+        assert report["detector"] == "stub"
+        assert report["auc"] == pytest.approx(1.0)
+        assert report["adv_median"] > report["clean_median"]
+        assert set(report["tpr_at_fpr"]) == {"0.001", "0.01", "0.05"}

@@ -1,0 +1,85 @@
+"""Tests for the transferability analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSM
+from repro.attacks.base import AttackResult
+from repro.evaluation.transfer import (
+    self_transfer_consistency,
+    transfer_matrix,
+    transfer_success,
+)
+from repro.nn import Module
+from repro.nn.autograd import concatenate
+
+
+class _ThresholdClassifier(Module):
+    """Two-class model: mean pixel above ``cut`` → class 1."""
+
+    def __init__(self, cut):
+        super().__init__()
+        self.cut = cut
+
+    def forward(self, x):
+        m = x.reshape((x.shape[0], -1)).mean(axis=1, keepdims=True)
+        return concatenate([(self.cut - m) * 20.0, (m - self.cut) * 20.0],
+                           axis=1)
+
+
+def _result(x_adv, success, y_true):
+    n = len(y_true)
+    zeros = np.zeros(n)
+    return AttackResult(x_adv=x_adv, success=success,
+                        y_true=np.asarray(y_true, dtype=np.int64),
+                        y_adv=np.zeros(n, dtype=np.int64),
+                        l0=zeros, l1=zeros, l2=zeros, linf=zeros)
+
+
+class TestTransferSuccess:
+    def test_full_transfer(self):
+        # adversarial images are bright; target with cut 0.5 calls them 1,
+        # true label says 0 → all transferred.
+        x = np.full((4, 1, 2, 2), 0.9, dtype=np.float32)
+        result = _result(x, np.ones(4, bool), np.zeros(4))
+        assert transfer_success(result, _ThresholdClassifier(0.5)) == 1.0
+
+    def test_no_transfer(self):
+        x = np.full((4, 1, 2, 2), 0.9, dtype=np.float32)
+        result = _result(x, np.ones(4, bool), np.zeros(4))
+        # target with cut 0.95 still calls them class 0 → no transfer.
+        assert transfer_success(result, _ThresholdClassifier(0.95)) == 0.0
+
+    def test_only_source_successes_counted(self):
+        x = np.concatenate([np.full((2, 1, 2, 2), 0.9),
+                            np.full((2, 1, 2, 2), 0.1)]).astype(np.float32)
+        success = np.array([True, True, False, False])
+        result = _result(x, success, np.zeros(4))
+        assert transfer_success(result, _ThresholdClassifier(0.5)) == 1.0
+
+    def test_nan_when_source_failed(self):
+        x = np.zeros((3, 1, 2, 2), dtype=np.float32)
+        result = _result(x, np.zeros(3, bool), np.zeros(3))
+        assert np.isnan(transfer_success(result, _ThresholdClassifier(0.5)))
+
+
+class TestTransferMatrix:
+    def test_matrix_structure_and_diagonal(self, tiny_classifier,
+                                           tiny_splits):
+        from repro.attacks import logits_of
+
+        preds = logits_of(tiny_classifier, tiny_splits.test.x).argmax(1)
+        idx = np.flatnonzero(preds == tiny_splits.test.y)[:6]
+        x0, y0 = tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+
+        models = {"main": tiny_classifier}
+        matrix = transfer_matrix(
+            lambda m: FGSM(m, epsilon=0.25), models, x0, y0)
+        assert set(matrix) == {"main"}
+        assert set(matrix["main"]) == {"main"}
+        assert self_transfer_consistency(matrix)
+
+    def test_self_consistency_helper(self):
+        assert self_transfer_consistency({"a": {"a": 1.0, "b": 0.2}})
+        assert not self_transfer_consistency({"a": {"a": 0.5}})
+        assert self_transfer_consistency({"a": {"a": float("nan")}})

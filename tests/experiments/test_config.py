@@ -1,0 +1,107 @@
+"""Unit tests for experiment profiles and the registry wiring (no compute)."""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    PAPER,
+    PROFILES,
+    QUICK,
+    SMOKE,
+    current_profile,
+    describe_experiments,
+)
+from repro.experiments.config import PAPER_BETAS
+
+
+class TestProfiles:
+    def test_three_profiles_registered(self):
+        assert set(PROFILES) == {"smoke", "quick", "paper"}
+
+    def test_paper_profile_matches_paper_settings(self):
+        assert PAPER.digits_attack == 1000
+        assert PAPER.max_iterations == 1000
+        assert PAPER.binary_search_steps == 9
+        assert PAPER.initial_const == pytest.approx(1e-3)
+        assert PAPER.cw_lr == pytest.approx(1e-2)
+        assert PAPER.wide_width == 256
+        assert PAPER.betas == PAPER_BETAS
+
+    def test_paper_kappa_grids(self):
+        assert PAPER.digits_kappas[0] == 0.0
+        assert PAPER.digits_kappas[-1] == 40.0
+        assert PAPER.digits_kappas[1] - PAPER.digits_kappas[0] == 5.0
+        assert PAPER.objects_kappas[-1] == 100.0
+
+    def test_paper_fp_rates(self):
+        # MagNet's published false-positive budgets.
+        assert PAPER.fpr_total_digits == pytest.approx(0.001)
+        assert PAPER.fpr_total_objects == pytest.approx(0.005)
+
+    def test_quick_profile_is_smaller(self):
+        assert QUICK.digits_attack < PAPER.digits_attack
+        assert QUICK.max_iterations < PAPER.max_iterations
+        assert len(QUICK.digits_kappas) <= len(PAPER.digits_kappas)
+
+    def test_accessors_dispatch_by_dataset(self):
+        assert SMOKE.sizes("digits") == SMOKE.digits_sizes
+        assert SMOKE.sizes("objects") == SMOKE.objects_sizes
+        assert SMOKE.kappas("digits") == SMOKE.digits_kappas
+        assert SMOKE.n_attack("objects") == SMOKE.objects_attack
+        assert SMOKE.fpr_total("digits") == SMOKE.fpr_total_digits
+        assert SMOKE.logit_scale("objects") == SMOKE.logit_scale_objects
+
+    def test_config_round_trip(self):
+        cfg = QUICK.config()
+        assert cfg["name"] == "quick"
+        assert cfg["betas"] == list(PAPER_BETAS) or cfg["betas"] == PAPER_BETAS
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            QUICK.max_iterations = 5
+
+    def test_betas_match_paper_table1(self):
+        assert PAPER_BETAS == (1e-3, 1e-2, 5e-2, 1e-1)
+
+
+class TestCurrentProfile:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert current_profile().name == "quick"
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert current_profile().name == "smoke"
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "PAPER")
+        assert current_profile().name == "paper"
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "warp")
+        with pytest.raises(KeyError):
+            current_profile()
+
+
+class TestRegistryWiring:
+    def test_all_20_experiments(self):
+        assert len(EXPERIMENT_IDS) == 20
+
+    def test_descriptions_complete(self):
+        desc = describe_experiments()
+        assert set(desc) == set(EXPERIMENT_IDS)
+
+    def test_context_memoization(self, test_cache):
+        from repro.experiments import clear_contexts, get_context
+
+        clear_contexts()
+        a = get_context("digits", profile=SMOKE, cache=test_cache)
+        b = get_context("digits", profile=SMOKE, cache=test_cache)
+        assert a is b
+        c = get_context("digits", profile=SMOKE, cache=test_cache, seed=1)
+        assert c is not a
+        clear_contexts()
+        d = get_context("digits", profile=SMOKE, cache=test_cache)
+        assert d is not a

@@ -1,0 +1,51 @@
+"""Tests for report containers and pure figure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import _ascii_image, _panels_text
+from repro.experiments.report import ExperimentReport
+
+
+class TestExperimentReport:
+    def test_str_includes_id_and_title(self):
+        report = ExperimentReport("fig2", "curves", "body text", {"a": 1})
+        text = str(report)
+        assert "fig2" in text
+        assert "curves" in text
+        assert "body text" in text
+
+    def test_data_defaults_empty(self):
+        report = ExperimentReport("x", "y", "z")
+        assert report.data == {}
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        img = np.zeros((1, 5, 7), dtype=np.float32)
+        rows = _ascii_image(img)
+        assert len(rows) == 5
+        assert all(len(r) == 7 for r in rows)
+
+    def test_black_is_space_white_is_dense(self):
+        img = np.zeros((1, 1, 2), dtype=np.float32)
+        img[0, 0, 1] = 1.0
+        row = _ascii_image(img)[0]
+        assert row[0] == " "
+        assert row[1] == "@"
+
+    def test_multichannel_averaged(self):
+        img = np.zeros((3, 1, 1), dtype=np.float32)
+        img[0] = 1.0  # mean = 1/3
+        row = _ascii_image(img)[0]
+        assert row != " " and row != "@"
+
+    def test_values_above_one_clamped(self):
+        img = np.full((1, 1, 1), 1.2, dtype=np.float32)
+        assert _ascii_image(img)[0] == "@"
+
+
+class TestPanelsText:
+    def test_joined_with_blank_lines(self):
+        out = _panels_text(["a", "b"])
+        assert out == "a\n\nb"

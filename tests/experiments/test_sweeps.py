@@ -1,0 +1,122 @@
+"""Unit tests for the sweep helpers, using stub contexts (no training)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import sweeps
+from repro.attacks.base import AttackResult
+
+
+class _StubMagnet:
+    """MagNet stand-in with a deterministic accuracy schedule."""
+
+    def __init__(self, acc_by_name):
+        self.acc_by_name = acc_by_name
+        self.name = "stub"
+
+    def defense_accuracy(self, x_adv, y_true):
+        return self.acc_by_name[x_adv.tobytes()]
+
+    def attack_success_rate(self, x_adv, y_true):
+        return 1.0 - self.defense_accuracy(x_adv, y_true)
+
+
+def _result(tag: float, n: int = 4) -> AttackResult:
+    x = np.full((n, 1, 2, 2), tag, dtype=np.float32)
+    return AttackResult(
+        x_adv=x, success=np.ones(n, dtype=bool),
+        y_true=np.zeros(n, dtype=np.int64), y_adv=np.ones(n, dtype=np.int64),
+        l0=np.full(n, 2.0), l1=np.full(n, tag * 10),
+        l2=np.full(n, tag * 5), linf=np.full(n, tag),
+        name=f"stub({tag})")
+
+
+class _StubContext:
+    """ExperimentContext stand-in serving canned attack results."""
+
+    dataset = "digits"
+
+    def __init__(self):
+        self._store = {}
+
+    def add_cw(self, kappa, tag):
+        self._store[("cw", kappa)] = _result(tag)
+
+    def add_ead(self, beta, kappa, tag_en, tag_l1):
+        self._store[("ead", beta, kappa)] = {
+            "en": _result(tag_en), "l1": _result(tag_l1)}
+
+    def cw(self, kappa):
+        return self._store[("cw", kappa)]
+
+    def ead(self, beta, kappa):
+        return self._store[("ead", beta, kappa)]
+
+    def attack_seeds(self):
+        return np.zeros((4, 1, 2, 2), dtype=np.float32), np.zeros(4, np.int64)
+
+
+@pytest.fixture
+def stub():
+    ctx = _StubContext()
+    kappas = [0.0, 10.0]
+    acc = {}
+    for i, k in enumerate(kappas):
+        ctx.add_cw(k, tag=0.1 + i * 0.01)
+        ctx.add_ead(1e-1, k, tag_en=0.3 + i * 0.01, tag_l1=0.5 + i * 0.01)
+    # accuracy schedule keyed by x_adv content
+    def reg(tag, value):
+        acc[np.full((4, 1, 2, 2), tag, dtype=np.float32).tobytes()] = value
+    reg(0.10, 0.95); reg(0.11, 0.90)      # CW: high accuracy
+    reg(0.30, 0.40); reg(0.31, 0.20)      # EAD-EN: low accuracy
+    reg(0.50, 0.50); reg(0.51, 0.30)      # EAD-L1
+    return ctx, _StubMagnet(acc), kappas
+
+
+class TestAttackResultDispatch:
+    def test_cw_and_ead(self, stub):
+        ctx, _, kappas = stub
+        assert sweeps.attack_result(ctx, "cw", 0.0).name == "stub(0.1)"
+        assert sweeps.attack_result(ctx, "ead", 0.0, rule="l1").name == "stub(0.5)"
+
+    def test_unknown_family(self, stub):
+        ctx, _, _ = stub
+        with pytest.raises(KeyError):
+            sweeps.attack_result(ctx, "pgd", 0.0)
+
+
+class TestAccuracyCurves:
+    def test_curve_names_and_values(self, stub):
+        ctx, magnet, kappas = stub
+        curves = sweeps.accuracy_curves(ctx, magnet, kappas, beta=1e-1)
+        assert curves["C&W L2 attack"] == [0.95, 0.90]
+        assert curves["EAD-EN beta=0.1"] == [0.40, 0.20]
+        assert curves["EAD-L1 beta=0.1"] == [0.50, 0.30]
+
+
+class TestBestASR:
+    def test_max_over_kappas(self, stub):
+        ctx, magnet, kappas = stub
+        asr = sweeps.best_asr(ctx, magnet, kappas, beta=1e-1, rule="en")
+        assert asr == pytest.approx(0.80)  # 1 - 0.20
+
+    def test_cw_best_tracks_kappa(self, stub):
+        ctx, magnet, kappas = stub
+        best = sweeps.cw_best(ctx, magnet, kappas)
+        assert best["kappa"] == 10.0
+        assert best["asr"] == pytest.approx(0.10)
+        assert best["l1"] == pytest.approx(1.1)
+
+    def test_ead_best(self, stub):
+        ctx, magnet, kappas = stub
+        best = sweeps.ead_best(ctx, magnet, kappas, beta=1e-1, rule="l1")
+        assert best["kappa"] == 10.0
+        assert best["asr"] == pytest.approx(0.70)
+
+
+class TestSchemeLabels:
+    def test_all_schemes_labelled(self):
+        assert set(sweeps.SCHEMES) == set(
+            k for k in ("no_defense", "detector_only", "reformer_only",
+                        "full"))
+        assert len(sweeps.SCHEME_LABELS) == 4

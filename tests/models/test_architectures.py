@@ -1,0 +1,144 @@
+"""Unit tests for classifier / autoencoder architectures."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    architecture_rows,
+    build_autoencoder,
+    build_cifar_ae,
+    build_classifier,
+    build_digit_classifier,
+    build_mnist_ae_deep,
+    build_mnist_ae_shallow,
+    build_object_classifier,
+)
+from repro.models.classifiers import ScaledLogits
+from repro.nn import Tensor
+
+
+class TestClassifiers:
+    def test_digit_classifier_shapes(self, rng):
+        model = build_digit_classifier(seed=0)
+        out = model(Tensor(rng.random((2, 1, 28, 28)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_object_classifier_shapes(self, rng):
+        model = build_object_classifier(seed=0)
+        out = model(Tensor(rng.random((2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_paper_variants_build(self, rng):
+        model = build_digit_classifier(seed=0, variant="paper")
+        out = model(Tensor(rng.random((1, 1, 28, 28)).astype(np.float32)))
+        assert out.shape == (1, 10)
+        model = build_object_classifier(seed=0, variant="paper")
+        out = model(Tensor(rng.random((1, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (1, 10)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_digit_classifier(variant="huge")
+
+    def test_seed_determinism(self, rng):
+        a = build_digit_classifier(seed=5)
+        b = build_digit_classifier(seed=5)
+        x = rng.random((1, 1, 28, 28)).astype(np.float32)
+        np.testing.assert_allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_dispatch(self):
+        assert build_classifier("digits").num_parameters() > 0
+        assert build_classifier("objects").num_parameters() > 0
+        with pytest.raises(KeyError):
+            build_classifier("imagenet")
+
+
+class TestScaledLogits:
+    def test_scales_logits_exactly(self, rng):
+        base = build_digit_classifier(seed=0)
+        scaled = ScaledLogits(base, 4.0)
+        x = rng.random((2, 1, 28, 28)).astype(np.float32)
+        np.testing.assert_allclose(scaled(Tensor(x)).data,
+                                   4.0 * base(Tensor(x)).data, rtol=1e-6)
+
+    def test_predictions_unchanged(self, rng):
+        base = build_digit_classifier(seed=0)
+        scaled = ScaledLogits(base, 7.0)
+        x = rng.random((4, 1, 28, 28)).astype(np.float32)
+        np.testing.assert_array_equal(base(Tensor(x)).data.argmax(1),
+                                      scaled(Tensor(x)).data.argmax(1))
+
+    def test_gradient_scales_too(self, rng):
+        base = build_digit_classifier(seed=0)
+        scaled = ScaledLogits(base, 3.0)
+        x = rng.random((1, 1, 28, 28)).astype(np.float32)
+        t1 = Tensor(x, requires_grad=True)
+        base(t1).sum().backward()
+        t2 = Tensor(x, requires_grad=True)
+        scaled(t2).sum().backward()
+        np.testing.assert_allclose(t2.grad, 3.0 * t1.grad, rtol=1e-4)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ScaledLogits(build_digit_classifier(), 0.0)
+
+
+class TestAutoencoders:
+    def test_deep_ae_preserves_shape(self, rng):
+        ae = build_mnist_ae_deep(width=3, seed=0)
+        out = ae(Tensor(rng.random((2, 1, 28, 28)).astype(np.float32)))
+        assert out.shape == (2, 1, 28, 28)
+
+    def test_shallow_ae_preserves_shape(self, rng):
+        ae = build_mnist_ae_shallow(width=3, seed=0)
+        out = ae(Tensor(rng.random((2, 1, 28, 28)).astype(np.float32)))
+        assert out.shape == (2, 1, 28, 28)
+
+    def test_cifar_ae_preserves_shape(self, rng):
+        ae = build_cifar_ae(width=3, seed=0)
+        out = ae(Tensor(rng.random((2, 3, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 3, 32, 32)
+
+    def test_output_in_unit_range(self, rng):
+        # Final sigmoid keeps reconstructions in [0, 1].
+        ae = build_mnist_ae_deep(width=3, seed=0)
+        out = ae(Tensor(rng.random((1, 1, 28, 28)).astype(np.float32)))
+        assert out.data.min() >= 0.0 and out.data.max() <= 1.0
+
+    def test_width_changes_parameter_count(self):
+        thin = build_mnist_ae_deep(width=3)
+        wide = build_mnist_ae_deep(width=24)
+        assert wide.num_parameters() > thin.num_parameters()
+
+    def test_dispatch_and_validation(self):
+        assert build_autoencoder("digits", "deep").num_parameters() > 0
+        assert build_autoencoder("digits", "shallow").num_parameters() > 0
+        assert build_autoencoder("objects", "deep").num_parameters() > 0
+        with pytest.raises(KeyError):
+            build_autoencoder("digits", "resnet")
+        with pytest.raises(KeyError):
+            build_autoencoder("speech", "deep")
+
+
+class TestArchitectureRows:
+    def test_digits_deep_matches_paper_table2(self):
+        rows = architecture_rows("digits", "deep", 256)
+        assert rows[0] == "Conv.Sigmoid 3x3x256"
+        assert "AveragePooling 2x2" in rows
+        assert "Upsampling 2x2" in rows
+        assert rows[-1] == "Conv.Sigmoid 3x3x1"
+        assert len(rows) == 7
+
+    def test_digits_shallow_matches_paper_table2(self):
+        rows = architecture_rows("digits", "shallow", 256)
+        assert len(rows) == 3
+        assert rows[-1] == "Conv.Sigmoid 3x3x1"
+
+    def test_objects_matches_paper_table5(self):
+        rows = architecture_rows("objects", "deep", 256)
+        assert len(rows) == 3
+        assert rows[-1] == "Conv.Sigmoid 3x3x3"
+
+    def test_unknown_combo_rejected(self):
+        with pytest.raises(KeyError):
+            architecture_rows("digits", "resnet", 3)

@@ -1,0 +1,76 @@
+"""Tests for full-model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.models import load_model, register_builder, save_model
+from repro.models.io import BUILDERS
+from repro.nn import Dense, Sequential, Tensor
+from repro.utils.rng import rng_from_seed
+
+
+class TestSaveLoadRoundTrip:
+    def test_classifier_round_trip(self, tmp_path, rng):
+        from repro.models import build_digit_classifier
+
+        model = build_digit_classifier(seed=3)
+        path = save_model(model, tmp_path / "clf.npz", "digit_classifier",
+                          {"seed": 3})
+        restored = load_model(path)
+        x = rng.random((2, 1, 28, 28)).astype(np.float32)
+        np.testing.assert_allclose(model(Tensor(x)).data,
+                                   restored(Tensor(x)).data, rtol=1e-6)
+
+    def test_autoencoder_round_trip(self, tmp_path, rng):
+        from repro.models import build_mnist_ae_deep
+
+        model = build_mnist_ae_deep(width=3, seed=1)
+        path = save_model(model, tmp_path / "ae.npz", "mnist_ae_deep",
+                          {"width": 3, "seed": 1})
+        restored = load_model(path)
+        x = rng.random((2, 1, 28, 28)).astype(np.float32)
+        np.testing.assert_allclose(model(Tensor(x)).data,
+                                   restored(Tensor(x)).data, rtol=1e-6)
+
+    def test_loaded_model_in_eval_mode(self, tmp_path):
+        from repro.models import build_mnist_ae_shallow
+
+        model = build_mnist_ae_shallow(width=3, seed=0)
+        path = save_model(model, tmp_path / "m.npz", "mnist_ae_shallow",
+                          {"width": 3, "seed": 0})
+        assert not load_model(path).training
+
+
+class TestValidation:
+    def test_unknown_builder_rejected_on_save(self, tmp_path):
+        from repro.models import build_digit_classifier
+
+        with pytest.raises(KeyError):
+            save_model(build_digit_classifier(), tmp_path / "x.npz",
+                       "mystery_net", {})
+
+    def test_non_model_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_register_custom_builder(self, tmp_path, rng):
+        def build_tiny(seed=0):
+            return Sequential(Dense(4, 2, rng=rng_from_seed(seed)))
+
+        register_builder("tiny_net", build_tiny)
+        try:
+            model = build_tiny(seed=5)
+            path = save_model(model, tmp_path / "t.npz", "tiny_net",
+                              {"seed": 5})
+            restored = load_model(path)
+            x = rng.random((3, 4)).astype(np.float32)
+            np.testing.assert_allclose(model(Tensor(x)).data,
+                                       restored(Tensor(x)).data, rtol=1e-6)
+        finally:
+            BUILDERS.pop("tiny_net", None)
+
+    def test_register_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            register_builder("bad", 42)

@@ -1,0 +1,88 @@
+"""Unit tests for the disk-cached model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AutoencoderSpec,
+    ClassifierSpec,
+    ModelZoo,
+    data_fingerprint,
+)
+from repro.nn import Tensor, accuracy, no_grad
+
+
+class TestSpecs:
+    def test_classifier_spec_config_round_trip(self):
+        spec = ClassifierSpec(dataset="digits", epochs=2)
+        cfg = spec.config()
+        assert cfg["dataset"] == "digits"
+        assert cfg["epochs"] == 2
+
+    def test_autoencoder_spec_config(self):
+        spec = AutoencoderSpec(dataset="digits", width=8, loss="mae")
+        cfg = spec.config()
+        assert cfg["width"] == 8
+        assert cfg["loss"] == "mae"
+
+    def test_specs_hashable(self):
+        assert hash(ClassifierSpec(dataset="digits")) == hash(
+            ClassifierSpec(dataset="digits"))
+
+
+class TestDataFingerprint:
+    def test_deterministic(self, tiny_splits):
+        assert data_fingerprint(tiny_splits) == data_fingerprint(tiny_splits)
+
+    def test_sensitive_to_data(self, tiny_splits):
+        from repro.datasets import load_digit_splits
+
+        other = load_digit_splits(n_train=400, n_val=120, n_test=240, seed=8)
+        assert data_fingerprint(tiny_splits) != data_fingerprint(other)
+
+
+class TestZooTraining:
+    def test_classifier_reaches_high_accuracy(self, tiny_classifier,
+                                              tiny_splits):
+        acc = accuracy(tiny_classifier, tiny_splits.test.x, tiny_splits.test.y)
+        assert acc > 0.9
+
+    def test_classifier_left_in_eval_mode(self, tiny_classifier):
+        assert not tiny_classifier.training
+
+    def test_autoencoder_reconstructs(self, tiny_autoencoder, tiny_splits):
+        x = tiny_splits.test.x[:50]
+        with no_grad():
+            recon = tiny_autoencoder(Tensor(x)).data
+        err = np.abs(recon - x).mean()
+        assert err < 0.15
+
+    def test_memory_cache_returns_same_object(self, tiny_zoo,
+                                              tiny_classifier_spec):
+        a = tiny_zoo.classifier(tiny_classifier_spec)
+        b = tiny_zoo.classifier(tiny_classifier_spec)
+        assert a is b
+
+    def test_disk_cache_restores_weights(self, tiny_splits, test_cache,
+                                         tiny_classifier_spec,
+                                         tiny_classifier):
+        # A fresh zoo sharing the cache must restore, not retrain.
+        fresh_zoo = ModelZoo(tiny_splits, cache=test_cache)
+        restored = fresh_zoo.classifier(tiny_classifier_spec)
+        assert restored is not tiny_classifier
+        x = tiny_splits.test.x[:8]
+        with no_grad():
+            np.testing.assert_allclose(restored(Tensor(x)).data,
+                                       tiny_classifier(Tensor(x)).data,
+                                       rtol=1e-6)
+
+    def test_model_meta_recorded(self, tiny_zoo, tiny_classifier_spec,
+                                 tiny_classifier):
+        meta = tiny_zoo.model_meta(tiny_classifier_spec)
+        assert "test_accuracy" in meta
+
+    def test_mae_loss_spec_trains(self, tiny_zoo):
+        spec = AutoencoderSpec(dataset="digits", kind="shallow", width=3,
+                               epochs=2, loss="mae")
+        ae = tiny_zoo.autoencoder(spec)
+        assert not ae.training

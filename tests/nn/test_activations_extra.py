@@ -1,0 +1,55 @@
+"""Tests for the extra activations (leaky ReLU, softplus)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, leaky_relu, softplus
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestLeakyRelu:
+    def test_positive_passthrough(self):
+        x = Tensor(np.array([1.0, 2.0]), dtype=np.float64)
+        np.testing.assert_allclose(leaky_relu(x).data, [1.0, 2.0])
+
+    def test_negative_scaled(self):
+        x = Tensor(np.array([-2.0]), dtype=np.float64)
+        np.testing.assert_allclose(leaky_relu(x, 0.1).data, [-0.2])
+
+    def test_gradient(self, rng):
+        x = rng.standard_normal((4, 4))
+        x[np.abs(x) < 0.1] = 0.5
+        check_gradient(lambda t: leaky_relu(t, 0.2), x)
+
+    def test_zero_slope_is_relu(self, rng):
+        from repro.nn import relu
+
+        x = Tensor(rng.standard_normal((3, 3)), dtype=np.float64)
+        np.testing.assert_allclose(leaky_relu(x, 0.0).data, relu(x).data)
+
+
+class TestSoftplus:
+    def test_values(self):
+        x = Tensor(np.array([0.0]), dtype=np.float64)
+        assert softplus(x).data[0] == pytest.approx(np.log(2.0))
+
+    def test_large_positive_linear(self):
+        x = Tensor(np.array([50.0]), dtype=np.float64)
+        assert softplus(x).data[0] == pytest.approx(50.0, rel=1e-9)
+
+    def test_large_negative_zero(self):
+        x = Tensor(np.array([-50.0]), dtype=np.float64)
+        assert softplus(x).data[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_stability_extremes(self):
+        x = Tensor(np.array([-1000.0, 1000.0]), dtype=np.float64)
+        out = softplus(x).data
+        assert np.isfinite(out).all()
+
+    def test_gradient(self, rng):
+        check_gradient(softplus, rng.standard_normal((3, 4)))
+
+    def test_always_positive(self, rng):
+        x = Tensor(rng.standard_normal((5, 5)), dtype=np.float64)
+        assert (softplus(x).data > 0).all()

@@ -1,0 +1,110 @@
+"""Property-based tests on autograd algebraic identities.
+
+Reverse-mode differentiation must respect the algebra of derivatives;
+these tests check linearity, product/chain rules and structural
+identities on random inputs rather than hand-picked cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.autograd import Tensor
+
+_vals = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, width=32)
+
+
+def _grad_of(fn, x: np.ndarray) -> np.ndarray:
+    t = Tensor(x, requires_grad=True, dtype=np.float64)
+    fn(t).sum().backward()
+    return t.grad.copy()
+
+
+def _arrays():
+    return arrays(np.float64, (3, 4), elements=_vals)
+
+
+class TestLinearity:
+    @given(x=_arrays(), a=st.floats(-2, 2), b=st.floats(-2, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_grad_of_linear_combination(self, x, a, b):
+        g1 = _grad_of(lambda t: a * (t * t) + b * t, x)
+        g2 = a * _grad_of(lambda t: t * t, x) + b * _grad_of(lambda t: t, x)
+        np.testing.assert_allclose(g1, g2, rtol=1e-9, atol=1e-9)
+
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_parts_equals_whole(self, x):
+        g_whole = _grad_of(lambda t: (t * t).sum(), x)
+        g_rows = _grad_of(lambda t: (t * t).sum(axis=0).sum(), x)
+        np.testing.assert_allclose(g_whole, g_rows, rtol=1e-9)
+
+
+class TestProductAndChainRules:
+    @given(x=_arrays(), y=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_product_rule(self, x, y):
+        # d/dx sum(x*y) = y
+        t = Tensor(x, requires_grad=True, dtype=np.float64)
+        other = Tensor(y, dtype=np.float64)
+        (t * other).sum().backward()
+        np.testing.assert_allclose(t.grad, y, rtol=1e-9)
+
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_chain_rule_exp_of_square(self, x):
+        x = np.clip(x, -1.5, 1.5)
+        g = _grad_of(lambda t: (t * t).exp(), x)
+        expected = np.exp(x ** 2) * 2 * x
+        np.testing.assert_allclose(g, expected, rtol=1e-8, atol=1e-10)
+
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_reshape_transpose_invariance(self, x):
+        g1 = _grad_of(lambda t: (t * t), x)
+        g2 = _grad_of(lambda t: (t.reshape((4, 3)) * t.reshape((4, 3))), x)
+        g3 = _grad_of(lambda t: (t.T * t.T), x)
+        np.testing.assert_allclose(g1, g2, rtol=1e-9)
+        np.testing.assert_allclose(g1, g3, rtol=1e-9)
+
+
+class TestStructuralIdentities:
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, x):
+        g = _grad_of(lambda t: -(-t), x)
+        np.testing.assert_allclose(g, np.ones_like(x))
+
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_add_sub_cancel(self, x):
+        y = Tensor(np.ones_like(x), dtype=np.float64)
+        g = _grad_of(lambda t: (t + y) - y, x)
+        np.testing.assert_allclose(g, np.ones_like(x), rtol=1e-9)
+
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_mul_div_cancel(self, x):
+        denom = Tensor(np.full_like(x, 2.0), dtype=np.float64)
+        g = _grad_of(lambda t: (t * denom) / denom, x)
+        np.testing.assert_allclose(g, np.ones_like(x), rtol=1e-9)
+
+    @given(x=_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_detach_blocks_gradient(self, x):
+        t = Tensor(x, requires_grad=True, dtype=np.float64)
+        (t.detach() * 3.0).sum().backward()
+        assert t.grad is None
+
+    @given(x=_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_concat_then_slice_roundtrip(self, x):
+        from repro.nn.autograd import concatenate
+
+        def fn(t):
+            doubled = concatenate([t, t], axis=0)
+            return doubled[: t.shape[0]] + doubled[t.shape[0]:]
+
+        g = _grad_of(fn, x)
+        np.testing.assert_allclose(g, np.full_like(x, 2.0), rtol=1e-9)

@@ -1,0 +1,85 @@
+"""Tests for dilated (atrous) convolution support."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestDilatedConvShapes:
+    def test_output_size_with_dilation(self, rng):
+        x = Tensor(rng.random((1, 1, 9, 9)).astype(np.float32))
+        w = Tensor(rng.random((1, 1, 3, 3)).astype(np.float32))
+        # effective kernel 5 → output 9 - 5 + 1 = 5
+        out = F.conv2d(x, w, padding=0, dilation=2)
+        assert out.shape == (1, 1, 5, 5)
+
+    def test_same_padding_accounts_for_dilation(self, rng):
+        x = Tensor(rng.random((1, 1, 8, 8)).astype(np.float32))
+        w = Tensor(rng.random((1, 1, 3, 3)).astype(np.float32))
+        out = F.conv2d(x, w, padding="same", dilation=2)
+        assert out.shape == (1, 1, 8, 8)
+
+    def test_dilation_one_matches_plain_conv(self, rng):
+        x = Tensor(rng.random((2, 2, 6, 6)).astype(np.float64),
+                   dtype=np.float64)
+        w = Tensor(rng.random((3, 2, 3, 3)).astype(np.float64),
+                   dtype=np.float64)
+        a = F.conv2d(x, w, padding=1, dilation=1)
+        b = F.conv2d(x, w, padding=1)
+        np.testing.assert_allclose(a.data, b.data, rtol=1e-12)
+
+    def test_invalid_dilation(self, rng):
+        x = Tensor(rng.random((1, 1, 4, 4)).astype(np.float32))
+        w = Tensor(rng.random((1, 1, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, dilation=0)
+
+
+class TestDilatedConvValues:
+    def test_matches_manual_dilated_cross_correlation(self, rng):
+        x = rng.random((1, 1, 7, 7)).astype(np.float64)
+        w = rng.random((1, 1, 3, 3)).astype(np.float64)
+        out = F.conv2d(Tensor(x, dtype=np.float64),
+                       Tensor(w, dtype=np.float64), padding=0, dilation=2)
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                patch = x[0, 0, i:i + 5:2, j:j + 5:2]
+                expected[i, j] = (patch * w[0, 0]).sum()
+        np.testing.assert_allclose(out.data[0, 0], expected, rtol=1e-12)
+
+    def test_center_tap_identity(self):
+        # A dilated kernel whose only nonzero tap is the centre acts as
+        # identity under same padding.
+        x = np.arange(64, dtype=np.float32).reshape(1, 1, 8, 8) / 64
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w[0, 0, 1, 1] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(w), padding="same", dilation=3)
+        np.testing.assert_allclose(out.data, x, rtol=1e-6)
+
+
+class TestDilatedConvGradients:
+    def test_grad_input(self, rng):
+        w = rng.standard_normal((2, 1, 3, 3))
+        check_gradient(
+            lambda t: F.conv2d(t, Tensor(w, dtype=np.float64),
+                               padding=2, dilation=2),
+            rng.standard_normal((1, 1, 7, 7)))
+
+    def test_grad_weight(self, rng):
+        x = rng.standard_normal((1, 2, 7, 7))
+        check_gradient(
+            lambda t: F.conv2d(Tensor(x, dtype=np.float64), t,
+                               padding=0, dilation=2),
+            rng.standard_normal((2, 2, 3, 3)))
+
+    def test_grad_with_stride_and_dilation(self, rng):
+        w = rng.standard_normal((1, 1, 2, 2))
+        check_gradient(
+            lambda t: F.conv2d(t, Tensor(w, dtype=np.float64),
+                               stride=2, padding=0, dilation=2),
+            rng.standard_normal((1, 1, 8, 8)))

@@ -1,0 +1,259 @@
+"""Unit tests for the structured NN ops (conv, pooling, softmax, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestConvShapes:
+    def test_output_size_formula(self):
+        assert F.conv_output_size(28, 3, 1, 1) == 28
+        assert F.conv_output_size(28, 3, 1, 0) == 26
+        assert F.conv_output_size(28, 3, 2, 1) == 14
+        assert F.conv_output_size(5, 5, 1, 0) == 1
+
+    def test_same_padding(self):
+        assert F.same_padding(3) == 1
+        assert F.same_padding(5) == 2
+
+    def test_same_padding_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            F.same_padding(4)
+
+    def test_forward_shape_same(self, rng):
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.random((5, 3, 3, 3)).astype(np.float32))
+        assert F.conv2d(x, w, padding="same").shape == (2, 5, 8, 8)
+
+    def test_forward_shape_valid(self, rng):
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.random((5, 3, 3, 3)).astype(np.float32))
+        assert F.conv2d(x, w, padding=0).shape == (2, 5, 6, 6)
+
+    def test_forward_shape_strided(self, rng):
+        x = Tensor(rng.random((2, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.random((5, 3, 3, 3)).astype(np.float32))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.random((1, 2, 4, 4)).astype(np.float32))
+        w = Tensor(rng.random((3, 4, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_non_nchw_input_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.random((4, 4)).astype(np.float32)),
+                     Tensor(rng.random((1, 1, 3, 3)).astype(np.float32)))
+
+    def test_same_with_stride_raises(self, rng):
+        x = Tensor(rng.random((1, 1, 4, 4)).astype(np.float32))
+        w = Tensor(rng.random((1, 1, 3, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, stride=2, padding="same")
+
+    def test_empty_output_raises(self, rng):
+        x = Tensor(rng.random((1, 1, 2, 2)).astype(np.float32))
+        w = Tensor(rng.random((1, 1, 5, 5)).astype(np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, padding=0)
+
+
+class TestConvValues:
+    def test_identity_kernel(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w[0, 0, 1, 1] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(w), padding="same")
+        np.testing.assert_allclose(out.data, x)
+
+    def test_matches_manual_cross_correlation(self, rng):
+        x = rng.random((1, 1, 4, 4)).astype(np.float64)
+        w = rng.random((1, 1, 3, 3)).astype(np.float64)
+        out = F.conv2d(Tensor(x, dtype=np.float64),
+                       Tensor(w, dtype=np.float64), padding=0)
+        expected = np.zeros((2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[i, j] = (x[0, 0, i:i + 3, j:j + 3] * w[0, 0]).sum()
+        np.testing.assert_allclose(out.data[0, 0], expected, rtol=1e-12)
+
+    def test_bias_added_per_filter(self, rng):
+        x = rng.random((1, 1, 4, 4)).astype(np.float32)
+        w = np.zeros((2, 1, 3, 3), dtype=np.float32)
+        b = np.array([1.5, -2.0], dtype=np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), padding="same")
+        np.testing.assert_allclose(out.data[0, 0], np.full((4, 4), 1.5))
+        np.testing.assert_allclose(out.data[0, 1], np.full((4, 4), -2.0))
+
+
+class TestConvGradients:
+    def test_grad_input_same_padding(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3))
+        check_gradient(
+            lambda t: F.conv2d(t, Tensor(w, dtype=np.float64), padding="same"),
+            rng.standard_normal((2, 3, 5, 5)))
+
+    def test_grad_input_strided(self, rng):
+        w = rng.standard_normal((2, 1, 3, 3))
+        check_gradient(
+            lambda t: F.conv2d(t, Tensor(w, dtype=np.float64),
+                               stride=2, padding=1),
+            rng.standard_normal((1, 1, 6, 6)))
+
+    def test_grad_weight(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        check_gradient(
+            lambda t: F.conv2d(Tensor(x, dtype=np.float64), t, padding="same"),
+            rng.standard_normal((3, 2, 3, 3)))
+
+    def test_grad_bias(self, rng):
+        x = rng.standard_normal((2, 1, 4, 4))
+        w = rng.standard_normal((3, 1, 3, 3))
+        bias = Tensor(rng.standard_normal(3), requires_grad=True,
+                      dtype=np.float64)
+        out = F.conv2d(Tensor(x, dtype=np.float64),
+                       Tensor(w, dtype=np.float64), bias, padding="same")
+        out.sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 2 * 4 * 4), rtol=1e-10)
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(
+            out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradient(self, rng):
+        check_gradient(lambda t: F.avg_pool2d(t, 2),
+                       rng.standard_normal((2, 2, 4, 4)))
+
+    def test_avg_pool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.avg_pool2d(Tensor(rng.random((1, 1, 5, 5)).astype(np.float32)), 2)
+
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        t = Tensor(x, requires_grad=True, dtype=np.float64)
+        F.max_pool2d(t, 2).sum().backward()
+        np.testing.assert_allclose(
+            t.grad, [[[[0.0, 0.0], [0.0, 1.0]]]])
+
+    def test_max_pool_gradient_numeric(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        # Perturb to break ties so the subgradient is unique.
+        x += np.linspace(0, 0.1, x.size).reshape(x.shape)
+        check_gradient(lambda t: F.max_pool2d(t, 2), x)
+
+    def test_max_pool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.max_pool2d(Tensor(rng.random((1, 1, 6, 4)).astype(np.float32)), 4)
+
+
+class TestUpsample:
+    def test_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        out = F.upsample2d(Tensor(x), 2)
+        np.testing.assert_allclose(
+            out.data[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]])
+
+    def test_factor_one_is_identity(self):
+        t = Tensor(np.ones((1, 1, 2, 2)))
+        assert F.upsample2d(t, 1) is t
+
+    def test_invalid_factor_raises(self):
+        with pytest.raises(ValueError):
+            F.upsample2d(Tensor(np.ones((1, 1, 2, 2))), 0)
+
+    def test_gradient(self, rng):
+        check_gradient(lambda t: F.upsample2d(t, 2),
+                       rng.standard_normal((2, 3, 3, 3)))
+
+    def test_round_trip_with_avg_pool(self, rng):
+        x = rng.random((2, 1, 4, 4)).astype(np.float32)
+        up = F.upsample2d(Tensor(x), 2)
+        down = F.avg_pool2d(up, 2)
+        np.testing.assert_allclose(down.data, x, rtol=1e-6)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((5, 10)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5), rtol=1e-5)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 0.0]]), dtype=np.float64))
+        np.testing.assert_allclose(out.data, [[1.0, 0.0]], atol=1e-12)
+
+    def test_softmax_shift_invariance(self, rng):
+        z = rng.standard_normal((3, 6))
+        a = F.softmax(Tensor(z, dtype=np.float64)).data
+        b = F.softmax(Tensor(z + 100.0, dtype=np.float64)).data
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        z = rng.standard_normal((4, 7))
+        ls = F.log_softmax(Tensor(z, dtype=np.float64)).data
+        s = F.softmax(Tensor(z, dtype=np.float64)).data
+        np.testing.assert_allclose(ls, np.log(s), rtol=1e-9)
+
+    def test_logsumexp_matches_numpy(self, rng):
+        z = rng.standard_normal((4, 7))
+        out = F.logsumexp(Tensor(z, dtype=np.float64), axis=1)
+        expected = np.log(np.exp(z).sum(axis=1))
+        np.testing.assert_allclose(out.data, expected, rtol=1e-9)
+
+    def test_softmax_gradient(self, rng):
+        check_gradient(lambda t: F.softmax(t, axis=-1),
+                       rng.standard_normal((3, 5)))
+
+    def test_log_softmax_gradient(self, rng):
+        check_gradient(lambda t: F.log_softmax(t, axis=-1),
+                       rng.standard_normal((3, 5)))
+
+    def test_logsumexp_gradient(self, rng):
+        check_gradient(lambda t: F.logsumexp(t, axis=1),
+                       rng.standard_normal((3, 5)))
+
+
+class TestIndexingHelpers:
+    def test_select_index_values(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        out = F.select_index(x, np.array([0, 2, 3]))
+        np.testing.assert_allclose(out.data, [0.0, 6.0, 11.0])
+
+    def test_select_index_gradient_scatter(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True, dtype=np.float64)
+        F.select_index(t, np.array([1, 0])).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0, 1, 0], [1, 0, 0]])
+
+    def test_select_index_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.select_index(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            F.select_index(Tensor(np.zeros(3)), np.array([0, 1, 2]))
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_one_hot_requires_1d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)

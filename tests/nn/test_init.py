@@ -1,0 +1,60 @@
+"""Unit tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_dense_shape(self):
+        assert init._fan_in_out((20, 30)) == (20, 30)
+
+    def test_conv_shape(self):
+        # (out, in, kh, kw): fan_in = in * kh * kw
+        assert init._fan_in_out((8, 4, 3, 3)) == (36, 72)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((3,))
+
+
+class TestDistributions:
+    def test_glorot_uniform_within_limit(self, rng):
+        w = init.glorot_uniform((100, 200), rng)
+        limit = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= limit
+        assert w.dtype == np.float32
+
+    def test_glorot_normal_std(self, rng):
+        w = init.glorot_normal((500, 500), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_he_uniform_within_limit(self, rng):
+        w = init.he_uniform((100, 50), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_he_normal_std(self, rng):
+        w = init.he_normal((1000, 100), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3, 4)), 0.0)
+
+    def test_deterministic_given_seed(self):
+        a = init.glorot_uniform((5, 5), np.random.default_rng(1))
+        b = init.glorot_uniform((5, 5), np.random.default_rng(1))
+        np.testing.assert_allclose(a, b)
+
+    def test_conv_shapes_supported(self, rng):
+        w = init.he_uniform((8, 4, 3, 3), rng)
+        assert w.shape == (8, 4, 3, 3)
+
+
+class TestLookup:
+    def test_get_initializer(self):
+        assert init.get_initializer("he_uniform") is init.he_uniform
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="glorot_uniform"):
+            init.get_initializer("nope")

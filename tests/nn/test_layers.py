@@ -1,0 +1,188 @@
+"""Unit tests for Module / layer containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    UpSample2D,
+    describe,
+)
+from repro.nn.layers import Module
+
+
+def _mlp(rng):
+    return Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 3, rng=rng))
+
+
+class TestModuleRegistration:
+    def test_parameters_collected_recursively(self, rng):
+        model = _mlp(rng)
+        # two weights + two biases
+        assert len(model.parameters()) == 4
+
+    def test_named_parameters_have_unique_paths(self, rng):
+        model = _mlp(rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+
+    def test_num_parameters(self, rng):
+        model = Dense(4, 8, rng=rng)
+        assert model.num_parameters() == 4 * 8 + 8
+
+    def test_parameters_require_grad(self, rng):
+        assert all(p.requires_grad for p in _mlp(rng).parameters())
+
+    def test_register_parameter_type_check(self):
+        m = Module()
+        with pytest.raises(TypeError):
+            m.register_parameter("w", np.ones(3))
+
+    def test_register_module_type_check(self):
+        m = Module()
+        with pytest.raises(TypeError):
+            m.register_module("sub", object())
+
+    def test_attribute_assignment_registers_module(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = Dense(4, 2, rng=rng)
+
+            def forward(self, x):
+                return self.encoder(x)
+
+        net = Net()
+        assert len(net.parameters()) == 2
+        assert dict(net.named_parameters())["encoder.weight"].shape == (4, 2)
+
+
+class TestTrainEvalAndGrad:
+    def test_train_eval_propagate(self, rng):
+        model = _mlp(rng)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self, rng):
+        model = _mlp(rng)
+        out = model(Tensor(rng.random((2, 4)).astype(np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        model = _mlp(rng)
+        state = model.state_dict()
+        clone = _mlp(np.random.default_rng(99))
+        clone.load_state_dict(state)
+        x = rng.random((3, 4)).astype(np.float32)
+        np.testing.assert_allclose(model(Tensor(x)).data,
+                                   clone(Tensor(x)).data, rtol=1e-6)
+
+    def test_state_dict_returns_copies(self, rng):
+        model = Dense(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(model.weight.data, 0.0)
+
+    def test_missing_key_raises(self, rng):
+        model = _mlp(rng)
+        state = model.state_dict()
+        state.pop("layer0.weight")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = _mlp(rng)
+        state = model.state_dict()
+        state["bogus"] = np.ones(2)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = _mlp(rng)
+        state = model.state_dict()
+        state["layer0.weight"] = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestLayerForward:
+    def test_dense_shapes(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        out = layer(Tensor(rng.random((7, 5)).astype(np.float32)))
+        assert out.shape == (7, 3)
+
+    def test_dense_no_bias(self, rng):
+        layer = Dense(5, 3, rng=rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv_layer_shapes(self, rng):
+        layer = Conv2D(3, 6, 3, padding="same", rng=rng)
+        out = layer(Tensor(rng.random((2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.random((2, 3, 4, 4)).astype(np.float32)))
+        assert out.shape == (2, 48)
+
+    def test_activation_layers(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+        assert (ReLU()(x).data >= 0).all()
+        assert ((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1)).all()
+        assert (np.abs(Tanh()(x).data) < 1).all()
+
+    def test_pool_and_upsample_layers(self, rng):
+        x = Tensor(rng.random((1, 2, 4, 4)).astype(np.float32))
+        assert MaxPool2D(2)(x).shape == (1, 2, 2, 2)
+        assert AvgPool2D(2)(x).shape == (1, 2, 2, 2)
+        assert UpSample2D(2)(x).shape == (1, 2, 8, 8)
+
+    def test_sequential_iteration_and_len(self, rng):
+        model = _mlp(rng)
+        assert len(model) == 3
+        assert isinstance(list(model)[1], ReLU)
+
+    def test_call_accepts_ndarray(self, rng):
+        model = _mlp(rng)
+        out = model(rng.random((2, 4)).astype(np.float32))
+        assert out.shape == (2, 3)
+
+    def test_end_to_end_gradient_reaches_input(self, rng):
+        model = Sequential(
+            Conv2D(1, 2, 3, padding="same", rng=rng), ReLU(),
+            MaxPool2D(2), Flatten(), Dense(2 * 2 * 2, 3, rng=rng))
+        x = Tensor(rng.random((1, 1, 4, 4)).astype(np.float32),
+                   requires_grad=True)
+        model(x).sum().backward()
+        assert x.grad is not None
+        assert x.grad.shape == (1, 1, 4, 4)
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestDescribe:
+    def test_describe_sequential(self, rng):
+        text = describe(_mlp(rng))
+        assert "Dense(4 -> 8)" in text
+        assert "ReLU()" in text
+
+    def test_describe_shows_param_counts(self, rng):
+        text = describe(Dense(4, 8, rng=rng))
+        assert "40 params" in text

@@ -1,0 +1,179 @@
+"""Unit tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor, cross_entropy, get_loss, mae, mse
+from repro.nn.optim import Optimizer
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_confident_correct_is_near_zero(self):
+        logits = np.full((2, 3), -50.0)
+        logits[:, 1] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_confident_wrong_is_large(self):
+        logits = np.full((1, 3), -50.0)
+        logits[:, 1] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([0]))
+        assert loss.item() > 50
+
+    def test_gradient(self, rng):
+        labels = np.array([0, 2, 1])
+        check_gradient(
+            lambda t: cross_entropy(t, labels) * 1.0,
+            rng.standard_normal((3, 4)))
+
+    def test_gradient_is_softmax_minus_onehot_over_n(self, rng):
+        z = rng.standard_normal((3, 4))
+        labels = np.array([1, 0, 3])
+        t = Tensor(z, requires_grad=True, dtype=np.float64)
+        cross_entropy(t, labels).backward()
+        e = np.exp(z - z.max(axis=1, keepdims=True))
+        probs = e / e.sum(axis=1, keepdims=True)
+        expected = probs.copy()
+        expected[np.arange(3), labels] -= 1.0
+        np.testing.assert_allclose(t.grad, expected / 3.0, rtol=1e-8)
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        assert mse(pred, np.array([0.0, 0.0],
+                                  dtype=np.float32)).item() == pytest.approx(5.0)
+
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, -3.0]))
+        assert mae(pred, np.array([0.0, 0.0],
+                                  dtype=np.float32)).item() == pytest.approx(2.0)
+
+    def test_mse_gradient(self, rng):
+        target = rng.standard_normal((3, 4))
+        check_gradient(lambda t: mse(t, Tensor(target, dtype=np.float64)) * 1.0,
+                       rng.standard_normal((3, 4)))
+
+    def test_mae_gradient_away_from_zero(self, rng):
+        target = np.zeros((3, 4))
+        x = rng.standard_normal((3, 4))
+        x[np.abs(x) < 0.2] = 0.5
+        check_gradient(lambda t: mae(t, Tensor(target, dtype=np.float64)) * 1.0, x)
+
+    def test_get_loss_lookup(self):
+        assert get_loss("mse") is mse
+        assert get_loss("mae") is mae
+        with pytest.raises(KeyError):
+            get_loss("huber")
+
+
+def _quadratic_params(rng):
+    """Parameters of f(w) = ||w - target||^2 with analytic gradient."""
+    target = rng.standard_normal(5)
+    w = Tensor(np.zeros(5), requires_grad=True)
+    return w, target
+
+
+def _set_quadratic_grad(w, target):
+    w.grad = 2.0 * (w.data - target).astype(np.float32)
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self, rng):
+        w, target = _quadratic_params(rng)
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            _set_quadratic_grad(w, target)
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-4)
+
+    def test_momentum_converges_faster(self, rng):
+        errors = {}
+        for momentum in (0.0, 0.9):
+            w, target = _quadratic_params(np.random.default_rng(3))
+            opt = SGD([w], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                _set_quadratic_grad(w, target)
+                opt.step()
+            errors[momentum] = np.abs(w.data - target).max()
+        assert errors[0.9] < errors[0.0]
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Tensor(np.ones(3), requires_grad=True)
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.zeros(3, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(w.data, np.full(3, 0.9), rtol=1e-6)
+
+    def test_none_grad_skipped(self):
+        w = Tensor(np.ones(3), requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        opt.step()  # no grad set — must not crash or move
+        np.testing.assert_allclose(w.data, np.ones(3))
+
+    def test_invalid_momentum_rejected(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, rng):
+        w, target = _quadratic_params(rng)
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            _set_quadratic_grad(w, target)
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step has magnitude ~lr.
+        w = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        w.grad = np.array([7.0], dtype=np.float32)
+        opt.step()
+        assert abs(w.data[0]) == pytest.approx(0.1, rel=1e-4)
+
+    def test_reset_clears_state(self):
+        w = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        opt.reset()
+        assert opt._t == 0
+        assert opt._m[0] is None
+
+    def test_invalid_betas_rejected(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([w], beta1=1.0)
+
+
+class TestOptimizerValidation:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([w], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        w.grad = np.ones(1, dtype=np.float32)
+        opt = SGD([w], lr=0.1)
+        opt.zero_grad()
+        assert w.grad is None
+
+    def test_base_step_not_implemented(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(NotImplementedError):
+            Optimizer([w], lr=0.1).step()

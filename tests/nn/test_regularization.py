@@ -1,0 +1,122 @@
+"""Unit tests for Dropout and BatchNorm2D."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2D, Dropout, Tensor
+from repro.nn.autograd import no_grad
+
+from tests.nn.gradcheck import numerical_gradient
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(rng.random((4, 8)).astype(np.float32))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, seed=0)
+        layer.train()
+        x = Tensor(np.ones((200, 50), dtype=np.float32))
+        out = layer(x).data
+        values = np.unique(np.round(out, 4))
+        assert set(values) <= {0.0, 2.0}
+        # Survivor fraction near keep probability.
+        assert (out > 0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_expected_value_preserved(self):
+        layer = Dropout(0.3, seed=1)
+        layer.train()
+        x = Tensor(np.ones((500, 40), dtype=np.float32))
+        assert layer(x).data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_p_zero_identity_in_train(self, rng):
+        layer = Dropout(0.0)
+        layer.train()
+        x = Tensor(rng.random((3, 5)).astype(np.float32))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_gradient_masks_match_forward(self):
+        layer = Dropout(0.5, seed=2)
+        layer.train()
+        x = Tensor(np.ones((10, 10), dtype=np.float32), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        # Gradient nonzero exactly where forward survived.
+        np.testing.assert_array_equal(x.grad > 0, out.data > 0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestBatchNorm2D:
+    def test_train_normalizes_batch(self, rng):
+        layer = BatchNorm2D(3)
+        layer.train()
+        x = Tensor((rng.random((8, 3, 4, 4)) * 5 + 2).astype(np.float32))
+        out = layer(x).data
+        assert np.abs(out.mean(axis=(0, 2, 3))).max() < 1e-4
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        layer = BatchNorm2D(2, momentum=1.0)  # copy batch stats directly
+        layer.train()
+        x = Tensor((rng.random((8, 2, 4, 4)) + 3).astype(np.float32))
+        layer(x)
+        np.testing.assert_allclose(layer.running_mean,
+                                   x.data.mean(axis=(0, 2, 3)), rtol=1e-5)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm2D(2, momentum=1.0)
+        layer.train()
+        x = Tensor(rng.random((8, 2, 4, 4)).astype(np.float32))
+        layer(x)
+        layer.eval()
+        # With running stats frozen, a constant input maps deterministically.
+        y = Tensor(np.zeros((2, 2, 4, 4), dtype=np.float32))
+        out1 = layer(y).data
+        out2 = layer(y).data
+        np.testing.assert_allclose(out1, out2)
+
+    def test_gamma_beta_trainable(self, rng):
+        layer = BatchNorm2D(2)
+        assert len(layer.parameters()) == 2
+        layer.train()
+        x = Tensor(rng.random((4, 2, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+        # beta gradient is just the count of summed elements.
+        np.testing.assert_allclose(layer.beta.grad, 4 * 3 * 3, rtol=1e-5)
+
+    def test_train_backward_matches_numeric(self, rng):
+        layer = BatchNorm2D(2)
+        layer.train()
+        x64 = rng.standard_normal((3, 2, 2, 2))
+
+        def scalar(arr):
+            out = layer(Tensor(arr, dtype=np.float64))
+            return float((out.data ** 2).sum())
+
+        t = Tensor(x64, requires_grad=True, dtype=np.float64)
+        out = layer(t)
+        (out * out).sum().backward()
+        numeric = numerical_gradient(scalar, x64.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-4, rtol=1e-3)
+
+    def test_shape_validation(self, rng):
+        layer = BatchNorm2D(3)
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.random((2, 2, 4, 4)).astype(np.float32)))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(2, momentum=0.0)

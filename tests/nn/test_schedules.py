@@ -1,0 +1,100 @@
+"""Unit tests for LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ConstantLR,
+    CosineLR,
+    SqrtDecayLR,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+    clip_grad_value,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.1)
+        assert sched.lr_at(0) == sched.lr_at(100) == 0.1
+
+    def test_step_decay(self):
+        sched = StepLR(1.0, step_size=10, gamma=0.5)
+        assert sched.lr_at(0) == 1.0
+        assert sched.lr_at(9) == 1.0
+        assert sched.lr_at(10) == 0.5
+        assert sched.lr_at(20) == 0.25
+
+    def test_cosine_endpoints(self):
+        sched = CosineLR(1.0, total_epochs=50, min_lr=0.1)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(50) == pytest.approx(0.1)
+        assert sched.lr_at(25) == pytest.approx(0.55, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineLR(1.0, total_epochs=30)
+        lrs = [sched.lr_at(e) for e in range(31)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_sqrt_decay_matches_ead_formula(self):
+        sched = SqrtDecayLR(0.01, total_epochs=100)
+        assert sched.lr_at(0) == pytest.approx(0.01)
+        assert sched.lr_at(75) == pytest.approx(0.005)
+        assert sched.lr_at(100) == 0.0
+
+    def test_apply_sets_optimizer_lr(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([w], lr=1.0)
+        sched = StepLR(1.0, step_size=1, gamma=0.1)
+        lr = sched.apply(opt, epoch=2)
+        assert opt.lr == lr == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            StepLR(0.1, step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(0.1, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineLR(0.1, total_epochs=5, min_lr=0.5)
+        with pytest.raises(ValueError):
+            SqrtDecayLR(0.1, total_epochs=0)
+
+
+class TestGradClipping:
+    def test_norm_clip_scales_down(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        a.grad = np.full(3, 3.0, dtype=np.float32)
+        b.grad = np.full(4, 4.0, dtype=np.float32)
+        pre = clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt((a.grad ** 2).sum() + (b.grad ** 2).sum())
+        assert pre > 1.0
+        assert total == pytest.approx(1.0, rel=1e-5)
+
+    def test_norm_clip_noop_when_small(self):
+        a = Tensor(np.zeros(2), requires_grad=True)
+        a.grad = np.array([0.1, 0.1], dtype=np.float32)
+        pre = clip_grad_norm([a], max_norm=10.0)
+        np.testing.assert_allclose(a.grad, [0.1, 0.1])
+        assert pre == pytest.approx(np.sqrt(0.02), rel=1e-5)
+
+    def test_norm_clip_skips_none_grads(self):
+        a = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([a], max_norm=1.0) == 0.0
+
+    def test_value_clip(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        a.grad = np.array([-5.0, 0.2, 7.0], dtype=np.float32)
+        clip_grad_value([a], max_value=1.0)
+        np.testing.assert_allclose(a.grad, [-1.0, 0.2, 1.0])
+
+    def test_validation(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            clip_grad_norm([a], max_norm=0.0)
+        with pytest.raises(ValueError):
+            clip_grad_value([a], max_value=-1.0)

@@ -1,0 +1,141 @@
+"""Unit tests for the training loop and prediction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    Tensor,
+    Trainer,
+    accuracy,
+    iterate_minibatches,
+    predict_labels,
+    predict_logits,
+)
+
+
+def _toy_classification(rng, n=256, d=6):
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return x, y
+
+
+class TestIterateMinibatches:
+    def test_covers_all_rows_once(self, rng):
+        x = np.arange(10, dtype=np.float32)[:, None]
+        seen = np.concatenate(
+            [xb[:, 0] for xb, _ in iterate_minibatches(x, None, 3, rng=rng)])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self, rng):
+        x = np.zeros((10, 2), dtype=np.float32)
+        sizes = [len(xb) for xb, _ in iterate_minibatches(x, None, 4, rng=rng)]
+        assert sizes == [4, 4, 2]
+
+    def test_labels_stay_aligned(self, rng):
+        x = np.arange(20, dtype=np.float32)[:, None]
+        y = np.arange(20)
+        for xb, yb in iterate_minibatches(x, y, 7, rng=rng):
+            np.testing.assert_allclose(xb[:, 0], yb)
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6, dtype=np.float32)[:, None]
+        first, _ = next(iterate_minibatches(x, None, 6, shuffle=False))
+        np.testing.assert_allclose(first[:, 0], np.arange(6))
+
+    def test_shuffle_is_seeded(self):
+        x = np.arange(32, dtype=np.float32)[:, None]
+        a = [xb for xb, _ in iterate_minibatches(
+            x, None, 8, rng=np.random.default_rng(5))]
+        b = [xb for xb, _ in iterate_minibatches(
+            x, None, 8, rng=np.random.default_rng(5))]
+        for xa, xb in zip(a, b):
+            np.testing.assert_allclose(xa, xb)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((4, 1)), np.zeros(3), 2))
+
+    def test_bad_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((4, 1)), None, 0))
+
+
+class TestTrainer:
+    def test_classification_learns(self, rng):
+        x, y = _toy_classification(rng)
+        model = Sequential(Dense(6, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng))
+        trainer = Trainer(model, loss="cross_entropy", lr=1e-2, seed=0)
+        history = trainer.fit(x, y, epochs=15, batch_size=32, verbose=False)
+        assert accuracy(model, x, y) > 0.95
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+
+    def test_autoencoder_mode_uses_input_as_target(self, rng):
+        x = rng.random((128, 4)).astype(np.float32)
+        model = Sequential(Dense(4, 2, rng=rng), Dense(2, 4, rng=rng))
+        trainer = Trainer(model, loss="mse", lr=1e-2, seed=0)
+        history = trainer.fit(x, None, epochs=20, batch_size=32, verbose=False)
+        assert history.final_train_loss < 0.2
+
+    def test_validation_metrics_recorded(self, rng):
+        x, y = _toy_classification(rng)
+        model = Sequential(Dense(6, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+        trainer = Trainer(model, lr=1e-2, seed=0)
+        history = trainer.fit(x, y, epochs=2, batch_size=32,
+                              x_val=x[:50], y_val=y[:50], verbose=False)
+        assert history.epochs[-1].val_loss is not None
+        assert history.epochs[-1].val_accuracy is not None
+        assert 0.0 <= history.best_val_accuracy <= 1.0
+
+    def test_model_left_in_eval_mode(self, rng):
+        x, y = _toy_classification(rng)
+        model = Sequential(Dense(6, 4, rng=rng), Dense(4, 2, rng=rng))
+        Trainer(model, lr=1e-2).fit(x, y, epochs=1, verbose=False)
+        assert not model.training
+
+    def test_custom_loss_callable(self, rng):
+        from repro.nn.losses import mse
+
+        x = rng.random((64, 3)).astype(np.float32)
+        model = Dense(3, 3, rng=rng)
+        trainer = Trainer(model, loss=mse, lr=1e-2)
+        trainer.fit(x, None, epochs=1, verbose=False)
+        assert trainer.loss_name == "mse"
+
+    def test_evaluate_loss_weighted_by_batch(self, rng):
+        x = rng.random((130, 3)).astype(np.float32)
+        model = Dense(3, 3, rng=rng)
+        trainer = Trainer(model, loss="mse")
+        loss = trainer.evaluate_loss(x, None, batch_size=64)
+        assert np.isfinite(loss)
+
+
+class TestPredictionHelpers:
+    def test_predict_logits_matches_direct_forward(self, rng):
+        model = Dense(4, 3, rng=rng)
+        x = rng.random((10, 4)).astype(np.float32)
+        batched = predict_logits(model, x, batch_size=3)
+        direct = model(Tensor(x)).data
+        np.testing.assert_allclose(batched, direct, rtol=1e-6)
+
+    def test_predict_labels_argmax(self, rng):
+        model = Dense(4, 3, rng=rng)
+        x = rng.random((10, 4)).astype(np.float32)
+        labels = predict_labels(model, x)
+        assert labels.shape == (10,)
+        np.testing.assert_array_equal(labels,
+                                      predict_logits(model, x).argmax(1))
+
+    def test_accuracy_bounds(self, rng):
+        model = Dense(4, 2, rng=rng)
+        x = rng.random((20, 4)).astype(np.float32)
+        y = rng.integers(0, 2, 20)
+        acc = accuracy(model, x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predict_logits_empty_input(self, rng):
+        model = Dense(4, 3, rng=rng)
+        out = predict_logits(model, np.zeros((0, 4), dtype=np.float32))
+        assert out.size == 0

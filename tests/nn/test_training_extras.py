@@ -1,0 +1,73 @@
+"""Tests for Trainer's schedule / early-stopping / clipping integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ConstantLR, Dense, ReLU, Sequential, StepLR, Trainer
+
+
+def _data(rng, n=200, d=5):
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+class TestLRScheduleIntegration:
+    def test_schedule_applied_each_epoch(self, rng):
+        x, y = _data(rng)
+        model = Sequential(Dense(5, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+        trainer = Trainer(model, lr=1.0, seed=0)
+        sched = StepLR(1.0, step_size=1, gamma=0.5)
+        trainer.fit(x, y, epochs=3, batch_size=64, lr_schedule=sched,
+                    verbose=False)
+        # After epoch 3 the optimizer holds the epoch-2 (0-indexed) lr.
+        assert trainer.optimizer.lr == pytest.approx(0.25)
+
+    def test_constant_schedule_is_noop(self, rng):
+        x, y = _data(rng)
+        model = Sequential(Dense(5, 4, rng=rng), Dense(4, 2, rng=rng))
+        trainer = Trainer(model, lr=1e-3, seed=0)
+        trainer.fit(x, y, epochs=2, lr_schedule=ConstantLR(1e-3),
+                    verbose=False)
+        assert trainer.optimizer.lr == pytest.approx(1e-3)
+
+
+class TestEarlyStopping:
+    def test_stops_when_val_loss_stalls(self, rng):
+        x, y = _data(rng)
+        model = Sequential(Dense(5, 4, rng=rng), Dense(4, 2, rng=rng))
+        # Zero-capacity learning: lr so tiny the val loss never improves.
+        trainer = Trainer(model, lr=1e-12, seed=0)
+        history = trainer.fit(x, y, epochs=30, batch_size=64,
+                              x_val=x[:40], y_val=y[:40],
+                              early_stopping_patience=2, verbose=False)
+        assert len(history.epochs) <= 5
+
+    def test_runs_to_completion_when_improving(self, rng):
+        x, y = _data(rng)
+        model = Sequential(Dense(5, 16, rng=rng), ReLU(),
+                           Dense(16, 2, rng=rng))
+        trainer = Trainer(model, lr=1e-2, seed=0)
+        history = trainer.fit(x, y, epochs=5, batch_size=64,
+                              x_val=x[:40], y_val=y[:40],
+                              early_stopping_patience=4, verbose=False)
+        assert len(history.epochs) == 5
+
+    def test_requires_validation_data(self, rng):
+        x, y = _data(rng)
+        model = Sequential(Dense(5, 2, rng=rng))
+        trainer = Trainer(model, lr=1e-3)
+        with pytest.raises(ValueError):
+            trainer.fit(x, y, epochs=1, early_stopping_patience=1,
+                        verbose=False)
+
+
+class TestGradClipIntegration:
+    def test_training_with_clipping_converges(self, rng):
+        x, y = _data(rng)
+        model = Sequential(Dense(5, 16, rng=rng), ReLU(),
+                           Dense(16, 2, rng=rng))
+        trainer = Trainer(model, lr=1e-2, seed=0)
+        history = trainer.fit(x, y, epochs=10, batch_size=32,
+                              grad_clip_norm=1.0, verbose=False)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss

@@ -1,0 +1,80 @@
+"""Tests for the CLI entry point, logging setup, and context serialization."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.context import _result_from_arrays, _result_to_arrays
+from repro.utils.logging import get_logger
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("table1", "table7", "fig1", "fig13"):
+            assert exp_id in out
+
+    def test_help(self, capsys):
+        assert cli_main(["--help"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_no_args_shows_help(self, capsys):
+        assert cli_main([]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            cli_main(["table99"])
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        log = get_logger("my.component")
+        assert log.name == "repro.my.component"
+
+    def test_repro_prefix_not_duplicated(self):
+        log = get_logger("repro.attacks")
+        assert log.name == "repro.attacks"
+
+    def test_same_logger_returned(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestAttackResultSerialization:
+    def test_round_trip_preserves_everything(self, rng):
+        from repro.attacks.base import AttackResult
+
+        n = 5
+        result = AttackResult(
+            x_adv=rng.random((n, 1, 4, 4)).astype(np.float32),
+            success=np.array([True, False, True, True, False]),
+            y_true=np.arange(n, dtype=np.int64),
+            y_adv=np.arange(n, dtype=np.int64)[::-1].copy(),
+            l0=rng.random(n), l1=rng.random(n), l2=rng.random(n),
+            linf=rng.random(n),
+            const=rng.random(n),
+            name="orig",
+        )
+        arrays = _result_to_arrays(result)
+        restored = _result_from_arrays(arrays, "restored")
+        np.testing.assert_allclose(restored.x_adv, result.x_adv)
+        np.testing.assert_array_equal(restored.success, result.success)
+        np.testing.assert_array_equal(restored.y_true, result.y_true)
+        np.testing.assert_array_equal(restored.y_adv, result.y_adv)
+        np.testing.assert_allclose(restored.l1, result.l1)
+        np.testing.assert_allclose(restored.const, result.const)
+        assert restored.name == "restored"
+
+    def test_none_const_becomes_nan(self, rng):
+        from repro.attacks.base import AttackResult
+
+        result = AttackResult(
+            x_adv=rng.random((2, 1, 2, 2)).astype(np.float32),
+            success=np.ones(2, bool),
+            y_true=np.zeros(2, np.int64), y_adv=np.ones(2, np.int64),
+            l0=np.zeros(2), l1=np.zeros(2), l2=np.zeros(2), linf=np.zeros(2),
+            const=None,
+        )
+        arrays = _result_to_arrays(result)
+        assert np.isnan(arrays["const"]).all()

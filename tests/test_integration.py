@@ -1,0 +1,198 @@
+"""Integration tests: the full pipeline end-to-end at smoke scale.
+
+These run the real machinery — data synthesis, training, calibration,
+attack crafting, defense evaluation, experiment registry — with the
+``smoke`` profile and a per-session temp cache, so they are hermetic and
+finish in a few minutes while exercising every cross-module seam the
+benchmarks depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    DeepFool,
+    EAD,
+    FGSM,
+    IterativeFGSM,
+    CarliniWagnerL2,
+    logits_of,
+)
+from repro.defenses import build_magnet
+from repro.evaluation import evaluate_oblivious, select_attack_seeds
+from repro.experiments import SMOKE, ExperimentContext
+from repro.models.classifiers import ScaledLogits
+
+
+@pytest.fixture(scope="session")
+def ctx(test_cache):
+    """A digits ExperimentContext on the smoke profile (session-cached)."""
+    return ExperimentContext("digits", profile=SMOKE, cache=test_cache,
+                             seed=3)
+
+
+@pytest.fixture(scope="session")
+def attack_seeds(ctx):
+    return ctx.attack_seeds()
+
+
+class TestContextPlumbing:
+    def test_splits_follow_profile(self, ctx):
+        assert len(ctx.splits.train) == SMOKE.digits_sizes[0]
+
+    def test_classifier_is_scaled(self, ctx):
+        assert isinstance(ctx.classifier, ScaledLogits)
+        assert ctx.classifier.scale == SMOKE.logit_scale_digits
+
+    def test_attack_seeds_correctly_classified(self, ctx, attack_seeds):
+        x0, y0 = attack_seeds
+        assert len(y0) == SMOKE.n_attack("digits")
+        preds = logits_of(ctx.classifier, x0).argmax(1)
+        np.testing.assert_array_equal(preds, y0)
+
+    def test_magnet_variants_memoized(self, ctx):
+        assert ctx.magnet("default") is ctx.magnet("default")
+        assert ctx.magnet("default") is not ctx.magnet("jsd")
+
+    def test_magnet_detector_composition(self, ctx):
+        assert len(ctx.magnet("default").detectors) == 2
+        assert len(ctx.magnet("jsd").detectors) == 4
+
+    def test_attack_results_cached_on_disk(self, ctx):
+        kappa = SMOKE.digits_kappas[0]
+        first = ctx.cw(kappa)
+        second = ctx.cw(kappa)  # from disk this time
+        np.testing.assert_allclose(first.x_adv, second.x_adv)
+        np.testing.assert_array_equal(first.success, second.success)
+
+    def test_ead_rules_share_one_run(self, ctx):
+        kappa = SMOKE.digits_kappas[0]
+        both = ctx.ead(1e-1, kappa)
+        assert set(both) == {"en", "l1"}
+        # Same optimization → identical success masks.
+        np.testing.assert_array_equal(both["en"].success,
+                                      both["l1"].success)
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentContext("imagenet", profile=SMOKE)
+
+
+class TestAttacksEndToEnd:
+    def test_cw_fools_undefended_model(self, ctx, attack_seeds):
+        x0, y0 = attack_seeds
+        result = ctx.cw(0.0)
+        assert result.success_rate > 0.7
+        # Successful examples are genuinely misclassified.
+        changed = result.y_adv[result.success] != y0[result.success]
+        assert changed.all()
+
+    def test_ead_fools_undefended_model(self, ctx):
+        result = ctx.ead(1e-1, 0.0)["en"]
+        assert result.success_rate > 0.7
+
+    def test_ead_is_sparser_than_cw(self, ctx):
+        """The paper's core mechanism: EAD's L0 << C&W's L0."""
+        cw = ctx.cw(0.0)
+        ead = ctx.ead(1e-1, 0.0)["en"]
+        if cw.success.any() and ead.success.any():
+            assert ead.mean_distortion("l0") < cw.mean_distortion("l0") * 0.8
+
+    def test_l1_rule_never_beats_en_on_en_score(self, ctx):
+        """Decision rules optimize their own objective."""
+        both = ctx.ead(1e-1, 0.0)
+        ok = both["en"].success
+        if ok.any():
+            beta = 1e-1
+            en_score = beta * both["en"].l1 + both["en"].l2 ** 2
+            l1_score = beta * both["l1"].l1 + both["l1"].l2 ** 2
+            assert (en_score[ok] <= l1_score[ok] + 1e-4).all()
+            assert (both["l1"].l1[ok] <= both["en"].l1[ok] + 1e-4).all()
+
+    def test_adversarial_examples_in_valid_box(self, ctx):
+        for result in (ctx.cw(0.0), ctx.ead(1e-1, 0.0)["en"]):
+            assert result.x_adv.min() >= 0.0
+            assert result.x_adv.max() <= 1.0
+
+    def test_higher_kappa_costs_more_distortion(self, ctx):
+        lo = ctx.cw(SMOKE.digits_kappas[0])
+        hi = ctx.cw(SMOKE.digits_kappas[-1])
+        if lo.success.any() and hi.success.any():
+            assert (hi.mean_distortion("l2")
+                    >= lo.mean_distortion("l2") - 0.05)
+
+    def test_fgsm_and_ifgsm_run(self, ctx):
+        fgsm = ctx.fgsm(epsilon=0.15)
+        ifgsm = ctx.ifgsm(epsilon=0.15, steps=5)
+        assert fgsm.x_adv.shape == ifgsm.x_adv.shape
+        # Iterative FGSM is at least as strong as single-step.
+        assert ifgsm.success_rate >= fgsm.success_rate - 0.1
+        assert fgsm.linf.max() <= 0.15 + 1e-5
+        assert ifgsm.linf.max() <= 0.15 + 1e-5
+
+    def test_deepfool_runs_and_is_small(self, ctx):
+        result = ctx.deepfool(max_iterations=15)
+        assert result.success_rate > 0.5
+        if result.success.any():
+            # DeepFool targets minimal perturbations at kappa=0.
+            assert result.mean_distortion("l2") < 5.0
+
+
+class TestDefenseEndToEnd:
+    def test_clean_accuracy_behind_magnet(self, ctx):
+        magnet = ctx.magnet("default")
+        acc = magnet.clean_accuracy(ctx.splits.test.x, ctx.splits.test.y)
+        assert acc > 0.75
+
+    def test_oblivious_evaluation_consistency(self, ctx, attack_seeds):
+        _, y0 = attack_seeds
+        magnet = ctx.magnet("default")
+        result = ctx.cw(SMOKE.digits_kappas[0])
+        ev = evaluate_oblivious(magnet, result)
+        assert ev.attack_success_rate == pytest.approx(
+            1.0 - ev.defense_accuracy)
+        assert ev.breakdown.detector_only >= ev.breakdown.no_defense - 1e-9
+        assert ev.breakdown.full >= ev.breakdown.reformer_only - 1e-9
+
+    def test_select_attack_seeds_validates(self, ctx):
+        with pytest.raises(ValueError):
+            select_attack_seeds(ctx.classifier, ctx.splits.test,
+                                n=10 ** 6)
+
+    def test_defense_accuracy_beats_no_defense(self, ctx, attack_seeds):
+        _, y0 = attack_seeds
+        magnet = ctx.magnet("default")
+        result = ctx.cw(SMOKE.digits_kappas[-1])
+        from repro.evaluation import defense_breakdown
+
+        bd = defense_breakdown(magnet, result.x_adv, y0)
+        assert bd.full >= bd.no_defense
+
+
+class TestExperimentRegistry:
+    def test_structural_experiments_run(self, test_cache):
+        from repro.experiments import run_experiment
+
+        report = run_experiment("table2", profile=SMOKE, cache=test_cache)
+        assert report.exp_id == "table2"
+        assert "Conv.Sigmoid" in report.text
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(KeyError):
+            run_experiment("table99", profile=SMOKE)
+
+    def test_registry_covers_all_tables_and_figures(self):
+        from repro.experiments import EXPERIMENT_IDS
+
+        expected = {f"table{i}" for i in range(1, 8)} | {
+            f"fig{i}" for i in range(1, 14)}
+        assert set(EXPERIMENT_IDS) == expected
+
+    def test_describe_experiments(self):
+        from repro.experiments import describe_experiments
+
+        desc = describe_experiments()
+        assert len(desc) == 20
+        assert all(isinstance(v, str) and v for v in desc.values())

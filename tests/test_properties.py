@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the mathematical workhorses of the reproduction: the EAD
+shrinkage operator (paper eq. (5)), the hinge attack margin, JSD, norm
+bookkeeping, softmax identities and broadcasting gradients.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.attacks.base import flat_norms
+from repro.attacks.ead import shrink_threshold
+from repro.attacks.gradients import attack_margin
+from repro.defenses.detectors import jensen_shannon_divergence
+from repro.nn import Tensor, functional as F
+from repro.nn.autograd import unbroadcast
+
+_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                    allow_infinity=False, width=32)
+_unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                         width=32)
+
+
+def _pixel_arrays(max_side=6):
+    shape = array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=max_side)
+    return arrays(np.float32, shape, elements=_unit_floats)
+
+
+class TestShrinkThresholdProperties:
+    @given(x0=_pixel_arrays(), beta=st.floats(0.001, 0.5),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_output_in_box(self, x0, beta, data):
+        z = data.draw(arrays(np.float32, x0.shape,
+                             elements=st.floats(-2, 3, width=32)))
+        out = shrink_threshold(z, x0, beta)
+        assert (out >= 0.0).all() and (out <= 1.0).all()
+
+    @given(x0=_pixel_arrays(), beta=st.floats(0.001, 0.5), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_small_moves_are_zeroed(self, x0, beta, data):
+        delta = data.draw(arrays(
+            np.float32, x0.shape,
+            elements=st.floats(-0.875, 0.875, width=32)))
+        z = x0 + delta * np.float32(beta)  # |z - x0| <= 0.875*beta < beta
+        out = shrink_threshold(z, x0, beta)
+        np.testing.assert_array_equal(out, x0)
+
+    @given(x0=_pixel_arrays(), beta=st.floats(0.001, 0.3), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_perturbation_never_grows(self, x0, beta, data):
+        z = data.draw(arrays(np.float32, x0.shape,
+                             elements=st.floats(-1, 2, width=32)))
+        out = shrink_threshold(z, x0, beta)
+        # The shrink step never moves further from x0 than z was (modulo
+        # box projection, which also only moves toward the box).
+        grew = np.abs(out - x0) > np.abs(z - x0) + 1e-6
+        assert not grew.any()
+
+    @given(x0=_pixel_arrays(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, x0, data):
+        beta = 0.1
+        z = data.draw(arrays(np.float32, x0.shape,
+                             elements=st.floats(-1, 2, width=32)))
+        once = shrink_threshold(z, x0, beta)
+        twice = shrink_threshold(once, x0, beta)
+        # Applying S_beta to its own output only re-applies thresholding;
+        # points already within beta of x0 stay, others shrink again —
+        # but output is always within box and closer to x0.
+        assert (np.abs(twice - x0) <= np.abs(once - x0) + 1e-6).all()
+
+
+class TestAttackMarginProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sign_matches_prediction(self, data):
+        n = data.draw(st.integers(1, 6))
+        k = data.draw(st.integers(2, 8))
+        logits = data.draw(arrays(np.float64, (n, k), elements=_floats))
+        labels = data.draw(arrays(np.int64, (n,),
+                                  elements=st.integers(0, k - 1)))
+        margin = attack_margin(logits, labels)
+        preds = logits.argmax(axis=1)
+        for i in range(n):
+            if margin[i] < 0:
+                assert preds[i] == labels[i]
+            if preds[i] != labels[i]:
+                assert margin[i] >= 0
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_shift_invariance(self, data):
+        n = data.draw(st.integers(1, 5))
+        k = data.draw(st.integers(2, 6))
+        logits = data.draw(arrays(np.float64, (n, k), elements=_floats))
+        labels = np.zeros(n, dtype=np.int64)
+        shift = data.draw(st.floats(-5, 5))
+        a = attack_margin(logits, labels)
+        b = attack_margin(logits + shift, labels)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestNormProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_norm_inequalities(self, data):
+        n = data.draw(st.integers(1, 4))
+        delta = data.draw(arrays(np.float64, (n, 1, 3, 3), elements=_floats))
+        norms = flat_norms(delta)
+        # ||d||_inf <= ||d||_2 <= ||d||_1 for every example
+        assert (norms["linf"] <= norms["l2"] + 1e-9).all()
+        assert (norms["l2"] <= norms["l1"] + 1e-9).all()
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_l2_cauchy_schwarz_vs_l0(self, data):
+        n = data.draw(st.integers(1, 4))
+        # Elements either exactly zero or clearly above the L0 threshold,
+        # so the sparsity count is unambiguous.
+        elements = st.one_of(st.just(0.0), st.floats(0.01, 10.0),
+                             st.floats(-10.0, -0.01))
+        delta = data.draw(arrays(np.float64, (n, 1, 2, 2), elements=elements))
+        norms = flat_norms(delta)
+        # ||d||_1 <= sqrt(||d||_0) * ||d||_2
+        lhs = norms["l1"]
+        rhs = np.sqrt(norms["l0"]) * norms["l2"]
+        assert (lhs <= rhs + 1e-6).all()
+
+
+class TestJSDProperties:
+    @st.composite
+    def _prob_pair(draw):
+        n = draw(st.integers(1, 5))
+        k = draw(st.integers(2, 6))
+        raw_p = draw(arrays(np.float64, (n, k),
+                            elements=st.floats(0.01, 1.0)))
+        raw_q = draw(arrays(np.float64, (n, k),
+                            elements=st.floats(0.01, 1.0)))
+        return (raw_p / raw_p.sum(1, keepdims=True),
+                raw_q / raw_q.sum(1, keepdims=True))
+
+    @given(pq=_prob_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, pq):
+        p, q = pq
+        jsd = jensen_shannon_divergence(p, q)
+        assert (jsd >= -1e-12).all()
+        assert (jsd <= np.log(2) + 1e-9).all()
+
+    @given(pq=_prob_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, pq):
+        p, q = pq
+        np.testing.assert_allclose(jensen_shannon_divergence(p, q),
+                                   jensen_shannon_divergence(q, p),
+                                   atol=1e-10)
+
+    @given(pq=_prob_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_identity_of_indiscernibles(self, pq):
+        p, _ = pq
+        np.testing.assert_allclose(jensen_shannon_divergence(p, p), 0.0,
+                                   atol=1e-12)
+
+
+class TestSoftmaxProperties:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, data):
+        n = data.draw(st.integers(1, 5))
+        k = data.draw(st.integers(2, 8))
+        z = data.draw(arrays(np.float64, (n, k), elements=_floats))
+        s = F.softmax(Tensor(z, dtype=np.float64)).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(1), 1.0, rtol=1e-9)
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_log_softmax_consistency(self, data):
+        n = data.draw(st.integers(1, 4))
+        k = data.draw(st.integers(2, 6))
+        z = data.draw(arrays(np.float64, (n, k), elements=_floats))
+        ls = F.log_softmax(Tensor(z, dtype=np.float64)).data
+        np.testing.assert_allclose(np.exp(ls).sum(1), 1.0, rtol=1e-9)
+
+
+class TestUnbroadcastProperties:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_total_mass_preserved(self, data):
+        """Summed gradient mass is invariant under unbroadcast."""
+        shape = data.draw(array_shapes(min_dims=1, max_dims=3, min_side=1,
+                                       max_side=4))
+        grad = data.draw(arrays(np.float64, (2,) + shape, elements=_floats))
+        reduced = unbroadcast(grad, shape)
+        np.testing.assert_allclose(reduced.sum(), grad.sum(), rtol=1e-9,
+                                   atol=1e-9)
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_output_shape(self, data):
+        shape = data.draw(array_shapes(min_dims=1, max_dims=3, min_side=1,
+                                       max_side=4))
+        target = tuple(1 if data.draw(st.booleans()) else s for s in shape)
+        grad = data.draw(arrays(np.float64, shape, elements=_floats))
+        assert unbroadcast(grad, target).shape == target

@@ -1,0 +1,109 @@
+"""Property-based tests for the extension modules (squeezers, ROC, schedules)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.defenses.squeezing import bit_depth_reduction, median_smoothing
+from repro.evaluation.roc import roc_curve
+from repro.nn.schedules import CosineLR, SqrtDecayLR, StepLR
+
+_unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+def _images(max_side=6):
+    return arrays(np.float32, (2, 1, 4, 4), elements=_unit)
+
+
+class TestSqueezerProperties:
+    @given(x=_images(), bits=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_depth_idempotent(self, x, bits):
+        once = bit_depth_reduction(x, bits)
+        twice = bit_depth_reduction(once, bits)
+        np.testing.assert_allclose(once, twice, atol=1e-7)
+
+    @given(x=_images(), bits=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_depth_bounded_error(self, x, bits):
+        out = bit_depth_reduction(x, bits)
+        max_err = 0.5 / (2 ** bits - 1)
+        assert np.abs(out - x).max() <= max_err + 1e-6
+
+    @given(x=_images(), bits=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_depth_stays_in_box(self, x, bits):
+        out = bit_depth_reduction(x, bits)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @given(x=_images(), kernel=st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_median_preserves_box(self, x, kernel):
+        out = median_smoothing(x, kernel)
+        assert out.min() >= x.min() - 1e-7
+        assert out.max() <= x.max() + 1e-7
+
+    @given(c=st.floats(0.0, 1.0, width=32), kernel=st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_median_fixed_point_on_constants(self, c, kernel):
+        x = np.full((1, 1, 6, 6), c, dtype=np.float32)
+        np.testing.assert_allclose(median_smoothing(x, kernel), c, atol=1e-7)
+
+
+class TestRocProperties:
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_auc_in_unit_interval(self, data):
+        clean = data.draw(arrays(np.float64, (20,),
+                                 elements=st.floats(0, 10)))
+        adv = data.draw(arrays(np.float64, (20,),
+                               elements=st.floats(0, 10)))
+        curve = roc_curve(clean, adv)
+        assert -1e-9 <= curve.auc <= 1.0 + 1e-9
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_curve_monotone_in_fpr(self, data):
+        clean = data.draw(arrays(np.float64, (15,),
+                                 elements=st.floats(0, 5)))
+        adv = data.draw(arrays(np.float64, (15,),
+                               elements=st.floats(0, 5)))
+        curve = roc_curve(clean, adv)
+        # FPR sorted ascending; TPR must be non-decreasing along it.
+        assert (np.diff(curve.fpr) >= -1e-12).all()
+        assert (np.diff(curve.tpr) >= -1e-12).all()
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_shift_improves_or_keeps_auc(self, data):
+        scores = data.draw(arrays(np.float64, (25,),
+                                  elements=st.floats(0, 1)))
+        base = roc_curve(scores, scores).auc
+        shifted = roc_curve(scores, scores + 1.5).auc
+        assert shifted >= base - 1e-9
+        assert shifted >= 0.99  # fully separated
+
+
+class TestScheduleProperties:
+    @given(base=st.floats(1e-4, 1.0), step=st.integers(1, 20),
+           gamma=st.floats(0.1, 1.0), epoch=st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_step_lr_bounds(self, base, step, gamma, epoch):
+        lr = StepLR(base, step, gamma).lr_at(epoch)
+        assert 0 < lr <= base + 1e-12
+
+    @given(base=st.floats(1e-4, 1.0), total=st.integers(1, 100),
+           epoch=st.integers(0, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_cosine_bounds(self, base, total, epoch):
+        lr = CosineLR(base, total).lr_at(epoch)
+        assert -1e-12 <= lr <= base + 1e-12
+
+    @given(base=st.floats(1e-4, 1.0), total=st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_sqrt_decay_monotone(self, base, total):
+        sched = SqrtDecayLR(base, total)
+        lrs = [sched.lr_at(e) for e in range(total + 1)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == 0.0

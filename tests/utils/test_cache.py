@@ -1,0 +1,118 @@
+"""Unit tests for stable hashing and the disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import DiskCache, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        cfg = {"a": 1, "b": [1, 2, 3], "c": {"x": 0.5}}
+        assert stable_hash(cfg) == stable_hash(cfg)
+
+    def test_dict_order_invariant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_value_sensitivity(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_float_precision_matters(self):
+        assert stable_hash(0.1) != stable_hash(0.1000001)
+
+    def test_int_float_distinguished(self):
+        assert stable_hash(1) != stable_hash(1.0)
+
+    def test_ndarray_content_hashing(self):
+        a = np.arange(10)
+        b = np.arange(10)
+        c = np.arange(10) + 1
+        assert stable_hash(a) == stable_hash(b)
+        assert stable_hash(a) != stable_hash(c)
+
+    def test_ndarray_dtype_matters(self):
+        a = np.zeros(4, dtype=np.float32)
+        b = np.zeros(4, dtype=np.float64)
+        assert stable_hash(a) != stable_hash(b)
+
+    def test_nested_structures(self):
+        cfg = {"layers": [(3, "relu"), (5, "sigmoid")], "arr": np.ones(3)}
+        assert len(stable_hash(cfg)) == 16
+
+    def test_numpy_scalars(self):
+        assert stable_hash(np.int64(5)) == stable_hash(5)
+
+    def test_custom_length(self):
+        assert len(stable_hash("x", length=8)) == 8
+
+
+class TestDiskCache:
+    def test_save_load_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        arrays = {"x": np.arange(6).reshape(2, 3), "y": np.ones(4)}
+        cache.save("ns", "key1", arrays)
+        loaded = cache.load("ns", "key1")
+        np.testing.assert_array_equal(loaded["x"], arrays["x"])
+        np.testing.assert_array_equal(loaded["y"], arrays["y"])
+
+    def test_load_missing_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError):
+            DiskCache(tmp_path).load("ns", "nope")
+
+    def test_contains(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert not cache.contains("ns", "k")
+        cache.save("ns", "k", {"a": np.zeros(1)})
+        assert cache.contains("ns", "k")
+
+    def test_meta_side_car(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("ns", "k", {"a": np.zeros(1)}, meta={"acc": 0.99})
+        assert cache.load_meta("ns", "k")["acc"] == 0.99
+
+    def test_meta_missing_raises(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("ns", "k", {"a": np.zeros(1)})
+        with pytest.raises(KeyError):
+            cache.load_meta("ns", "k")
+
+    def test_get_or_compute_computes_once(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": np.full(3, 7.0)}
+
+        first = cache.get_or_compute("ns", "k", compute)
+        second = cache.get_or_compute("ns", "k", compute)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first["v"], second["v"])
+
+    def test_get_or_compute_type_check(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.get_or_compute("ns", "k", lambda: [1, 2])
+
+    def test_namespaces_isolated(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("a", "k", {"v": np.zeros(1)})
+        assert not cache.contains("b", "k")
+
+    def test_clear_namespace(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("a", "k1", {"v": np.zeros(1)})
+        cache.save("b", "k2", {"v": np.zeros(1)})
+        removed = cache.clear("a")
+        assert removed >= 1
+        assert not cache.contains("a", "k1")
+        assert cache.contains("b", "k2")
+
+    def test_clear_missing_namespace(self, tmp_path):
+        assert DiskCache(tmp_path).clear("ghost") == 0
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("ns", "k", {"v": np.zeros(2)})
+        cache.save("ns", "k", {"v": np.ones(2)})
+        np.testing.assert_array_equal(cache.load("ns", "k")["v"], np.ones(2))

@@ -1,0 +1,72 @@
+"""Unit tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequence, rng_from_seed, spawn_seeds
+
+
+class TestSeedSequence:
+    def test_same_root_gives_same_stream(self):
+        a = [SeedSequence(42).next() for _ in range(3)]
+        b = []
+        seq = SeedSequence(42)
+        for _ in range(3):
+            b.append(seq.next())
+        # Note: a re-creates the sequence each time, so compare properly:
+        seq_a, seq_b = SeedSequence(42), SeedSequence(42)
+        assert [seq_a.next() for _ in range(5)] == [seq_b.next() for _ in range(5)]
+
+    def test_stream_values_distinct(self):
+        seq = SeedSequence(0)
+        seeds = [seq.next() for _ in range(50)]
+        assert len(set(seeds)) == 50
+
+    def test_different_roots_differ(self):
+        assert SeedSequence(1).next() != SeedSequence(2).next()
+
+    def test_next_rng_returns_generator(self):
+        assert isinstance(SeedSequence(3).next_rng(), np.random.Generator)
+
+    def test_non_int_root_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequence("seed")
+
+
+class TestRngFromSeed:
+    def test_int_is_deterministic(self):
+        a = rng_from_seed(7).random(5)
+        b = rng_from_seed(7).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(rng_from_seed(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            rng_from_seed(3.5)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        a = spawn_seeds(9, 10)
+        b = spawn_seeds(9, 10)
+        assert a == b
+        assert len(a) == 10
+
+    def test_independence_across_roots(self):
+        assert spawn_seeds(1, 5) != spawn_seeds(2, 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []

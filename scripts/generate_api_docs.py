@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.attacks",
     "repro.evaluation",
     "repro.experiments",
+    "repro.runtime",
     "repro.utils",
 ]
 

@@ -83,6 +83,25 @@ def main(out_path: str = "EXPERIMENTS.md") -> None:
         "simulator on synthetic datasets (DESIGN.md §2); the recorded shape",
         "criteria are the reproduction targets (DESIGN.md §4).",
         "",
+        "## How to run",
+        "",
+        "Every experiment below is reproducible from the CLI:",
+        "",
+        "```bash",
+        "python -m repro.experiments run table1 --profile quick",
+        "python -m repro.experiments run all --profile smoke --jobs 4",
+        "python -m repro.experiments timings      # per-stage durations",
+        "```",
+        "",
+        "`--jobs N` pre-crafts the (attack, kappa, beta) cells of each",
+        "sweep across N worker processes via `repro.runtime`; artifacts",
+        "land under the same cache keys the serial path uses, so results",
+        "are bitwise-identical to `--jobs 1`. Each run appends per-stage",
+        "telemetry (training, attack crafting, cache hits/misses) to",
+        "`<cache-dir>/telemetry.jsonl`; the `timings` subcommand",
+        "aggregates it. `REPRO_PROFILE`/`REPRO_CACHE_DIR` env vars are",
+        "deprecated in favor of `--profile`/`--cache-dir`.",
+        "",
     ]
     for exp_id in ORDER:
         t0 = time.time()

@@ -14,11 +14,14 @@ follows the reference ``nn_robust_attacks`` code:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.gradients import margin_loss_and_grad
 from repro.nn.layers import Module
+from repro.runtime.telemetry import telemetry
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -27,11 +30,16 @@ _TANH_CLAMP = 0.999999
 
 
 class CarliniWagnerL2(Attack):
-    """Batched untargeted/targeted C&W-L2 attack with per-example binary search."""
+    """Batched untargeted/targeted C&W-L2 attack with per-example binary search.
+
+    All hyperparameters after ``model`` are keyword-only; use
+    :meth:`from_profile` to bind the attack budget of an
+    :class:`~repro.experiments.config.ExperimentProfile`.
+    """
 
     name = "cw_l2"
 
-    def __init__(self, model: Module, kappa: float = 0.0,
+    def __init__(self, model: Module, *, kappa: float = 0.0,
                  binary_search_steps: int = 9, max_iterations: int = 1000,
                  lr: float = 1e-2, initial_const: float = 1e-3,
                  const_upper: float = 1e10, abort_early: bool = True,
@@ -50,6 +58,24 @@ class CarliniWagnerL2(Attack):
         self.abort_early = bool(abort_early)
         self.targeted = bool(targeted)
 
+    @classmethod
+    def from_profile(cls, model: Module, profile, **overrides) -> "CarliniWagnerL2":
+        """Build the attack with a profile's optimization budget.
+
+        Maps ``max_iterations`` / ``binary_search_steps`` /
+        ``initial_const`` / ``cw_lr`` from an
+        :class:`~repro.experiments.config.ExperimentProfile`; keyword
+        ``overrides`` (typically ``kappa=``) win over profile fields.
+        """
+        params = dict(
+            binary_search_steps=profile.binary_search_steps,
+            max_iterations=profile.max_iterations,
+            lr=profile.cw_lr,
+            initial_const=profile.initial_const,
+        )
+        params.update(overrides)
+        return cls(model, **params)
+
     def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         """Craft adversarial examples for (x0, labels).
 
@@ -57,6 +83,7 @@ class CarliniWagnerL2(Attack):
         targeted.
         """
         self._validate_inputs(x0, labels)
+        t_start = time.perf_counter()
         x0 = np.asarray(x0, dtype=np.float32)
         labels = np.asarray(labels, dtype=np.int64)
         n = x0.shape[0]
@@ -129,6 +156,10 @@ class CarliniWagnerL2(Attack):
 
         log.debug("C&W kappa=%g: %d/%d successful", self.kappa,
                   int(ever_success.sum()), n)
+        telemetry().emit(f"attack/{self.name}",
+                         duration_s=time.perf_counter() - t_start,
+                         batch=n, kappa=self.kappa,
+                         successes=int(ever_success.sum()))
         return AttackResult.from_examples(
             self.model, x0, best_adv, ever_success, labels,
             const=best_const, name=f"cw_l2(kappa={self.kappa:g})")

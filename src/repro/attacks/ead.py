@@ -24,6 +24,7 @@ paper evaluates both everywhere.
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 import numpy as np
@@ -31,6 +32,7 @@ import numpy as np
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.gradients import margin_loss_and_grad
 from repro.nn.layers import Module
+from repro.runtime.telemetry import telemetry
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -53,11 +55,16 @@ def shrink_threshold(z: np.ndarray, x0: np.ndarray, beta: float) -> np.ndarray:
 
 
 class EAD(Attack):
-    """Batched elastic-net attack with per-example binary search on c."""
+    """Batched elastic-net attack with per-example binary search on c.
+
+    All hyperparameters after ``model`` are keyword-only; use
+    :meth:`from_profile` to bind the attack budget of an
+    :class:`~repro.experiments.config.ExperimentProfile`.
+    """
 
     name = "ead"
 
-    def __init__(self, model: Module, beta: float = 1e-2, kappa: float = 0.0,
+    def __init__(self, model: Module, *, beta: float = 1e-2, kappa: float = 0.0,
                  binary_search_steps: int = 9, max_iterations: int = 1000,
                  lr: float = 1e-2, initial_const: float = 1e-3,
                  const_upper: float = 1e10, rule: str = "en",
@@ -82,6 +89,25 @@ class EAD(Attack):
         self.method = method
         self.targeted = bool(targeted)
 
+    @classmethod
+    def from_profile(cls, model: Module, profile, **overrides) -> "EAD":
+        """Build the attack with a profile's optimization budget.
+
+        Maps ``max_iterations`` / ``binary_search_steps`` /
+        ``initial_const`` / ``ead_lr`` from an
+        :class:`~repro.experiments.config.ExperimentProfile`; keyword
+        ``overrides`` (typically ``beta=``, ``kappa=``) win over profile
+        fields.
+        """
+        params = dict(
+            binary_search_steps=profile.binary_search_steps,
+            max_iterations=profile.max_iterations,
+            lr=profile.ead_lr,
+            initial_const=profile.initial_const,
+        )
+        params.update(overrides)
+        return cls(model, **params)
+
     # ------------------------------------------------------------------
     def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         """Craft adversarial examples, returning the configured rule's picks."""
@@ -96,6 +122,7 @@ class EAD(Attack):
         one run halves the experiment cost.
         """
         self._validate_inputs(x0, labels)
+        t_start = time.perf_counter()
         x0 = np.asarray(x0, dtype=np.float32)
         labels = np.asarray(labels, dtype=np.int64)
         n = x0.shape[0]
@@ -167,6 +194,10 @@ class EAD(Attack):
 
         log.debug("EAD beta=%g kappa=%g: %d/%d successful",
                   self.beta, self.kappa, int(ever_success.sum()), n)
+        telemetry().emit(f"attack/{self.name}",
+                         duration_s=time.perf_counter() - t_start,
+                         batch=n, beta=self.beta, kappa=self.kappa,
+                         successes=int(ever_success.sum()))
         results = {}
         for rule in DECISION_RULES:
             results[rule] = AttackResult.from_examples(

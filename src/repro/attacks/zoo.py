@@ -29,11 +29,16 @@ from repro.utils.rng import rng_from_seed
 
 
 class ZOO(Attack):
-    """Black-box coordinate-descent attack with the C&W hinge loss."""
+    """Black-box coordinate-descent attack with the C&W hinge loss.
+
+    All hyperparameters after ``model`` are keyword-only; use
+    :meth:`from_profile` to bind the iteration budget of an
+    :class:`~repro.experiments.config.ExperimentProfile`.
+    """
 
     name = "zoo"
 
-    def __init__(self, model: Module, kappa: float = 0.0, const: float = 1.0,
+    def __init__(self, model: Module, *, kappa: float = 0.0, const: float = 1.0,
                  max_iterations: int = 300, coords_per_step: int = 32,
                  lr: float = 0.02, delta: float = 1e-3, seed: int = 0,
                  targeted: bool = False):
@@ -50,6 +55,18 @@ class ZOO(Attack):
         self.delta = float(delta)
         self.seed = int(seed)
         self.targeted = bool(targeted)
+
+    @classmethod
+    def from_profile(cls, model: Module, profile, **overrides) -> "ZOO":
+        """Build the attack with a profile's iteration budget.
+
+        ZOO's per-iteration cost is dominated by coordinate probes, so
+        only ``max_iterations`` maps from the profile; the
+        coordinate-descent knobs keep their defaults unless overridden.
+        """
+        params = dict(max_iterations=profile.max_iterations)
+        params.update(overrides)
+        return cls(model, **params)
 
     def _loss(self, x_flat: np.ndarray, shape, labels: np.ndarray,
               x0_flat: np.ndarray) -> np.ndarray:

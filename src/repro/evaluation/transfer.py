@@ -9,13 +9,15 @@ classic transfer-matrix experiment (Papernot et al., 2016).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.gradients import logits_of
 from repro.nn.layers import Module
+from repro.runtime.executor import parallel_map, resolve_jobs
+from repro.runtime.telemetry import telemetry
 
 
 def transfer_success(result: AttackResult, target: Module) -> float:
@@ -31,8 +33,15 @@ def transfer_success(result: AttackResult, target: Module) -> float:
     return float((preds != y).mean())
 
 
+def _craft_on_source(payload) -> AttackResult:
+    """Worker body: craft the attack bound to one source model."""
+    attack_factory, model, x0, y0 = payload
+    return attack_factory(model).attack(x0, y0)
+
+
 def transfer_matrix(attack_factory, models: Mapping[str, Module],
-                    x0: np.ndarray, y0: np.ndarray) -> Dict[str, Dict[str, float]]:
+                    x0: np.ndarray, y0: np.ndarray, *,
+                    jobs: Optional[int] = 1) -> Dict[str, Dict[str, float]]:
     """Full craft-on-A, evaluate-on-B matrix.
 
     Args:
@@ -42,13 +51,22 @@ def transfer_matrix(attack_factory, models: Mapping[str, Module],
             target.
         x0, y0: clean seeds and labels (should be correctly classified by
             every model for a clean reading).
+        jobs: worker processes to craft the per-source attacks with
+            (``1`` = serial, ``None``/``0`` = one per core).  Crafting
+            per source model is independent, so the matrix is identical
+            for any value; factories that don't pickle (e.g. lambdas)
+            degrade to the serial path.
 
     Returns:
         nested dict ``matrix[source][target]`` = transfer success rate.
     """
-    results: Dict[str, AttackResult] = {}
-    for name, model in models.items():
-        results[name] = attack_factory(model).attack(x0, y0)
+    names = list(models)
+    with telemetry().stage("transfer/matrix", sources=len(names),
+                           batch=len(y0)):
+        payloads = [(attack_factory, models[name], x0, y0) for name in names]
+        crafted = parallel_map(_craft_on_source, payloads,
+                               jobs=resolve_jobs(jobs), chunk_size=1)
+    results: Dict[str, AttackResult] = dict(zip(names, crafted))
     matrix: Dict[str, Dict[str, float]] = {}
     for src, result in results.items():
         matrix[src] = {

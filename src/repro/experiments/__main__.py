@@ -2,24 +2,178 @@
 
 Usage::
 
-    python -m repro.experiments list            # show experiment ids
-    python -m repro.experiments table1          # run one reproduction
-    python -m repro.experiments all             # run everything in order
-    REPRO_PROFILE=smoke python -m repro.experiments fig2
+    python -m repro.experiments list                   # show experiment ids
+    python -m repro.experiments run table1             # run one reproduction
+    python -m repro.experiments run all --jobs 4       # everything, 4 workers
+    python -m repro.experiments run fig2 --profile smoke --seed 1
+    python -m repro.experiments timings                # per-stage wall-clock
 
-Reports print to stdout; trained models and attack sweeps are cached
-under .repro_cache (override with REPRO_CACHE_DIR).
+``run`` accepts ``--profile`` (smoke|quick|paper), ``--jobs`` (worker
+processes; 0 = one per core), ``--cache-dir``, ``--seed`` and
+``--telemetry`` (JSONL event log, default ``<cache-dir>/telemetry.jsonl``).
+The bare form ``python -m repro.experiments table1`` still works as an
+alias for ``run table1``.
+
+The ``REPRO_PROFILE`` / ``REPRO_CACHE_DIR`` environment variables remain
+supported as fallbacks for scripts that predate these flags, but are
+deprecated — prefer the explicit flags.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
+import warnings
+from typing import List, Optional
 
+from repro.experiments.config import PROFILES
 from repro.experiments.registry import (
     EXPERIMENT_IDS,
     describe_experiments,
     run_experiment,
 )
+from repro.runtime.telemetry import (
+    configure_telemetry,
+    load_events,
+    render_timings,
+)
+from repro.utils.cache import DiskCache
+from repro.utils.logging import get_logger
+
+log = get_logger(__name__)
+
+_COMMANDS = ("run", "list", "timings")
+
+_DEFAULT_TELEMETRY_NAME = "telemetry.jsonl"
+
+
+def _deprecated_env(var: str, flag: str) -> Optional[str]:
+    """Read a legacy env var, warning that the flag replaces it."""
+    value = os.environ.get(var)
+    if value:
+        warnings.warn(
+            f"{var} is deprecated; pass {flag} to "
+            "`python -m repro.experiments` instead",
+            DeprecationWarning, stacklevel=3)
+        log.warning("%s is deprecated — use %s", var, flag)
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser(
+        "run", help="run one or more experiments (or 'all')",
+        description="Run table/figure reproductions by id.")
+    run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                     help=f"experiment ids or 'all'; ids: {', '.join(EXPERIMENT_IDS)}")
+    run.add_argument("--profile", choices=sorted(PROFILES),
+                     help="scale profile (default: quick, or deprecated "
+                          "$REPRO_PROFILE)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for attack sweeps "
+                          "(1 = serial, 0 = one per core; default 1)")
+    run.add_argument("--cache-dir", metavar="DIR",
+                     help="artifact cache root (default: .repro_cache, or "
+                          "deprecated $REPRO_CACHE_DIR)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="root experiment seed (default 0)")
+    run.add_argument("--telemetry", metavar="PATH",
+                     help="JSONL event log (default: "
+                          "<cache-dir>/telemetry.jsonl; 'off' disables)")
+
+    sub.add_parser("list", help="show experiment ids",
+                   description="List every experiment id with a description.")
+
+    timings = sub.add_parser(
+        "timings", help="per-stage wall-clock report from the telemetry log",
+        description="Aggregate a telemetry JSONL log into a per-stage "
+                    "wall-clock table.")
+    timings.add_argument("--telemetry", metavar="PATH",
+                         help="JSONL log to read (default: "
+                              "<cache-dir>/telemetry.jsonl)")
+    timings.add_argument("--cache-dir", metavar="DIR",
+                         help="cache root holding the default telemetry log")
+    return parser
+
+
+def _resolve_cache_dir(flag_value: Optional[str]) -> str:
+    if flag_value:
+        return flag_value
+    return _deprecated_env("REPRO_CACHE_DIR", "--cache-dir") or ".repro_cache"
+
+
+def _resolve_profile(flag_value: Optional[str]):
+    name = flag_value or _deprecated_env("REPRO_PROFILE", "--profile") or "quick"
+    name = name.lower()
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}")
+    return PROFILES[name]
+
+
+def _telemetry_path(flag_value: Optional[str], cache_dir: str) -> Optional[str]:
+    if flag_value == "off":
+        return None
+    if flag_value:
+        return flag_value
+    env = os.environ.get("REPRO_TELEMETRY")
+    if env:
+        return env
+    return os.path.join(cache_dir, _DEFAULT_TELEMETRY_NAME)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = _resolve_profile(args.profile)
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+
+    exp_ids: List[str] = []
+    for target in args.experiments:
+        if target == "all":
+            exp_ids.extend(EXPERIMENT_IDS)
+        else:
+            exp_ids.append(target)
+    # Validate before enabling the process-global telemetry sink, so a
+    # typo'd id leaves no environment side effects behind.
+    for exp_id in exp_ids:
+        if exp_id not in EXPERIMENT_IDS:
+            raise KeyError(f"unknown experiment {exp_id!r}; available: "
+                           f"{sorted(EXPERIMENT_IDS)}")
+
+    cache = DiskCache(cache_dir)
+    configure_telemetry(_telemetry_path(args.telemetry, cache_dir))
+    for exp_id in exp_ids:
+        report = run_experiment(exp_id, profile=profile, cache=cache,
+                                seed=args.seed, jobs=args.jobs)
+        print(report)
+        print()
+    return 0
+
+
+def _cmd_list() -> int:
+    for exp_id, desc in describe_experiments().items():
+        print(f"{exp_id:<8} {desc}")
+    return 0
+
+
+def _cmd_timings(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    path = _telemetry_path(args.telemetry, cache_dir)
+    events = load_events(path) if path else []
+    if not events:
+        print(f"no telemetry events found at {path}")
+        print("run experiments first: python -m repro.experiments run all")
+        return 1
+    print(f"telemetry: {path} ({len(events)} events)")
+    print()
+    print(render_timings(events))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -27,16 +181,17 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
-    target = argv[0]
-    if target == "list":
-        for exp_id, desc in describe_experiments().items():
-            print(f"{exp_id:<8} {desc}")
-        return 0
-    exp_ids = list(EXPERIMENT_IDS) if target == "all" else [target]
-    for exp_id in exp_ids:
-        report = run_experiment(exp_id)
-        print(report)
-        print()
+    # Legacy alias: `python -m repro.experiments table1` == `run table1`.
+    if argv[0] not in _COMMANDS and not argv[0].startswith("-"):
+        argv = ["run"] + argv
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "timings":
+        return _cmd_timings(args)
+    print(__doc__)
     return 0
 
 

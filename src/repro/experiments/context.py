@@ -28,6 +28,7 @@ from repro.experiments.config import ExperimentProfile, current_profile
 from repro.models.classifiers import ScaledLogits
 from repro.models.zoo import ClassifierSpec, ModelZoo
 from repro.nn.layers import Module
+from repro.runtime.telemetry import telemetry
 from repro.utils.cache import DiskCache, default_cache, stable_hash
 from repro.utils.logging import get_logger
 
@@ -63,13 +64,18 @@ class ExperimentContext:
     """One dataset + one profile: everything the experiments consume."""
 
     def __init__(self, dataset: str, profile: Optional[ExperimentProfile] = None,
-                 cache: Optional[DiskCache] = None, seed: int = 0):
+                 cache: Optional[DiskCache] = None, seed: int = 0, *,
+                 jobs: int = 1):
         if dataset not in ("digits", "objects"):
             raise KeyError(f"dataset must be 'digits' or 'objects', got {dataset!r}")
         self.dataset = dataset
         self.profile = profile or current_profile()
         self.cache = cache if cache is not None else default_cache()
         self.seed = int(seed)
+        #: Worker processes the sweep helpers may fan attack cells out to
+        #: (1 = serial).  An execution hint only: results are identical
+        #: for any value.
+        self.jobs = int(jobs)
         self._splits: Optional[DataSplits] = None
         self._zoo: Optional[ModelZoo] = None
         self._classifier: Optional[Module] = None
@@ -160,64 +166,70 @@ class ExperimentContext:
 
     def _cached_attack(self, spec: Dict, name: str, run) -> AttackResult:
         key = self._attack_key(spec)
-        try:
-            return _result_from_arrays(self.cache.load("attacks", key), name)
-        except KeyError:
-            pass
-        log.info("crafting %s on %s (%s profile)", name, self.dataset,
-                 self.profile.name)
-        result = run()
-        self.cache.save("attacks", key, _result_to_arrays(result),
-                        meta={"name": name, "spec": spec})
-        return result
+        with telemetry().stage(f"cell/{spec['attack']}", dataset=self.dataset,
+                               batch=self.profile.n_attack(self.dataset)) as evt:
+            try:
+                result = _result_from_arrays(
+                    self.cache.load("attacks", key), name)
+                evt["cache"] = "hit"
+                return result
+            except KeyError:
+                pass
+            evt["cache"] = "miss"
+            log.info("crafting %s on %s (%s profile)", name, self.dataset,
+                     self.profile.name)
+            result = run()
+            self.cache.save("attacks", key, _result_to_arrays(result),
+                            meta={"name": name, "spec": spec})
+            return result
 
     def cw(self, kappa: float) -> AttackResult:
         """C&W-L2 at confidence κ (disk-cached)."""
-        p = self.profile
-        spec = {"attack": "cw_l2", "kappa": float(kappa),
-                "iters": p.max_iterations, "bsearch": p.binary_search_steps,
-                "c0": p.initial_const, "lr": p.cw_lr}
 
         def run():
             x0, y0 = self.attack_seeds()
-            attack = CarliniWagnerL2(
-                self.classifier, kappa=kappa,
-                binary_search_steps=p.binary_search_steps,
-                max_iterations=p.max_iterations,
-                lr=p.cw_lr, initial_const=p.initial_const)
+            attack = CarliniWagnerL2.from_profile(
+                self.classifier, self.profile, kappa=kappa)
             return attack.attack(x0, y0)
 
-        return self._cached_attack(spec, f"cw_l2(kappa={kappa:g})", run)
+        return self._cached_attack(self._cw_spec(kappa),
+                                   f"cw_l2(kappa={kappa:g})", run)
+
+    def _cw_spec(self, kappa: float) -> Dict:
+        p = self.profile
+        return {"attack": "cw_l2", "kappa": float(kappa),
+                "iters": p.max_iterations, "bsearch": p.binary_search_steps,
+                "c0": p.initial_const, "lr": p.cw_lr}
 
     def ead(self, beta: float, kappa: float) -> Dict[str, AttackResult]:
         """EAD at (β, κ); returns both decision rules from one cached run."""
-        p = self.profile
         results = {}
         missing = []
-        for rule in DECISION_RULES:
-            spec = self._ead_spec(beta, kappa, rule)
-            key = self._attack_key(spec)
-            try:
-                arrays = self.cache.load("attacks", key)
-                results[rule] = _result_from_arrays(
-                    arrays, f"ead_{rule}(beta={beta:g}, kappa={kappa:g})")
-            except KeyError:
-                missing.append(rule)
-        if missing:
-            log.info("crafting EAD beta=%g kappa=%g on %s (%s profile)",
-                     beta, kappa, self.dataset, self.profile.name)
-            x0, y0 = self.attack_seeds()
-            attack = EAD(self.classifier, beta=beta, kappa=kappa,
-                         binary_search_steps=p.binary_search_steps,
-                         max_iterations=p.max_iterations,
-                         lr=p.ead_lr, initial_const=p.initial_const)
-            both = attack.attack_both(x0, y0)
+        with telemetry().stage("cell/ead", dataset=self.dataset,
+                               batch=self.profile.n_attack(self.dataset)) as evt:
             for rule in DECISION_RULES:
                 spec = self._ead_spec(beta, kappa, rule)
-                self.cache.save("attacks", self._attack_key(spec),
-                                _result_to_arrays(both[rule]),
-                                meta={"name": both[rule].name, "spec": spec})
-                results[rule] = both[rule]
+                key = self._attack_key(spec)
+                try:
+                    arrays = self.cache.load("attacks", key)
+                    results[rule] = _result_from_arrays(
+                        arrays, f"ead_{rule}(beta={beta:g}, kappa={kappa:g})")
+                except KeyError:
+                    missing.append(rule)
+            evt["cache"] = "miss" if missing else "hit"
+            if missing:
+                log.info("crafting EAD beta=%g kappa=%g on %s (%s profile)",
+                         beta, kappa, self.dataset, self.profile.name)
+                x0, y0 = self.attack_seeds()
+                attack = EAD.from_profile(self.classifier, self.profile,
+                                          beta=beta, kappa=kappa)
+                both = attack.attack_both(x0, y0)
+                for rule in DECISION_RULES:
+                    spec = self._ead_spec(beta, kappa, rule)
+                    self.cache.save("attacks", self._attack_key(spec),
+                                    _result_to_arrays(both[rule]),
+                                    meta={"name": both[rule].name, "spec": spec})
+                    results[rule] = both[rule]
         return results
 
     def _ead_spec(self, beta: float, kappa: float, rule: str) -> Dict:

@@ -15,6 +15,7 @@ from repro.experiments import figures, tables
 from repro.experiments.config import ExperimentProfile, current_profile
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runtime.telemetry import telemetry
 from repro.utils.cache import DiskCache
 
 # exp id -> (function, datasets it needs, short description)
@@ -49,13 +50,21 @@ _contexts: Dict[Tuple[str, str, int], ExperimentContext] = {}
 
 def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
                 cache: Optional[DiskCache] = None,
-                seed: int = 0) -> ExperimentContext:
-    """Memoized ExperimentContext for (dataset, profile, seed)."""
+                seed: int = 0, *, jobs: int = 1) -> ExperimentContext:
+    """Memoized ExperimentContext for (dataset, profile, seed).
+
+    ``jobs`` is an execution hint, not part of the memo key: passing a
+    different value updates the existing context's fan-out width without
+    invalidating its cached data/models (results are identical for any
+    ``jobs``).
+    """
     profile = profile or current_profile()
     key = (dataset, profile.name, seed)
     if key not in _contexts:
         _contexts[key] = ExperimentContext(dataset, profile=profile,
-                                           cache=cache, seed=seed)
+                                           cache=cache, seed=seed, jobs=jobs)
+    else:
+        _contexts[key].jobs = int(jobs)
     return _contexts[key]
 
 
@@ -66,15 +75,29 @@ def describe_experiments() -> Dict[str, str]:
 
 def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
                    cache: Optional[DiskCache] = None,
-                   seed: int = 0) -> ExperimentReport:
-    """Run one table/figure reproduction and return its report."""
+                   seed: int = 0, *, jobs: int = 1) -> ExperimentReport:
+    """Run one table/figure reproduction and return its report.
+
+    ``jobs`` (keyword-only) sets the parallel fan-out: with ``jobs > 1``
+    the profile's full attack grid for each dataset the experiment needs
+    is precomputed across that many worker processes before the (serial,
+    cache-hitting) experiment body runs.  ``0`` means one worker per
+    core.  Results are bitwise-identical for any value.
+    """
     if exp_id not in _SPEC:
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: {sorted(_SPEC)}")
     fn, datasets, _desc = _SPEC[exp_id]
-    contexts = [get_context(ds, profile=profile, cache=cache, seed=seed)
+    contexts = [get_context(ds, profile=profile, cache=cache, seed=seed,
+                            jobs=jobs)
                 for ds in datasets]
-    return fn(*contexts)
+    with telemetry().stage(f"experiment/{exp_id}", jobs=jobs):
+        if jobs is not None and jobs != 1:
+            from repro.experiments.sweeps import precompute_attacks
+
+            for ctx in contexts:
+                precompute_attacks(ctx, jobs=jobs)
+        return fn(*contexts)
 
 
 def clear_contexts() -> None:

@@ -5,16 +5,35 @@ confidence κ; every "best ASR" table cell is the max over that sweep.
 These helpers pull cached attack results from an
 :class:`~repro.experiments.context.ExperimentContext` and score them
 against a MagNet variant.
+
+Crafting dominates sweep wall-clock and every (attack, κ, β) cell is
+independent, so the sweep helpers route missing cells through
+:mod:`repro.runtime`: :func:`precompute_attacks` fans them out across a
+process pool and publishes the results into the context's disk cache
+under exactly the keys the serial accessors use.  Workers receive the
+already-trained classifier and the already-selected attack seeds, and
+the attacks themselves are deterministic, so a parallel sweep is
+bitwise-identical to a serial one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.attacks.base import AttackResult
+from repro.attacks.carlini_wagner import CarliniWagnerL2
+from repro.attacks.ead import DECISION_RULES, EAD
 from repro.defenses.magnet import MagNet
+from repro.experiments.context import (
+    ExperimentContext,
+    _result_to_arrays,
+)
 from repro.evaluation.metrics import defense_breakdown
-from repro.experiments.context import ExperimentContext
+from repro.runtime.executor import parallel_map, resolve_jobs
+from repro.runtime.telemetry import telemetry
+from repro.utils.logging import get_logger
+
+log = get_logger(__name__)
 
 #: Ordering of the paper's four defense schemes in breakdown figures.
 SCHEMES = ("no_defense", "detector_only", "reformer_only", "full")
@@ -25,6 +44,124 @@ SCHEME_LABELS = {
     "reformer_only": "With reformer",
     "full": "With detector & reformer",
 }
+
+
+# ----------------------------------------------------------------------
+# Parallel pre-computation of attack cells
+# ----------------------------------------------------------------------
+def attack_grid(ctx: ExperimentContext,
+                kappas: Optional[Sequence[float]] = None,
+                betas: Optional[Sequence[float]] = None,
+                include_cw: bool = True) -> List[Dict]:
+    """Enumerate the (attack, κ[, β]) cells of a sweep as work items.
+
+    Defaults to the context profile's full κ grid and β list — the pool
+    of cells every table/figure of that profile draws from.
+    """
+    if kappas is None:
+        kappas = ctx.profile.kappas(ctx.dataset)
+    if betas is None:
+        betas = ctx.profile.betas
+    cells: List[Dict] = []
+    if include_cw:
+        cells.extend({"attack": "cw", "kappa": float(k)} for k in kappas)
+    cells.extend({"attack": "ead", "beta": float(b), "kappa": float(k)}
+                 for b in betas for k in kappas)
+    return cells
+
+
+def _cell_keys(ctx: ExperimentContext, cell: Dict) -> Dict[str, str]:
+    """Cache keys a cell publishes, labelled by result slot."""
+    if cell["attack"] == "cw":
+        return {"cw": ctx._attack_key(ctx._cw_spec(cell["kappa"]))}
+    return {
+        rule: ctx._attack_key(ctx._ead_spec(cell["beta"], cell["kappa"], rule))
+        for rule in DECISION_RULES
+    }
+
+
+def missing_cells(ctx: ExperimentContext, cells: Sequence[Dict]) -> List[Dict]:
+    """The subset of cells with at least one uncached result."""
+    return [
+        cell for cell in cells
+        if not all(ctx.cache.contains("attacks", key)
+                   for key in _cell_keys(ctx, cell).values())
+    ]
+
+
+def _craft_cell(payload) -> Dict[str, Dict]:
+    """Worker body: craft one attack cell against a pickled classifier.
+
+    Returns ``{slot: arrays}`` (slot ``"cw"`` or a decision rule) so the
+    parent can publish under the context's cache keys; workers never
+    touch the cache directly, which keeps cache-write ordering with the
+    parent deterministic.
+    """
+    classifier, profile, x0, y0, cell = payload
+    if cell["attack"] == "cw":
+        attack = CarliniWagnerL2.from_profile(classifier, profile,
+                                              kappa=cell["kappa"])
+        return {"cw": _result_to_arrays(attack.attack(x0, y0))}
+    attack = EAD.from_profile(classifier, profile, beta=cell["beta"],
+                              kappa=cell["kappa"])
+    both = attack.attack_both(x0, y0)
+    return {rule: _result_to_arrays(both[rule]) for rule in DECISION_RULES}
+
+
+def precompute_attacks(ctx: ExperimentContext, *,
+                       kappas: Optional[Sequence[float]] = None,
+                       betas: Optional[Sequence[float]] = None,
+                       include_cw: bool = True,
+                       jobs: Optional[int] = None) -> Dict[str, int]:
+    """Craft every uncached cell of a sweep, fanning out across ``jobs``.
+
+    After this returns, the serial accessors (``ctx.cw``/``ctx.ead``)
+    are pure cache hits for the covered grid.  Returns a summary dict
+    (``computed``/``cached``/``jobs``).
+    """
+    jobs = resolve_jobs(ctx.jobs if jobs is None else jobs)
+    cells = attack_grid(ctx, kappas=kappas, betas=betas,
+                        include_cw=include_cw)
+    todo = missing_cells(ctx, cells)
+    summary = {"computed": len(todo), "cached": len(cells) - len(todo),
+               "jobs": jobs}
+    if not todo:
+        return summary
+    with telemetry().stage("sweep/precompute", dataset=ctx.dataset,
+                           cells=len(todo), jobs=jobs):
+        if jobs <= 1:
+            for cell in todo:
+                if cell["attack"] == "cw":
+                    ctx.cw(cell["kappa"])
+                else:
+                    ctx.ead(cell["beta"], cell["kappa"])
+            return summary
+        # Materialize shared inputs once, in the parent, so workers do
+        # not redundantly train/select (and so results cannot depend on
+        # worker-local state).
+        classifier = ctx.classifier
+        x0, y0 = ctx.attack_seeds()
+        log.info("precomputing %d attack cells on %s with %d workers",
+                 len(todo), ctx.dataset, jobs)
+        payloads = [(classifier, ctx.profile, x0, y0, cell) for cell in todo]
+        outputs = parallel_map(_craft_cell, payloads, jobs=jobs, chunk_size=1)
+        for cell, arrays_by_slot in zip(todo, outputs):
+            keys = _cell_keys(ctx, cell)
+            for slot, arrays in arrays_by_slot.items():
+                ctx.cache.save("attacks", keys[slot], arrays,
+                               meta={"cell": cell, "slot": slot})
+    return summary
+
+
+def _warm(ctx, kappas: Sequence[float], betas: Sequence[float],
+          include_cw: bool, jobs: Optional[int]) -> None:
+    """Precompute cells ahead of a serial read loop when parallelism is on."""
+    if not isinstance(ctx, ExperimentContext):
+        return  # stub contexts in unit tests
+    jobs = resolve_jobs(ctx.jobs if jobs is None else jobs)
+    if jobs > 1:
+        precompute_attacks(ctx, kappas=kappas, betas=betas,
+                           include_cw=include_cw, jobs=jobs)
 
 
 def attack_result(ctx: ExperimentContext, attack: str, kappa: float,
@@ -41,9 +178,14 @@ def attack_result(ctx: ExperimentContext, attack: str, kappa: float,
 
 
 def accuracy_curves(ctx: ExperimentContext, magnet: MagNet,
-                    kappas: Sequence[float], beta: float = 1e-1
-                    ) -> Dict[str, List[float]]:
-    """The three curves of Figures 2/3: C&W, EAD-L1, EAD-EN vs κ."""
+                    kappas: Sequence[float], beta: float = 1e-1, *,
+                    jobs: Optional[int] = None) -> Dict[str, List[float]]:
+    """The three curves of Figures 2/3: C&W, EAD-L1, EAD-EN vs κ.
+
+    ``jobs`` (default: the context's ``jobs`` hint) fans uncached cells
+    out across worker processes before the serial scoring loop.
+    """
+    _warm(ctx, kappas, [beta], True, jobs)
     curves: Dict[str, List[float]] = {
         "C&W L2 attack": [],
         f"EAD-L1 beta={beta:g}": [],
@@ -77,8 +219,9 @@ def breakdown_curves(ctx: ExperimentContext, magnet: MagNet,
 
 
 def best_asr(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float],
-             beta: float, rule: str) -> float:
+             beta: float, rule: str, *, jobs: Optional[int] = None) -> float:
     """Best-over-κ EAD attack success rate vs a variant (Tables IV/VII cells)."""
+    _warm(ctx, kappas, [beta], False, jobs)
     _, y0 = ctx.attack_seeds()
     rates = [
         magnet.attack_success_rate(ctx.ead(beta, kappa)[rule].x_adv, y0)
@@ -97,9 +240,10 @@ def best_asr_row(ctx: ExperimentContext, magnets: Dict[str, MagNet],
     }
 
 
-def cw_best(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float]
-            ) -> Dict[str, float]:
+def cw_best(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float],
+            *, jobs: Optional[int] = None) -> Dict[str, float]:
     """C&W's best-over-κ ASR and the distortions at that κ (Table I row)."""
+    _warm(ctx, kappas, [], True, jobs)
     _, y0 = ctx.attack_seeds()
     best = {"asr": -1.0, "kappa": float("nan"), "l1": float("nan"),
             "l2": float("nan")}
@@ -114,8 +258,10 @@ def cw_best(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float]
 
 
 def ead_best(ctx: ExperimentContext, magnet: MagNet, kappas: Sequence[float],
-             beta: float, rule: str) -> Dict[str, float]:
+             beta: float, rule: str, *, jobs: Optional[int] = None
+             ) -> Dict[str, float]:
     """EAD's best-over-κ ASR and distortions at that κ (Table I rows)."""
+    _warm(ctx, kappas, [beta], False, jobs)
     _, y0 = ctx.attack_seeds()
     best = {"asr": -1.0, "kappa": float("nan"), "l1": float("nan"),
             "l2": float("nan")}

@@ -23,6 +23,7 @@ from repro.models.autoencoders import build_autoencoder
 from repro.models.classifiers import build_classifier
 from repro.nn.layers import Module
 from repro.nn.training import Trainer, accuracy
+from repro.runtime.telemetry import telemetry
 from repro.utils.cache import DiskCache, default_cache, stable_hash
 from repro.utils.logging import get_logger
 from repro.utils.rng import rng_from_seed
@@ -134,7 +135,8 @@ class ModelZoo:
             return self._memory[key]
         model = build_classifier(spec.dataset, seed=spec.seed, variant=spec.variant)
         model = self._restore_or_train(
-            key, model, lambda: train_classifier(self.splits, spec))
+            key, model, lambda: train_classifier(self.splits, spec),
+            stage="train/classifier", batch=spec.batch_size)
         self._memory[key] = model
         return model
 
@@ -147,22 +149,28 @@ class ModelZoo:
         model = build_autoencoder(spec.dataset, spec.kind, width=spec.width,
                                   seed=spec.seed)
         model = self._restore_or_train(
-            key, model, lambda: train_autoencoder(self.splits, spec))
+            key, model, lambda: train_autoencoder(self.splits, spec),
+            stage="train/autoencoder", batch=spec.batch_size)
         self._memory[key] = model
         return model
 
-    def _restore_or_train(self, key: str, fresh_model: Module, train_fn) -> Module:
-        try:
-            state = self.cache.load("models", key)
-            fresh_model.load_state_dict(state)
-            fresh_model.eval()
-            return fresh_model
-        except KeyError:
-            pass
-        model, info = train_fn()
-        self.cache.save("models", key, model.state_dict(), meta=info)
-        model.eval()
-        return model
+    def _restore_or_train(self, key: str, fresh_model: Module, train_fn,
+                          stage: str = "train/model",
+                          batch: Optional[int] = None) -> Module:
+        with telemetry().stage(stage, batch=batch) as evt:
+            try:
+                state = self.cache.load("models", key)
+                fresh_model.load_state_dict(state)
+                fresh_model.eval()
+                evt["cache"] = "hit"
+                return fresh_model
+            except KeyError:
+                pass
+            evt["cache"] = "miss"
+            model, info = train_fn()
+            self.cache.save("models", key, model.state_dict(), meta=info)
+            model.eval()
+            return model
 
     def model_meta(self, spec) -> Dict:
         """Return the training-info sidecar for a previously trained spec."""

@@ -106,6 +106,9 @@ class Trainer:
         """
         if early_stopping_patience is not None and x_val is None:
             raise ValueError("early stopping requires validation data")
+        from repro.runtime.telemetry import telemetry
+
+        t_start = time.perf_counter()
         history = TrainingHistory()
         best_val = float("inf")
         stale = 0
@@ -151,6 +154,10 @@ class Trainer:
                         log.info("early stopping at epoch %d", epoch)
                         break
         self.model.eval()
+        telemetry().emit(f"fit/{self.loss_name}",
+                         duration_s=time.perf_counter() - t_start,
+                         batch=min(batch_size, len(x)),
+                         epochs=len(history.epochs), samples=len(x))
         return history
 
     def evaluate_loss(self, x: np.ndarray, y: Optional[np.ndarray],

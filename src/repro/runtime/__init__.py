@@ -1,0 +1,44 @@
+"""Parallel experiment runtime: process-pool execution + run telemetry.
+
+The experiment pipeline — train classifier, train MagNet autoencoders,
+craft C&W/EAD sweeps over (kappa, beta), score the oblivious defense —
+is embarrassingly parallel per attack cell.  This package provides the
+shared machinery:
+
+* :class:`ParallelExecutor` / :func:`parallel_map` — chunked,
+  order-preserving process-pool mapping with a serial fallback and
+  deterministic per-item seeding, so parallel runs are bitwise-identical
+  to serial ones.
+* :class:`RunTelemetry` / :func:`telemetry` — an append-only JSONL event
+  log (stage name, duration, cache hit/miss, worker id, batch size)
+  shared safely by concurrent worker processes, plus the aggregation
+  used by ``python -m repro.experiments timings``.
+"""
+
+from repro.runtime.executor import (
+    ParallelExecutor,
+    default_chunk_size,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.runtime.telemetry import (
+    RunTelemetry,
+    aggregate_events,
+    configure_telemetry,
+    load_events,
+    render_timings,
+    telemetry,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "RunTelemetry",
+    "aggregate_events",
+    "configure_telemetry",
+    "default_chunk_size",
+    "load_events",
+    "parallel_map",
+    "render_timings",
+    "resolve_jobs",
+    "telemetry",
+]

@@ -1,0 +1,146 @@
+"""Chunked process-pool mapping with deterministic seeding.
+
+The executor never changes *what* is computed, only *where*: work items
+are mapped in order, per-item seeds are derived from a root
+:class:`numpy.random.SeedSequence` by item index (not by worker), and
+the serial path applies the exact same function to the exact same
+payloads — so a parallel run is bitwise-identical to ``jobs=1``.
+
+Failure handling favours completion over speed: anything that prevents
+the pool from running the work (unpicklable callables/payloads, a
+broken worker, a platform without usable multiprocessing) degrades to
+the serial path with a warning instead of failing the experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.runtime.telemetry import telemetry
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_seeds
+
+log = get_logger(__name__)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: None/0 → all cores, n → n."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def default_chunk_size(n_items: int, jobs: int) -> int:
+    """Chunk so each worker sees ~4 chunks (load balance vs IPC cost)."""
+    if n_items <= 0 or jobs <= 0:
+        return 1
+    return max(1, math.ceil(n_items / (jobs * 4)))
+
+
+def _call(fn: Callable, item: Any, seed: Optional[int]) -> Any:
+    return fn(item) if seed is None else fn(item, seed=seed)
+
+
+def _invoke(payload) -> Any:
+    """Top-level trampoline so the pool can pickle the unit of work."""
+    fn, item, seed = payload
+    return _call(fn, item, seed)
+
+
+class ParallelExecutor:
+    """Order-preserving map over a process pool, with a serial fallback.
+
+    Args:
+        jobs: worker processes; ``None``/``0`` means one per core and
+            ``1`` forces the serial path (no pool, no pickling).
+        chunk_size: items per pool task (default
+            :func:`default_chunk_size`).
+        seed: when given, each item's callable receives an independent
+            ``seed=`` keyword derived from this root by *item index*, so
+            results do not depend on worker scheduling.
+        mp_context: multiprocessing start method (default ``fork`` where
+            available, else ``spawn``).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 chunk_size: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 mp_context: Optional[str] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.chunk_size = chunk_size
+        self.seed = seed
+        self.mp_context = mp_context
+
+    def _start_method(self) -> str:
+        if self.mp_context is not None:
+            return self.mp_context
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+    def map(self, fn: Callable, items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, in order; see class docstring."""
+        items = list(items)
+        n = len(items)
+        if self.seed is not None:
+            seeds: Sequence[Optional[int]] = spawn_seeds(self.seed, n)
+        else:
+            seeds = [None] * n
+        jobs = min(self.jobs, n)
+        if jobs <= 1:
+            return [_call(fn, item, s) for item, s in zip(items, seeds)]
+
+        payloads = [(fn, item, s) for item, s in zip(items, seeds)]
+        chunk = self.chunk_size or default_chunk_size(n, jobs)
+        try:
+            results = self._pool_map(payloads, jobs, chunk)
+        except Exception as exc:
+            if not _is_fallback_error(exc):
+                raise
+            log.warning("process pool unavailable (%s: %s) — running "
+                        "%d items serially", type(exc).__name__, exc, n)
+            return [_call(fn, item, s) for item, s in zip(items, seeds)]
+        telemetry().emit("runtime/map", items=n, jobs=jobs, chunk=chunk)
+        return results
+
+    def _pool_map(self, payloads, jobs: int, chunk: int) -> List[Any]:
+        import concurrent.futures
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(self._start_method())
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs, mp_context=ctx) as pool:
+            return list(pool.map(_invoke, payloads, chunksize=chunk))
+
+
+def _is_fallback_error(exc: BaseException) -> bool:
+    """Errors that mean "the pool can't do this", not "the work failed"."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(exc, (pickle.PicklingError, BrokenProcessPool,
+                        ImportError, PermissionError)):
+        return True
+    # pickling closures/lambdas raises AttributeError or TypeError from
+    # inside the serializer; genuine work errors of those types would
+    # reproduce serially anyway (the fallback re-raises them).
+    return isinstance(exc, (AttributeError, TypeError)) and (
+        "pickle" in str(exc).lower() or "<locals>" in str(exc)
+        or "<lambda>" in str(exc))
+
+
+def parallel_map(fn: Callable, items: Iterable[Any], *,
+                 jobs: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 mp_context: Optional[str] = None) -> List[Any]:
+    """One-shot :meth:`ParallelExecutor.map` (see class for semantics)."""
+    executor = ParallelExecutor(jobs, chunk_size=chunk_size, seed=seed,
+                                mp_context=mp_context)
+    return executor.map(fn, items)

@@ -6,11 +6,12 @@ every expensive artifact (trained model, attack sweep) is cached on disk
 under a key derived from a stable hash of its full configuration.
 """
 
-from repro.utils.cache import DiskCache, default_cache, stable_hash
+from repro.utils.cache import CacheStats, DiskCache, default_cache, stable_hash
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedSequence, rng_from_seed, spawn_seeds
 
 __all__ = [
+    "CacheStats",
     "DiskCache",
     "SeedSequence",
     "default_cache",

@@ -5,10 +5,21 @@ benchmarks for 7 tables and 13 figures share one pool of artifacts through
 this cache.  Keys are derived from :func:`stable_hash`, which canonicalizes
 nested dict/list/tuple/scalar configs into JSON and hashes with SHA-256, so
 the same logical config always maps to the same file across processes.
+
+The store is safe for concurrent writers (the parallel runtime fans
+attack cells out across processes that share one cache root): every
+write lands in a uniquely-named temp file in the destination directory,
+is fsync'd, and is published with an atomic ``os.replace``.  Readers
+treat any unreadable entry — e.g. a truncated ``.npz`` left by a crash
+of an older, non-atomic writer — as a miss: the stale file is discarded
+and the artifact is recomputed and rewritten instead of poisoning the
+run.  Per-instance :class:`CacheStats` counters expose hit/miss/byte
+traffic for telemetry and debugging.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -55,18 +66,80 @@ def stable_hash(config: Any, length: int = 16) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
 
 
+@dataclasses.dataclass
+class CacheStats:
+    """Traffic counters for one :class:`DiskCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    stale_discards: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["hit_rate"] = round(self.hit_rate, 4)
+        return data
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+    def __str__(self) -> str:
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"writes={self.writes}, stale={self.stale_discards}, "
+                f"read={self.bytes_read}B, written={self.bytes_written}B)")
+
+
+def _atomic_write(path: Path, write_fn: Callable[[Any], None],
+                  suffix: str) -> int:
+    """Write via unique temp file + fsync + rename; returns bytes written.
+
+    Unique temp names make concurrent writers of the same key safe: each
+    publishes a complete file and the last ``os.replace`` wins.  The
+    fsync closes the crash window where a rename could outlive its data.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=suffix)
+    try:
+        # mkstemp creates 0600; restore the umask-default perms a plain
+        # open() would have given the destination file.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "wb") as fh:
+            write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        size = os.path.getsize(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return size
+
+
 class DiskCache:
     """A content-addressed npz store for numpy-array payloads.
 
     Each entry is a dict of ndarrays (plus a JSON metadata sidecar) stored
-    as ``<root>/<namespace>/<key>.npz``.  Writes are atomic (tempfile +
-    rename) so concurrent benchmark runs cannot observe torn files.
+    as ``<root>/<namespace>/<key>.npz``.  Writes are atomic and readers
+    self-heal: unreadable entries are discarded and surface as misses
+    (see the module docstring for the concurrency contract).
     """
 
     def __init__(self, root: Optional[os.PathLike] = None):
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
         self.root = Path(root)
+        self.stats = CacheStats()
 
     def _path(self, namespace: str, key: str) -> Path:
         return self.root / namespace / f"{key}.npz"
@@ -78,36 +151,63 @@ class DiskCache:
              meta: Optional[Dict[str, Any]] = None) -> Path:
         """Atomically store a dict of arrays under (namespace, key)."""
         path = self._path(namespace, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **arrays)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        written = _atomic_write(path, lambda fh: np.savez(fh, **arrays),
+                                suffix=".npz.tmp")
         if meta is not None:
             meta_path = path.with_suffix(".json")
-            meta_tmp = meta_path.with_suffix(".json.tmp")
-            meta_tmp.write_text(json.dumps(meta, indent=2, default=str))
-            os.replace(meta_tmp, meta_path)
+            blob = json.dumps(meta, indent=2, default=str).encode("utf-8")
+            written += _atomic_write(meta_path, lambda fh: fh.write(blob),
+                                     suffix=".json.tmp")
+        self.stats.writes += 1
+        self.stats.bytes_written += written
         return path
 
+    def _discard_stale(self, namespace: str, key: str, reason: str) -> None:
+        """Remove an unreadable entry (and its sidecar) so it is rewritten."""
+        path = self._path(namespace, key)
+        log.warning("discarding unreadable cache entry %s/%s: %s",
+                    namespace, key, reason)
+        self.stats.stale_discards += 1
+        for victim in (path, path.with_suffix(".json")):
+            try:
+                victim.unlink()
+            except OSError:
+                pass
+
     def load(self, namespace: str, key: str) -> Dict[str, np.ndarray]:
-        """Load a dict of arrays; raises KeyError if absent."""
+        """Load a dict of arrays; raises KeyError if absent or unreadable.
+
+        A truncated or corrupt file (e.g. from an interrupted legacy
+        writer or a torn copy) is deleted and reported as a miss rather
+        than crashing the run.
+        """
         path = self._path(namespace, key)
         if not path.exists():
+            self.stats.misses += 1
             raise KeyError(f"cache miss: {namespace}/{key}")
-        with np.load(path, allow_pickle=False) as data:
-            return {name: data[name] for name in data.files}
+        try:
+            size = path.stat().st_size
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {name: data[name] for name in data.files}
+        except Exception as exc:
+            self._discard_stale(namespace, key, f"{type(exc).__name__}: {exc}")
+            self.stats.misses += 1
+            raise KeyError(
+                f"cache entry unreadable: {namespace}/{key}") from None
+        self.stats.hits += 1
+        self.stats.bytes_read += size
+        return arrays
 
     def load_meta(self, namespace: str, key: str) -> Dict[str, Any]:
         path = self._path(namespace, key).with_suffix(".json")
         if not path.exists():
             raise KeyError(f"cache meta miss: {namespace}/{key}")
-        return json.loads(path.read_text())
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            self._discard_stale(namespace, key, f"meta {type(exc).__name__}")
+            raise KeyError(
+                f"cache meta unreadable: {namespace}/{key}") from None
 
     def get_or_compute(self, namespace: str, key: str,
                        compute: Callable[[], Dict[str, np.ndarray]],

@@ -1,0 +1,161 @@
+"""Unit tests for the JSONL run-telemetry sink and timings report."""
+
+import json
+import time
+
+import pytest
+
+from repro.runtime.telemetry import (
+    TELEMETRY_ENV,
+    RunTelemetry,
+    aggregate_events,
+    configure_telemetry,
+    load_events,
+    render_timings,
+    telemetry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry(monkeypatch):
+    """Keep the process-wide sink disabled outside each test's control."""
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    yield
+    configure_telemetry(None)
+
+
+class TestRunTelemetry:
+    def test_disabled_without_path(self):
+        sink = RunTelemetry(None)
+        assert not sink.enabled
+        sink.emit("stage/a", duration_s=1.0)  # must be a silent no-op
+
+    def test_emit_appends_json_lines(self, tmp_path):
+        sink = RunTelemetry(tmp_path / "t.jsonl")
+        sink.emit("train/classifier", duration_s=1.5, cache="miss", batch=64)
+        sink.emit("attack/ead", duration_s=0.25, kappa=10.0)
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["stage"] == "train/classifier"
+        assert first["duration_s"] == 1.5
+        assert first["cache"] == "miss"
+        assert first["batch"] == 64
+        assert isinstance(first["worker"], int)
+
+    def test_none_fields_dropped(self, tmp_path):
+        sink = RunTelemetry(tmp_path / "t.jsonl")
+        sink.emit("s", cache=None, batch=3)
+        event = json.loads((tmp_path / "t.jsonl").read_text())
+        assert "cache" not in event
+        assert event["batch"] == 3
+
+    def test_stage_times_the_block(self, tmp_path):
+        sink = RunTelemetry(tmp_path / "t.jsonl")
+        with sink.stage("sleepy", batch=1) as evt:
+            time.sleep(0.01)
+            evt["cache"] = "hit"
+        event = json.loads((tmp_path / "t.jsonl").read_text())
+        assert event["stage"] == "sleepy"
+        assert event["duration_s"] >= 0.01
+        assert event["cache"] == "hit"
+
+    def test_stage_emits_even_on_exception(self, tmp_path):
+        sink = RunTelemetry(tmp_path / "t.jsonl")
+        with pytest.raises(RuntimeError):
+            with sink.stage("failing"):
+                raise RuntimeError("boom")
+        assert json.loads((tmp_path / "t.jsonl").read_text())["stage"] == "failing"
+
+    def test_disabled_stage_yields_dict(self):
+        sink = RunTelemetry(None)
+        with sink.stage("s") as evt:
+            evt["cache"] = "hit"  # writable even when disabled
+
+
+class TestGlobalSink:
+    def test_disabled_by_default(self):
+        assert not telemetry().enabled
+
+    def test_configure_enables_and_exports_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "run.jsonl"
+        sink = configure_telemetry(path)
+        assert sink.enabled
+        assert telemetry() is sink
+        import os
+
+        assert os.environ[TELEMETRY_ENV] == str(path)
+
+    def test_env_change_is_picked_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path / "a.jsonl"))
+        assert telemetry().path.name == "a.jsonl"
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path / "b.jsonl"))
+        assert telemetry().path.name == "b.jsonl"
+
+    def test_configure_none_disables(self, tmp_path):
+        configure_telemetry(tmp_path / "t.jsonl")
+        configure_telemetry(None)
+        assert not telemetry().enabled
+
+
+class TestLoadAndAggregate:
+    def _write(self, path, events):
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+
+    def test_load_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"stage": "a", "duration_s": 1}\n'
+                        "not json at all\n"
+                        '{"no_stage_field": true}\n'
+                        '{"stage": "b", "duration_s": 2}\n')
+        events = load_events(path)
+        assert [e["stage"] for e in events] == ["a", "b"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_events(tmp_path / "absent.jsonl") == []
+
+    def test_aggregate(self, tmp_path):
+        events = [
+            {"stage": "attack/ead", "duration_s": 2.0, "cache": "miss",
+             "worker": 1},
+            {"stage": "attack/ead", "duration_s": 4.0, "cache": "hit",
+             "worker": 2},
+            {"stage": "train/classifier", "duration_s": 10.0, "worker": 1},
+        ]
+        stats = aggregate_events(events)
+        ead = stats["attack/ead"]
+        assert ead.count == 2
+        assert ead.total_s == pytest.approx(6.0)
+        assert ead.mean_s == pytest.approx(3.0)
+        assert ead.max_s == pytest.approx(4.0)
+        assert ead.cache_hits == 1
+        assert ead.cache_misses == 1
+        assert ead.workers == 2
+        assert stats["train/classifier"].count == 1
+
+    def test_render_sorted_by_total(self):
+        events = [
+            {"stage": "small", "duration_s": 1.0},
+            {"stage": "big", "duration_s": 9.0},
+        ]
+        table = render_timings(events)
+        assert table.index("big") < table.index("small")
+        assert "total stage time" in table
+
+    def test_render_empty(self):
+        assert "no telemetry" in render_timings([])
+
+
+class TestDurationSum:
+    def test_stage_durations_cover_wall_clock(self, tmp_path):
+        """Top-level stage durations must account for ~all elapsed time."""
+        sink = RunTelemetry(tmp_path / "t.jsonl")
+        t0 = time.perf_counter()
+        for _ in range(3):
+            with sink.stage("work"):
+                time.sleep(0.02)
+        wall = time.perf_counter() - t0
+        total = sum(e["duration_s"] for e in load_events(tmp_path / "t.jsonl"))
+        assert total == pytest.approx(wall, rel=0.5)

@@ -78,3 +78,119 @@ class TestAttackResultSerialization:
         )
         arrays = _result_to_arrays(result)
         assert np.isnan(arrays["const"]).all()
+
+
+class TestArgparseCli:
+    """The redesigned argparse surface: run / list / timings."""
+
+    def _parser(self):
+        from repro.experiments.__main__ import build_parser
+
+        return build_parser()
+
+    def test_run_flags_parse(self):
+        args = self._parser().parse_args(
+            ["run", "table1", "fig2", "--profile", "smoke", "--jobs", "4",
+             "--cache-dir", "/tmp/c", "--seed", "3", "--telemetry", "t.jsonl"])
+        assert args.command == "run"
+        assert args.experiments == ["table1", "fig2"]
+        assert args.profile == "smoke"
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.seed == 3
+        assert args.telemetry == "t.jsonl"
+
+    def test_run_defaults(self):
+        args = self._parser().parse_args(["run", "all"])
+        assert args.jobs == 1
+        assert args.seed == 0
+        assert args.profile is None
+        assert args.cache_dir is None
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["run", "table1", "--profile", "warp"])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["run"])
+
+    def test_legacy_bare_id_aliases_run(self, capsys, monkeypatch):
+        """`python -m repro.experiments table99` still reaches run_experiment."""
+        from repro.experiments.__main__ import main as cli
+
+        with pytest.raises(KeyError):
+            cli(["table99", "--profile", "smoke"])
+
+    def test_list_subcommand(self, capsys):
+        assert cli_main(["list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+
+class TestCliResolution:
+    def test_profile_flag_wins(self, monkeypatch):
+        from repro.experiments.__main__ import _resolve_profile
+
+        monkeypatch.setenv("REPRO_PROFILE", "paper")
+        assert _resolve_profile("smoke").name == "smoke"
+
+    def test_profile_env_fallback_warns(self, monkeypatch):
+        from repro.experiments.__main__ import _resolve_profile
+
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        with pytest.warns(DeprecationWarning):
+            assert _resolve_profile(None).name == "smoke"
+
+    def test_profile_default_quick(self, monkeypatch):
+        from repro.experiments.__main__ import _resolve_profile
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert _resolve_profile(None).name == "quick"
+
+    def test_profile_unknown_raises(self, monkeypatch):
+        from repro.experiments.__main__ import _resolve_profile
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        with pytest.raises(KeyError):
+            _resolve_profile("warp")
+
+    def test_cache_dir_env_fallback_warns(self, monkeypatch):
+        from repro.experiments.__main__ import _resolve_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/legacy")
+        with pytest.warns(DeprecationWarning):
+            assert _resolve_cache_dir(None) == "/tmp/legacy"
+        assert _resolve_cache_dir("/tmp/flag") == "/tmp/flag"
+
+    def test_telemetry_path_resolution(self, monkeypatch):
+        from repro.experiments.__main__ import _telemetry_path
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert _telemetry_path(None, "/c").endswith("telemetry.jsonl")
+        assert _telemetry_path("x.jsonl", "/c") == "x.jsonl"
+        assert _telemetry_path("off", "/c") is None
+        monkeypatch.setenv("REPRO_TELEMETRY", "/env/t.jsonl")
+        assert _telemetry_path(None, "/c") == "/env/t.jsonl"
+
+
+class TestTimingsCommand:
+    def test_timings_reads_log(self, tmp_path, capsys):
+        import json
+
+        log_path = tmp_path / "t.jsonl"
+        events = [
+            {"stage": "attack/ead", "duration_s": 2.5, "cache": "miss",
+             "worker": 11},
+            {"stage": "train/classifier", "duration_s": 7.0, "worker": 11},
+        ]
+        log_path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        assert cli_main(["timings", "--telemetry", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "attack/ead" in out
+        assert "train/classifier" in out
+        assert "2 events" in out
+
+    def test_timings_missing_log_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert cli_main(["timings", "--telemetry", str(missing)]) == 1
+        assert "no telemetry events" in capsys.readouterr().out

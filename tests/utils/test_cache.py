@@ -116,3 +116,140 @@ class TestDiskCache:
         cache.save("ns", "k", {"v": np.zeros(2)})
         cache.save("ns", "k", {"v": np.ones(2)})
         np.testing.assert_array_equal(cache.load("ns", "k")["v"], np.ones(2))
+
+
+class TestCorruptionRecovery:
+    """Unreadable entries must surface as misses, not crashes."""
+
+    def _corrupt(self, cache, namespace, key, payload=b"\x00truncated"):
+        path = cache._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(payload)
+
+    def test_truncated_npz_raises_keyerror_and_is_removed(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("ns", "k", {"v": np.ones(4)})
+        self._corrupt(cache, "ns", "k")
+        with pytest.raises(KeyError):
+            cache.load("ns", "k")
+        assert not cache.contains("ns", "k")  # stale file discarded
+
+    def test_empty_file_treated_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._corrupt(cache, "ns", "k", payload=b"")
+        with pytest.raises(KeyError):
+            cache.load("ns", "k")
+
+    def test_get_or_compute_rewrites_corrupt_entry(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._corrupt(cache, "ns", "k")
+        arrays = cache.get_or_compute("ns", "k",
+                                      lambda: {"v": np.full(2, 3.0)})
+        np.testing.assert_array_equal(arrays["v"], np.full(2, 3.0))
+        # the rewritten entry is now healthy
+        np.testing.assert_array_equal(cache.load("ns", "k")["v"],
+                                      np.full(2, 3.0))
+
+    def test_corrupt_meta_treated_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("ns", "k", {"v": np.zeros(1)}, meta={"a": 1})
+        cache._path("ns", "k").with_suffix(".json").write_text("{not json")
+        with pytest.raises(KeyError):
+            cache.load_meta("ns", "k")
+
+    def test_stats_count_discards(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._corrupt(cache, "ns", "k")
+        with pytest.raises(KeyError):
+            cache.load("ns", "k")
+        assert cache.stats.stale_discards == 1
+
+
+class TestCacheStats:
+    def test_hit_miss_write_accounting(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(KeyError):
+            cache.load("ns", "k")
+        cache.save("ns", "k", {"v": np.ones(8)})
+        cache.load("ns", "k")
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.writes == 1
+        assert stats.hits == 1
+        assert stats.bytes_written > 0
+        assert stats.bytes_read > 0
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_reset_and_as_dict(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save("ns", "k", {"v": np.ones(2)})
+        cache.load("ns", "k")
+        data = cache.stats.as_dict()
+        assert data["hits"] == 1 and "hit_rate" in data
+        cache.stats.reset()
+        assert cache.stats.hits == 0
+        assert cache.stats.bytes_read == 0
+
+    def test_str_mentions_counts(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert "hits=0" in str(cache.stats)
+
+
+class TestConcurrentWriters:
+    """The parallel runtime races workers on one cache root."""
+
+    def test_threaded_same_key_stress(self, tmp_path):
+        import concurrent.futures
+
+        cache = DiskCache(tmp_path)
+        payload = {"v": np.arange(2048, dtype=np.float64)}
+
+        def write(i):
+            cache.save("ns", "shared", payload, meta={"writer": i})
+            return i
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            done = list(pool.map(write, range(32)))
+        assert len(done) == 32
+        # whoever won, the published entry must be complete and readable
+        np.testing.assert_array_equal(cache.load("ns", "shared")["v"],
+                                      payload["v"])
+        assert "writer" in cache.load_meta("ns", "shared")
+        # no temp droppings left behind
+        leftovers = [p for p in (tmp_path / "ns").iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_threaded_distinct_keys(self, tmp_path):
+        import concurrent.futures
+
+        cache = DiskCache(tmp_path)
+
+        def write(i):
+            cache.save("ns", f"k{i}", {"v": np.full(64, float(i))})
+            return i
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, range(24)))
+        for i in range(24):
+            np.testing.assert_array_equal(cache.load("ns", f"k{i}")["v"],
+                                          np.full(64, float(i)))
+
+    def test_process_pool_writers(self, tmp_path):
+        from repro.runtime.executor import parallel_map
+
+        out = parallel_map(_write_entry, [(str(tmp_path), i)
+                                          for i in range(8)], jobs=4)
+        cache = DiskCache(tmp_path)
+        assert sorted(out) == list(range(8))
+        for i in range(8):
+            np.testing.assert_array_equal(cache.load("ns", f"p{i}")["v"],
+                                          np.full(16, float(i)))
+
+
+def _write_entry(payload):
+    """Module-level so the process pool can pickle it."""
+    root, i = payload
+    cache = DiskCache(root)
+    cache.save("ns", f"p{i}", {"v": np.full(16, float(i))})
+    return i

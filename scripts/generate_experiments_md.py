@@ -90,6 +90,7 @@ def main(out_path: str = "EXPERIMENTS.md") -> None:
         "```bash",
         "python -m repro.experiments run table1 --profile quick",
         "python -m repro.experiments run all --profile smoke --jobs 4",
+        "python -m repro.experiments run all --jobs 4 --resume   # after a kill",
         "python -m repro.experiments timings      # per-stage durations",
         "```",
         "",
@@ -101,6 +102,18 @@ def main(out_path: str = "EXPERIMENTS.md") -> None:
         "`<cache-dir>/telemetry.jsonl`; the `timings` subcommand",
         "aggregates it. `REPRO_PROFILE`/`REPRO_CACHE_DIR` env vars are",
         "deprecated in favor of `--profile`/`--cache-dir`.",
+        "",
+        "Sweeps are fault-tolerant and checkpointed: failing cells are",
+        "retried with exponential backoff (`--retries`, per-cell",
+        "`--timeout`), a crashed worker re-dispatches only its chunk, and",
+        "every completed cell is noted in an atomic manifest under",
+        "`<cache-dir>/checkpoints/`. After an interrupt, `--resume`",
+        "load-verifies cached cells (corrupt entries count as missing) and",
+        "recomputes only the incomplete ones. `--inject-faults",
+        '"seed=1,crash=0.05,transient=0.1"` runs deterministic chaos',
+        "against the runtime itself; completed chaos runs are",
+        "bitwise-identical to clean ones (see README \"Fault tolerance",
+        "and resume\").",
         "",
     ]
     for exp_id in ORDER:

@@ -9,10 +9,16 @@ Usage::
     python -m repro.experiments timings                # per-stage wall-clock
 
 ``run`` accepts ``--profile`` (smoke|quick|paper), ``--jobs`` (worker
-processes; 0 = one per core), ``--cache-dir``, ``--seed`` and
-``--telemetry`` (JSONL event log, default ``<cache-dir>/telemetry.jsonl``).
-The bare form ``python -m repro.experiments table1`` still works as an
-alias for ``run table1``.
+processes; 0 = one per core, negative values rejected), ``--cache-dir``,
+``--seed`` and ``--telemetry`` (JSONL event log, default
+``<cache-dir>/telemetry.jsonl``).  Sweeps are fault-tolerant and
+checkpointed: ``--resume`` continues an interrupted run from its
+checkpoint manifest (recomputing only missing or corrupt cells),
+``--timeout``/``--retries`` tune the per-cell watchdog and retry budget,
+and ``--inject-faults "seed=1,crash=0.05,timeout=0.02,transient=0.1"``
+runs deterministic chaos against the runtime itself.  The bare form
+``python -m repro.experiments table1`` still works as an alias for
+``run table1``.
 
 The ``REPRO_PROFILE`` / ``REPRO_CACHE_DIR`` environment variables remain
 supported as fallbacks for scripts that predate these flags, but are
@@ -33,6 +39,7 @@ from repro.experiments.registry import (
     describe_experiments,
     run_experiment,
 )
+from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.runtime.telemetry import (
     configure_telemetry,
     load_events,
@@ -60,6 +67,24 @@ def _deprecated_env(var: str, flag: str) -> Optional[str]:
     return value
 
 
+def _jobs_arg(value: str) -> int:
+    """argparse type for --jobs: integer >= 0 (0 = one per core)."""
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one worker per core), got {jobs}; "
+            "there is no '-1 means all cores' convention")
+    return jobs
+
+
+def _fault_plan_arg(value: str) -> FaultPlan:
+    """argparse type for --inject-faults: a FaultPlan spec string."""
+    try:
+        return FaultPlan.parse(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -76,9 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", choices=sorted(PROFILES),
                      help="scale profile (default: quick, or deprecated "
                           "$REPRO_PROFILE)")
-    run.add_argument("--jobs", type=int, default=1, metavar="N",
+    run.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                      help="worker processes for attack sweeps "
-                          "(1 = serial, 0 = one per core; default 1)")
+                          "(1 = serial, 0 = one per core, negative "
+                          "rejected, huge values clamped to 4x cores; "
+                          "default 1)")
+    run.add_argument("--resume", action="store_true",
+                     help="continue an interrupted sweep from its "
+                          "checkpoint manifest: load-verify cached cells "
+                          "and recompute only missing/corrupt/failed ones")
+    run.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-attack-cell timeout in seconds, enforced "
+                          "by a SIGALRM watchdog inside the worker "
+                          "(default: none)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="retry budget per attack cell before it is "
+                          "recorded as a terminal failure (default 2)")
+    run.add_argument("--inject-faults", type=_fault_plan_arg, default=None,
+                     metavar="SPEC",
+                     help="chaos mode: deterministic fault injection, e.g. "
+                          "'seed=1,crash=0.05,timeout=0.02,transient=0.1"
+                          ",corrupt=0.05,hang=120' (rates per sweep cell)")
     run.add_argument("--cache-dir", metavar="DIR",
                      help="artifact cache root (default: .repro_cache, or "
                           "deprecated $REPRO_CACHE_DIR)")
@@ -146,11 +189,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise KeyError(f"unknown experiment {exp_id!r}; available: "
                            f"{sorted(EXPERIMENT_IDS)}")
 
+    retry_policy = None
+    if args.timeout is not None or args.retries is not None:
+        from repro.experiments.sweeps import SWEEP_RETRY_POLICY
+
+        retry_policy = RetryPolicy(
+            timeout_s=args.timeout,
+            retries=(SWEEP_RETRY_POLICY.retries if args.retries is None
+                     else args.retries),
+            backoff_s=SWEEP_RETRY_POLICY.backoff_s)
+    if args.inject_faults is not None:
+        log.warning("chaos mode enabled: %s", args.inject_faults.describe())
+
     cache = DiskCache(cache_dir)
     configure_telemetry(_telemetry_path(args.telemetry, cache_dir))
     for exp_id in exp_ids:
         report = run_experiment(exp_id, profile=profile, cache=cache,
-                                seed=args.seed, jobs=args.jobs)
+                                seed=args.seed, jobs=args.jobs,
+                                resume=args.resume,
+                                retry_policy=retry_policy,
+                                fault_plan=args.inject_faults)
         print(report)
         print()
     return 0

@@ -65,7 +65,7 @@ class ExperimentContext:
 
     def __init__(self, dataset: str, profile: Optional[ExperimentProfile] = None,
                  cache: Optional[DiskCache] = None, seed: int = 0, *,
-                 jobs: int = 1):
+                 jobs: int = 1, retry_policy=None, fault_plan=None):
         if dataset not in ("digits", "objects"):
             raise KeyError(f"dataset must be 'digits' or 'objects', got {dataset!r}")
         self.dataset = dataset
@@ -76,6 +76,14 @@ class ExperimentContext:
         #: (1 = serial).  An execution hint only: results are identical
         #: for any value.
         self.jobs = int(jobs)
+        #: Fault-tolerance hints consumed by the sweep helpers, like
+        #: ``jobs``: a :class:`~repro.runtime.faults.RetryPolicy`
+        #: (None = the sweep default) and an optional
+        #: :class:`~repro.runtime.faults.FaultPlan` for chaos runs.
+        #: Neither affects *what* is computed — a faulted-but-completed
+        #: sweep publishes bitwise-identical artifacts.
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
         self._splits: Optional[DataSplits] = None
         self._zoo: Optional[ModelZoo] = None
         self._classifier: Optional[Module] = None

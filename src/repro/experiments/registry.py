@@ -50,21 +50,27 @@ _contexts: Dict[Tuple[str, str, int], ExperimentContext] = {}
 
 def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
                 cache: Optional[DiskCache] = None,
-                seed: int = 0, *, jobs: int = 1) -> ExperimentContext:
+                seed: int = 0, *, jobs: int = 1,
+                retry_policy=None, fault_plan=None) -> ExperimentContext:
     """Memoized ExperimentContext for (dataset, profile, seed).
 
-    ``jobs`` is an execution hint, not part of the memo key: passing a
-    different value updates the existing context's fan-out width without
+    ``jobs``, ``retry_policy`` and ``fault_plan`` are execution hints,
+    not part of the memo key: passing different values updates the
+    existing context's fan-out/fault-tolerance behavior without
     invalidating its cached data/models (results are identical for any
-    ``jobs``).
+    setting — see :mod:`repro.runtime`).
     """
     profile = profile or current_profile()
     key = (dataset, profile.name, seed)
     if key not in _contexts:
         _contexts[key] = ExperimentContext(dataset, profile=profile,
-                                           cache=cache, seed=seed, jobs=jobs)
+                                           cache=cache, seed=seed, jobs=jobs,
+                                           retry_policy=retry_policy,
+                                           fault_plan=fault_plan)
     else:
         _contexts[key].jobs = int(jobs)
+        _contexts[key].retry_policy = retry_policy
+        _contexts[key].fault_plan = fault_plan
     return _contexts[key]
 
 
@@ -75,7 +81,8 @@ def describe_experiments() -> Dict[str, str]:
 
 def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
                    cache: Optional[DiskCache] = None,
-                   seed: int = 0, *, jobs: int = 1) -> ExperimentReport:
+                   seed: int = 0, *, jobs: int = 1, resume: bool = False,
+                   retry_policy=None, fault_plan=None) -> ExperimentReport:
     """Run one table/figure reproduction and return its report.
 
     ``jobs`` (keyword-only) sets the parallel fan-out: with ``jobs > 1``
@@ -83,20 +90,27 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
     is precomputed across that many worker processes before the (serial,
     cache-hitting) experiment body runs.  ``0`` means one worker per
     core.  Results are bitwise-identical for any value.
+
+    ``resume=True`` continues an interrupted sweep from its checkpoint
+    manifest, recomputing only missing/corrupt/previously-failed cells.
+    ``retry_policy`` overrides the sweep's fault-tolerance defaults and
+    ``fault_plan`` injects deterministic chaos (``--inject-faults``);
+    see :mod:`repro.runtime.faults`.
     """
     if exp_id not in _SPEC:
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: {sorted(_SPEC)}")
     fn, datasets, _desc = _SPEC[exp_id]
     contexts = [get_context(ds, profile=profile, cache=cache, seed=seed,
-                            jobs=jobs)
+                            jobs=jobs, retry_policy=retry_policy,
+                            fault_plan=fault_plan)
                 for ds in datasets]
     with telemetry().stage(f"experiment/{exp_id}", jobs=jobs):
-        if jobs is not None and jobs != 1:
+        if (jobs is not None and jobs != 1) or resume:
             from repro.experiments.sweeps import precompute_attacks
 
             for ctx in contexts:
-                precompute_attacks(ctx, jobs=jobs)
+                precompute_attacks(ctx, jobs=jobs, resume=resume)
         return fn(*contexts)
 
 

@@ -18,6 +18,7 @@ bitwise-identical to a serial one.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.attacks.base import AttackResult
@@ -29,11 +30,26 @@ from repro.experiments.context import (
     _result_to_arrays,
 )
 from repro.evaluation.metrics import defense_breakdown
-from repro.runtime.executor import parallel_map, resolve_jobs
+from repro.runtime.executor import ParallelExecutor, resolve_jobs
+from repro.runtime.faults import (
+    FaultPlan,
+    ItemFailure,
+    RetryPolicy,
+    corrupt_cache_entry,
+)
 from repro.runtime.telemetry import telemetry
+from repro.utils.cache import stable_hash
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
+
+#: Namespace the checkpoint manifests live under in the disk cache.
+CHECKPOINT_NAMESPACE = "checkpoints"
+
+#: Default fault-tolerance policy for attack sweeps: no per-item timeout
+#: (attack wall-clock varies by orders of magnitude across profiles),
+#: two retries with exponential backoff starting at 0.25 s.
+SWEEP_RETRY_POLICY = RetryPolicy(timeout_s=None, retries=2, backoff_s=0.25)
 
 #: Ordering of the paper's four defense schemes in breakdown figures.
 SCHEMES = ("no_defense", "detector_only", "reformer_only", "full")
@@ -80,13 +96,79 @@ def _cell_keys(ctx: ExperimentContext, cell: Dict) -> Dict[str, str]:
     }
 
 
-def missing_cells(ctx: ExperimentContext, cells: Sequence[Dict]) -> List[Dict]:
-    """The subset of cells with at least one uncached result."""
-    return [
-        cell for cell in cells
-        if not all(ctx.cache.contains("attacks", key)
-                   for key in _cell_keys(ctx, cell).values())
-    ]
+def _cell_id(cell: Dict) -> str:
+    """Stable human-readable id for a cell (checkpoint manifest key)."""
+    if cell["attack"] == "cw":
+        return f"cw/k={cell['kappa']:g}"
+    return f"ead/b={cell['beta']:g}/k={cell['kappa']:g}"
+
+
+def _cell_ok(ctx: ExperimentContext, cell: Dict, verify: bool) -> bool:
+    for key in _cell_keys(ctx, cell).values():
+        if not verify:
+            if not ctx.cache.contains("attacks", key):
+                return False
+            continue
+        try:
+            ctx.cache.load("attacks", key)
+        except KeyError:
+            return False
+    return True
+
+
+def missing_cells(ctx: ExperimentContext, cells: Sequence[Dict],
+                  verify: bool = False) -> List[Dict]:
+    """The subset of cells with at least one uncached result.
+
+    With ``verify=True`` every cached entry is actually loaded, so a
+    corrupted artifact (torn write from a killed run, injected fault)
+    counts as missing — :class:`~repro.utils.cache.DiskCache` discards
+    it on the failed load and the cell is recomputed.  Resume paths use
+    this; the cheap existence check is enough for warm-path planning.
+    """
+    return [cell for cell in cells if not _cell_ok(ctx, cell, verify)]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint manifests
+# ----------------------------------------------------------------------
+def sweep_checkpoint_key(ctx: ExperimentContext,
+                         cells: Sequence[Dict]) -> str:
+    """Identity of a sweep: classifier fingerprint + grid + seed count."""
+    return stable_hash({
+        "clf": ctx.classifier_fingerprint,
+        "n_attack": ctx.profile.n_attack(ctx.dataset),
+        "seed": ctx.seed,
+        "cells": list(cells),
+    })
+
+
+def load_checkpoint(ctx: ExperimentContext, key: str) -> Optional[Dict]:
+    """The sweep's checkpoint manifest, or None if absent/unreadable."""
+    try:
+        return ctx.cache.load_json(CHECKPOINT_NAMESPACE, key)
+    except KeyError:
+        return None
+
+
+def _fresh_manifest(ctx: ExperimentContext, cells: Sequence[Dict],
+                    jobs: int) -> Dict:
+    return {
+        "dataset": ctx.dataset,
+        "profile": ctx.profile.name,
+        "seed": ctx.seed,
+        "total": len(cells),
+        "done": {},
+        "failed": {},
+        "status": "running",
+        "jobs": jobs,
+        "updated": time.time(),
+    }
+
+
+def _save_manifest(ctx: ExperimentContext, key: str, manifest: Dict) -> None:
+    manifest["updated"] = time.time()
+    ctx.cache.save_json(CHECKPOINT_NAMESPACE, key, manifest)
 
 
 def _craft_cell(payload) -> Dict[str, Dict]:
@@ -112,44 +194,135 @@ def precompute_attacks(ctx: ExperimentContext, *,
                        kappas: Optional[Sequence[float]] = None,
                        betas: Optional[Sequence[float]] = None,
                        include_cw: bool = True,
-                       jobs: Optional[int] = None) -> Dict[str, int]:
+                       jobs: Optional[int] = None,
+                       resume: bool = False,
+                       policy: Optional[RetryPolicy] = None,
+                       fault_plan: Optional[FaultPlan] = None
+                       ) -> Dict[str, int]:
     """Craft every uncached cell of a sweep, fanning out across ``jobs``.
 
     After this returns, the serial accessors (``ctx.cw``/``ctx.ead``)
     are pure cache hits for the covered grid.  Returns a summary dict
-    (``computed``/``cached``/``jobs``).
+    (``computed``/``cached``/``jobs``/``failed``/``healed``).
+
+    The sweep is fault-tolerant and resumable:
+
+    * Cells run under ``policy`` (default :data:`SWEEP_RETRY_POLICY`):
+      per-item timeout, bounded retry with exponential backoff, and
+      failed-chunk re-dispatch on a worker crash.  A cell that exhausts
+      its retries is recorded as failed — in the checkpoint manifest
+      and as ``sweep/cell_failed`` telemetry — instead of aborting the
+      sweep; every healthy cell still completes.
+    * Every completed cell is published to the disk cache *and* noted
+      in an atomically-rewritten checkpoint manifest
+      (``checkpoints/<sweep-key>.json``) as it finishes, so a killed
+      run resumes from the last completed cell.  ``resume=True``
+      additionally load-verifies cached artifacts (a corrupt entry
+      counts as missing) and retries previously-failed cells.
+    * ``fault_plan`` injects deterministic chaos (crashes, hangs,
+      transient faults, corrupted cache reads) for testing; because
+      retries reuse per-cell seeds and attacks are deterministic, a
+      faulted run that completes is bitwise-identical to a clean one.
     """
     jobs = resolve_jobs(ctx.jobs if jobs is None else jobs)
+    if policy is None:
+        policy = getattr(ctx, "retry_policy", None) or SWEEP_RETRY_POLICY
+    if fault_plan is None:
+        fault_plan = getattr(ctx, "fault_plan", None)
     cells = attack_grid(ctx, kappas=kappas, betas=betas,
                         include_cw=include_cw)
-    todo = missing_cells(ctx, cells)
+    todo = missing_cells(ctx, cells, verify=resume)
     summary = {"computed": len(todo), "cached": len(cells) - len(todo),
-               "jobs": jobs}
+               "jobs": jobs, "failed": 0, "healed": 0}
     if not todo:
         return summary
+
+    ckpt_key = sweep_checkpoint_key(ctx, cells)
+    manifest = load_checkpoint(ctx, ckpt_key) if resume else None
+    if manifest is None:
+        manifest = _fresh_manifest(ctx, cells, jobs)
+    else:
+        log.info("resuming sweep %s on %s: %d/%d cells already done, "
+                 "%d previously failed", ckpt_key, ctx.dataset,
+                 len(cells) - len(todo), len(cells),
+                 len(manifest.get("failed", {})))
+        manifest["failed"] = {}      # previously-failed cells get retried
+        manifest["status"] = "running"
+        manifest["jobs"] = jobs
+    for cell in cells:
+        if cell not in todo:
+            manifest["done"].setdefault(_cell_id(cell), {})
+    _save_manifest(ctx, ckpt_key, manifest)
+
     with telemetry().stage("sweep/precompute", dataset=ctx.dataset,
-                           cells=len(todo), jobs=jobs):
-        if jobs <= 1:
-            for cell in todo:
-                if cell["attack"] == "cw":
-                    ctx.cw(cell["kappa"])
-                else:
-                    ctx.ead(cell["beta"], cell["kappa"])
-            return summary
+                           cells=len(todo), jobs=jobs,
+                           resume=resume or None) as evt:
         # Materialize shared inputs once, in the parent, so workers do
         # not redundantly train/select (and so results cannot depend on
         # worker-local state).
         classifier = ctx.classifier
         x0, y0 = ctx.attack_seeds()
+        if fault_plan is not None:
+            log.warning("sweep chaos mode: %s", fault_plan.describe())
         log.info("precomputing %d attack cells on %s with %d workers",
                  len(todo), ctx.dataset, jobs)
         payloads = [(classifier, ctx.profile, x0, y0, cell) for cell in todo]
-        outputs = parallel_map(_craft_cell, payloads, jobs=jobs, chunk_size=1)
-        for cell, arrays_by_slot in zip(todo, outputs):
+
+        def publish(index: int, arrays_by_slot: Dict) -> None:
+            """Publish one completed cell + checkpoint it, incrementally."""
+            cell = todo[index]
             keys = _cell_keys(ctx, cell)
+            paths = []
             for slot, arrays in arrays_by_slot.items():
-                ctx.cache.save("attacks", keys[slot], arrays,
-                               meta={"cell": cell, "slot": slot})
+                paths.append(ctx.cache.save(
+                    "attacks", keys[slot], arrays,
+                    meta={"cell": cell, "slot": slot}))
+            if fault_plan is not None and fault_plan.corrupts_item(index):
+                log.warning("injecting cache corruption into cell %s",
+                            _cell_id(cell))
+                corrupt_cache_entry(paths[0])
+            manifest["done"][_cell_id(cell)] = {"keys": sorted(keys.values())}
+            _save_manifest(ctx, ckpt_key, manifest)
+
+        executor = ParallelExecutor(jobs, chunk_size=1, policy=policy,
+                                    fault_plan=fault_plan, on_error="record")
+        outputs = executor.map(_craft_cell, payloads, on_result=publish)
+
+        for cell, output in zip(todo, outputs):
+            if isinstance(output, ItemFailure):
+                summary["failed"] += 1
+                manifest["failed"][_cell_id(cell)] = {
+                    "kind": output.kind, "error": output.error,
+                    "attempts": output.attempts,
+                }
+                telemetry().emit("sweep/cell_failed", cell=_cell_id(cell),
+                                 reason=output.kind, attempts=output.attempts)
+                log.error("sweep cell %s failed terminally (%s after %d "
+                          "attempts): %s", _cell_id(cell), output.kind,
+                          output.attempts, output.error)
+
+        if fault_plan is not None:
+            # Self-heal pass: any cell that "completed" but whose
+            # artifact is unreadable (injected corruption, torn write)
+            # is recomputed serially; determinism makes the healed
+            # artifact bitwise-identical.
+            failed_ids = set(manifest["failed"])
+            suspect = [c for c in cells if _cell_id(c) not in failed_ids]
+            for cell in missing_cells(ctx, suspect, verify=True):
+                log.warning("healing unreadable cell %s", _cell_id(cell))
+                arrays_by_slot = _craft_cell(
+                    (classifier, ctx.profile, x0, y0, cell))
+                keys = _cell_keys(ctx, cell)
+                for slot, arrays in arrays_by_slot.items():
+                    ctx.cache.save("attacks", keys[slot], arrays,
+                                   meta={"cell": cell, "slot": slot})
+                manifest["done"][_cell_id(cell)] = {
+                    "keys": sorted(keys.values()), "healed": True}
+                summary["healed"] += 1
+
+        manifest["status"] = ("partial" if manifest["failed"] else "complete")
+        _save_manifest(ctx, ckpt_key, manifest)
+        evt["failed"] = summary["failed"] or None
     return summary
 
 

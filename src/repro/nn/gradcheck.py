@@ -1,0 +1,108 @@
+"""Finite-difference gradient checking for the autodiff engine.
+
+Every attack in this reproduction differentiates a scalar loss with
+respect to input images through :mod:`repro.nn.autograd`; a silently
+wrong vector-Jacobian product would corrupt every downstream table.
+This module is the guard rail: it compares each op's analytic gradient
+against a central-difference numerical estimate.
+
+Originally these helpers lived inside the test tree
+(``tests/nn/gradcheck.py``, which now re-exports from here); they are
+library code so that user-defined ops, custom layers and downstream
+projects can verify their gradients with the same machinery::
+
+    from repro.nn.gradcheck import check_gradients
+    check_gradients(lambda a, b: (a * b).sum() + a.abs().sum(), x, y)
+
+All checks are performed in float64: the engine preserves float64
+inputs end-to-end, and central differences at ``eps=1e-5`` need that
+precision to meet the default tolerances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = ["check_gradient", "check_gradients", "numerical_gradient"]
+
+
+def numerical_gradient(f: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an ndarray."""
+    x = x.astype(np.float64, copy=True)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f(x)
+        x[idx] = orig - eps
+        f_minus = f(x)
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(op: Callable[[Tensor], Tensor], x: np.ndarray,
+                   atol: float = 1e-6, rtol: float = 1e-4) -> None:
+    """Assert that autograd and numerical gradients agree for ``op``.
+
+    ``op`` maps a Tensor to a Tensor; the scalar under test is the sum of
+    squares of the op output (smooth and sensitive to every element).
+    """
+    x = x.astype(np.float64)
+
+    def scalar(arr: np.ndarray) -> float:
+        out = op(Tensor(arr, dtype=np.float64))
+        return float((out.data.astype(np.float64) ** 2).sum())
+
+    t = Tensor(x, requires_grad=True, dtype=np.float64)
+    out = op(t)
+    loss = (out * out).sum()
+    loss.backward()
+    assert t.grad is not None, "no gradient reached the input"
+    numeric = numerical_gradient(scalar, x)
+    np.testing.assert_allclose(t.grad, numeric, atol=atol, rtol=rtol)
+
+
+def check_gradients(op: Callable[..., Tensor], *inputs: np.ndarray,
+                    atol: float = 1e-6, rtol: float = 1e-4) -> None:
+    """Check the gradient of a multi-input op with respect to every input.
+
+    ``op`` takes one Tensor per entry of ``inputs`` and returns a Tensor
+    (any shape); the scalar under test is the sum of squares of the
+    output.  Each input's analytic gradient is compared against a
+    central-difference estimate computed with the *other* inputs held
+    fixed, so cross-terms (e.g. both operands of ``matmul``) are
+    verified in one call.
+    """
+    if not inputs:
+        raise ValueError("check_gradients needs at least one input array")
+    arrays = [np.asarray(x, dtype=np.float64) for x in inputs]
+
+    tensors = [Tensor(a, requires_grad=True, dtype=np.float64)
+               for a in arrays]
+    out = op(*tensors)
+    loss = (out * out).sum()
+    loss.backward()
+
+    for pos, (tensor, array) in enumerate(zip(tensors, arrays)):
+        assert tensor.grad is not None, (
+            f"no gradient reached input {pos} of {len(arrays)}")
+
+        def scalar(arr: np.ndarray, pos: int = pos) -> float:
+            args = [Tensor(arr if i == pos else a, dtype=np.float64)
+                    for i, a in enumerate(arrays)]
+            value = op(*args)
+            return float((value.data.astype(np.float64) ** 2).sum())
+
+        numeric = numerical_gradient(scalar, array)
+        np.testing.assert_allclose(
+            tensor.grad, numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch on input {pos}")

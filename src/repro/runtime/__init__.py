@@ -1,4 +1,4 @@
-"""Parallel experiment runtime: process-pool execution + run telemetry.
+"""Parallel experiment runtime: fault-tolerant process-pool execution + telemetry.
 
 The experiment pipeline — train classifier, train MagNet autoencoders,
 craft C&W/EAD sweeps over (kappa, beta), score the oblivious defense —
@@ -8,36 +8,64 @@ shared machinery:
 * :class:`ParallelExecutor` / :func:`parallel_map` — chunked,
   order-preserving process-pool mapping with a serial fallback and
   deterministic per-item seeding, so parallel runs are bitwise-identical
-  to serial ones.
+  to serial ones.  With a :class:`RetryPolicy` the executor becomes
+  fault-tolerant: per-item SIGALRM timeouts, bounded retry with
+  exponential backoff, failed-chunk re-dispatch on a worker crash, and
+  terminal per-item :class:`ItemFailure` records instead of
+  experiment-wide aborts.
+* :class:`FaultPlan` — deterministic, seeded fault injection (worker
+  crashes, hangs, transient exceptions, corrupted cache reads) keyed by
+  item index, used by the chaos tests and the ``--inject-faults`` CLI
+  flag.
 * :class:`RunTelemetry` / :func:`telemetry` — an append-only JSONL event
-  log (stage name, duration, cache hit/miss, worker id, batch size)
-  shared safely by concurrent worker processes, plus the aggregation
-  used by ``python -m repro.experiments timings``.
+  log (stage name, duration, cache hit/miss, worker id, retry/giveup
+  events) shared safely by concurrent worker processes, plus the
+  aggregation used by ``python -m repro.experiments timings``.
 """
 
 from repro.runtime.executor import (
+    MAX_JOBS,
     ParallelExecutor,
     default_chunk_size,
     parallel_map,
     resolve_jobs,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    ItemFailure,
+    ItemTimeout,
+    RetryPolicy,
+    corrupt_cache_entry,
 )
 from repro.runtime.telemetry import (
     RunTelemetry,
     aggregate_events,
     configure_telemetry,
     load_events,
+    render_fault_summary,
     render_timings,
     telemetry,
 )
 
 __all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "ItemFailure",
+    "ItemTimeout",
+    "MAX_JOBS",
     "ParallelExecutor",
+    "RetryPolicy",
     "RunTelemetry",
     "aggregate_events",
     "configure_telemetry",
+    "corrupt_cache_entry",
     "default_chunk_size",
     "load_events",
     "parallel_map",
+    "render_fault_summary",
     "render_timings",
     "resolve_jobs",
     "telemetry",

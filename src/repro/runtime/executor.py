@@ -1,38 +1,78 @@
-"""Chunked process-pool mapping with deterministic seeding.
+"""Chunked process-pool mapping with deterministic seeding and fault tolerance.
 
 The executor never changes *what* is computed, only *where*: work items
 are mapped in order, per-item seeds are derived from a root
 :class:`numpy.random.SeedSequence` by item index (not by worker), and
 the serial path applies the exact same function to the exact same
 payloads — so a parallel run is bitwise-identical to ``jobs=1``.
+Retries reuse the item's original seed, so a retried item is also
+bitwise-identical to one that succeeded first try.
 
-Failure handling favours completion over speed: anything that prevents
-the pool from running the work (unpicklable callables/payloads, a
-broken worker, a platform without usable multiprocessing) degrades to
-the serial path with a warning instead of failing the experiment.
+Two execution paths share that contract:
+
+* The **fast path** (no :class:`~repro.runtime.faults.RetryPolicy`, no
+  fault plan) is a plain ``pool.map``.  Anything that prevents the pool
+  from running at all (unpicklable callables, a platform without usable
+  multiprocessing) degrades to the serial path with a warning.
+* The **resilient path** (any of ``policy`` / ``fault_plan`` /
+  ``on_error="record"`` set) dispatches chunks as individual futures and
+  supervises them: a per-item timeout is enforced *inside* the worker by
+  a SIGALRM watchdog, failed items are retried with exponential backoff
+  (``runtime/retry`` telemetry), a ``BrokenProcessPool`` re-dispatches
+  only the chunks whose futures died (counting a crash attempt against
+  their items) instead of redoing the whole map, and an item that
+  exhausts its retry budget becomes a terminal per-item failure —
+  an :class:`~repro.runtime.faults.ItemFailure` record at its position
+  (``on_error="record"``) or a raised error (``on_error="raise"``) —
+  rather than an experiment-wide abort.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 import os
 import pickle
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+import signal
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.runtime.faults import (
+    FaultPlan,
+    InjectedCrash,
+    ItemFailure,
+    ItemTimeout,
+    RetryPolicy,
+)
 from repro.runtime.telemetry import telemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_seeds
 
 log = get_logger(__name__)
 
+#: Hard ceiling on worker processes; requests beyond it are clamped so a
+#: typo'd ``--jobs 1000000`` cannot fork-bomb the host (the map itself
+#: additionally never starts more workers than it has items).
+MAX_JOBS = max(16, 4 * (os.cpu_count() or 1))
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``jobs`` request: None/0 → all cores, n → n."""
+    """Normalize a ``jobs`` request.
+
+    ``None`` and ``0`` mean one worker per core; positive values pass
+    through, capped at :data:`MAX_JOBS`.  Negative values are rejected
+    *before* any normalization — there is no ``-1 == all cores``
+    convention here.
+    """
+    if jobs is not None:
+        jobs = int(jobs)
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
-    jobs = int(jobs)
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs > MAX_JOBS:
+        log.warning("jobs=%d clamped to %d (4x cpu count)", jobs, MAX_JOBS)
+        return MAX_JOBS
     return jobs
 
 
@@ -53,6 +93,64 @@ def _invoke(payload) -> Any:
     return _call(fn, item, seed)
 
 
+@contextlib.contextmanager
+def _watchdog(timeout_s: Optional[float]):
+    """Raise :class:`ItemTimeout` in this process after ``timeout_s``.
+
+    Uses a SIGALRM interval timer, so it interrupts even a blocking
+    C-level call (``time.sleep``, a numpy matmul does release the GIL
+    but signals are handled on return to the interpreter).  A no-op when
+    ``timeout_s`` is None or the platform lacks SIGALRM (non-POSIX).
+    """
+    if timeout_s is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise ItemTimeout(f"work item exceeded {timeout_s:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else a stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _run_one(fn, item, seed, index: int, attempt: int,
+             timeout_s: Optional[float], plan: Optional[FaultPlan],
+             in_worker: bool):
+    """Run one supervised item; never raises (crash faults excepted)."""
+    try:
+        with _watchdog(timeout_s):
+            if plan is not None:
+                plan.fire(index, attempt, in_worker=in_worker)
+            return (index, "ok", _call(fn, item, seed))
+    except ItemTimeout as exc:
+        return (index, "timeout", _picklable_error(exc))
+    except InjectedCrash as exc:       # serial-path stand-in for os._exit
+        return (index, "crash", _picklable_error(exc))
+    except Exception as exc:
+        return (index, "error", _picklable_error(exc))
+
+
+def _invoke_chunk(payloads) -> List:
+    """Worker body of the resilient path: supervise a chunk of items."""
+    return [_run_one(fn, item, seed, index, attempt, timeout_s, plan,
+                     in_worker=True)
+            for fn, item, seed, index, attempt, timeout_s, plan in payloads]
+
+
 class ParallelExecutor:
     """Order-preserving map over a process pool, with a serial fallback.
 
@@ -63,19 +161,38 @@ class ParallelExecutor:
             :func:`default_chunk_size`).
         seed: when given, each item's callable receives an independent
             ``seed=`` keyword derived from this root by *item index*, so
-            results do not depend on worker scheduling.
+            results do not depend on worker scheduling (or on retries).
         mp_context: multiprocessing start method (default ``fork`` where
             available, else ``spawn``).
+        policy: a :class:`~repro.runtime.faults.RetryPolicy` enabling
+            the resilient path — per-item timeout, bounded retry with
+            exponential backoff, failed-chunk re-dispatch.
+        fault_plan: a :class:`~repro.runtime.faults.FaultPlan` injecting
+            deterministic faults (chaos testing); implies the resilient
+            path with a default policy.
+        on_error: ``"raise"`` (default) propagates the first terminal
+            item failure; ``"record"`` returns an
+            :class:`~repro.runtime.faults.ItemFailure` at the item's
+            position and keeps going.
     """
 
     def __init__(self, jobs: Optional[int] = None, *,
                  chunk_size: Optional[int] = None,
                  seed: Optional[int] = None,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 on_error: str = "raise"):
+        if on_error not in ("raise", "record"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}")
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = chunk_size
         self.seed = seed
         self.mp_context = mp_context
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.on_error = on_error
 
     def _start_method(self) -> str:
         if self.mp_context is not None:
@@ -85,8 +202,21 @@ class ParallelExecutor:
         methods = multiprocessing.get_all_start_methods()
         return "fork" if "fork" in methods else "spawn"
 
-    def map(self, fn: Callable, items: Iterable[Any]) -> List[Any]:
-        """Apply ``fn`` to every item, in order; see class docstring."""
+    @property
+    def _resilient(self) -> bool:
+        return (self.policy is not None or self.fault_plan is not None
+                or self.on_error == "record")
+
+    def map(self, fn: Callable, items: Iterable[Any],
+            on_result: Optional[Callable[[int, Any], None]] = None
+            ) -> List[Any]:
+        """Apply ``fn`` to every item, in order; see class docstring.
+
+        ``on_result(index, value)`` is invoked in the parent as each
+        item completes (completion order, not item order), letting a
+        sweep publish artifacts incrementally so an interrupted run can
+        resume from the last completed item.
+        """
         items = list(items)
         n = len(items)
         if self.seed is not None:
@@ -94,30 +224,201 @@ class ParallelExecutor:
         else:
             seeds = [None] * n
         jobs = min(self.jobs, n)
+        if self._resilient:
+            return self._map_resilient(fn, items, seeds, jobs, on_result)
         if jobs <= 1:
-            return [_call(fn, item, s) for item, s in zip(items, seeds)]
+            return self._map_serial_fast(fn, items, seeds, on_result)
 
         payloads = [(fn, item, s) for item, s in zip(items, seeds)]
         chunk = self.chunk_size or default_chunk_size(n, jobs)
         try:
-            results = self._pool_map(payloads, jobs, chunk)
+            results = self._pool_map(payloads, jobs, chunk, on_result)
         except Exception as exc:
             if not _is_fallback_error(exc):
                 raise
             log.warning("process pool unavailable (%s: %s) — running "
                         "%d items serially", type(exc).__name__, exc, n)
-            return [_call(fn, item, s) for item, s in zip(items, seeds)]
+            return self._map_serial_fast(fn, items, seeds, on_result)
         telemetry().emit("runtime/map", items=n, jobs=jobs, chunk=chunk)
         return results
 
-    def _pool_map(self, payloads, jobs: int, chunk: int) -> List[Any]:
+    @staticmethod
+    def _map_serial_fast(fn, items, seeds, on_result) -> List[Any]:
+        results = []
+        for i, (item, s) in enumerate(zip(items, seeds)):
+            value = _call(fn, item, s)
+            if on_result is not None:
+                on_result(i, value)
+            results.append(value)
+        return results
+
+    def _pool_map(self, payloads, jobs: int, chunk: int,
+                  on_result) -> List[Any]:
         import concurrent.futures
         import multiprocessing
 
         ctx = multiprocessing.get_context(self._start_method())
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=jobs, mp_context=ctx) as pool:
-            return list(pool.map(_invoke, payloads, chunksize=chunk))
+            results = []
+            for i, value in enumerate(pool.map(_invoke, payloads,
+                                               chunksize=chunk)):
+                if on_result is not None:
+                    on_result(i, value)
+                results.append(value)
+            return results
+
+    # ------------------------------------------------------------------
+    # Resilient path
+    # ------------------------------------------------------------------
+    def _map_resilient(self, fn, items, seeds, jobs: int,
+                       on_result) -> List[Any]:
+        policy = self.policy or RetryPolicy()
+        n = len(items)
+        results: List[Any] = [None] * n
+        done = [False] * n
+        attempts = [0] * n
+        errors: Dict[int, tuple] = {}       # index -> (kind, exception)
+        pending = list(range(n))
+
+        if jobs <= 1:
+            self._drain_serial(fn, items, seeds, pending, attempts, results,
+                               done, errors, policy, on_result)
+        else:
+            try:
+                self._drain_pool(fn, items, seeds, jobs, pending, attempts,
+                                 results, done, errors, policy, on_result)
+            except Exception as exc:
+                if not _is_fallback_error(exc):
+                    raise
+                log.warning("process pool unavailable (%s: %s) — running "
+                            "%d items serially", type(exc).__name__, exc, n)
+                still = [i for i in range(n) if not done[i] and i not in errors]
+                self._drain_serial(fn, items, seeds, still, attempts, results,
+                                   done, errors, policy, on_result)
+
+        for index, (kind, exc) in sorted(errors.items()):
+            failure = ItemFailure(index=index, kind=kind, error=str(exc),
+                                  attempts=attempts[index])
+            if self.on_error == "raise":
+                log.error("item %d terminally failed after %d attempts: %s",
+                          index, attempts[index], exc)
+                raise exc
+            results[index] = failure
+        return results
+
+    def _handle_outcome(self, outcome, attempts, results, done, errors,
+                        policy, on_result, retry_queue) -> None:
+        index, status, value = outcome
+        if status == "ok":
+            results[index] = value
+            done[index] = True
+            if on_result is not None:
+                on_result(index, value)
+            return
+        attempts[index] += 1
+        if status == "timeout":
+            telemetry().emit("runtime/timeout", item=index,
+                             attempt=attempts[index],
+                             timeout_s=policy.timeout_s)
+        if attempts[index] <= policy.retries:
+            telemetry().emit("runtime/retry", item=index,
+                             attempt=attempts[index], reason=status,
+                             error=str(value))
+            log.warning("item %d failed (%s: %s) — retry %d/%d", index,
+                        status, value, attempts[index], policy.retries)
+            retry_queue.append(index)
+        else:
+            telemetry().emit("runtime/giveup", item=index,
+                             attempts=attempts[index], reason=status,
+                             error=str(value))
+            errors[index] = (status, value)
+
+    def _drain_serial(self, fn, items, seeds, pending, attempts, results,
+                      done, errors, policy, on_result) -> None:
+        """In-process resilient loop (jobs=1 and the pool-less fallback)."""
+        queue = list(pending)
+        while queue:
+            index = queue.pop(0)
+            time.sleep(policy.delay(attempts[index]))
+            outcome = _run_one(fn, items[index], seeds[index], index,
+                               attempts[index], policy.timeout_s,
+                               self.fault_plan, in_worker=False)
+            self._handle_outcome(outcome, attempts, results, done, errors,
+                                 policy, on_result, queue)
+
+    def _drain_pool(self, fn, items, seeds, jobs, pending, attempts, results,
+                    done, errors, policy, on_result) -> None:
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(self._start_method())
+        chunk = self.chunk_size or default_chunk_size(len(items), jobs)
+        pool = None
+        broken_rounds = 0
+        try:
+            while pending:
+                if pool is None:
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=min(jobs, len(pending)), mp_context=ctx)
+                delay = max((policy.delay(attempts[i]) for i in pending),
+                            default=0.0)
+                time.sleep(delay)
+                futures = {}
+                for start in range(0, len(pending), chunk):
+                    chunk_indices = pending[start:start + chunk]
+                    payloads = [
+                        (fn, items[i], seeds[i], i, attempts[i],
+                         policy.timeout_s, self.fault_plan)
+                        for i in chunk_indices
+                    ]
+                    futures[pool.submit(_invoke_chunk, payloads)] = chunk_indices
+                retry_queue: List[int] = []
+                round_broken = False
+                for fut in concurrent.futures.as_completed(futures):
+                    chunk_indices = futures[fut]
+                    try:
+                        outcomes = fut.result()
+                    except BrokenProcessPool as exc:
+                        # Only this chunk's items are re-dispatched; the
+                        # crash counts as one attempt against each of
+                        # them (the culprit is unknowable — its output
+                        # died with the worker).
+                        round_broken = True
+                        log.warning("worker crashed; re-dispatching chunk "
+                                    "of %d items %s", len(chunk_indices),
+                                    chunk_indices)
+                        for i in chunk_indices:
+                            self._handle_outcome(
+                                (i, "crash", exc), attempts, results, done,
+                                errors, policy, on_result, retry_queue)
+                        continue
+                    for outcome in outcomes:
+                        self._handle_outcome(outcome, attempts, results, done,
+                                             errors, policy, on_result,
+                                             retry_queue)
+                if round_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    broken_rounds += 1
+                    if broken_rounds >= 3 and retry_queue:
+                        # The pool itself looks unusable (e.g. every fork
+                        # dies); stop burning retries on it.
+                        log.warning("%d consecutive broken rounds — "
+                                    "finishing %d items serially",
+                                    broken_rounds, len(retry_queue))
+                        self._drain_serial(fn, items, seeds, retry_queue,
+                                           attempts, results, done, errors,
+                                           policy, on_result)
+                        retry_queue = []
+                else:
+                    broken_rounds = 0
+                pending = retry_queue
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _is_fallback_error(exc: BaseException) -> bool:
@@ -139,8 +440,14 @@ def parallel_map(fn: Callable, items: Iterable[Any], *,
                  jobs: Optional[int] = None,
                  chunk_size: Optional[int] = None,
                  seed: Optional[int] = None,
-                 mp_context: Optional[str] = None) -> List[Any]:
+                 mp_context: Optional[str] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 on_error: str = "raise",
+                 on_result: Optional[Callable[[int, Any], None]] = None
+                 ) -> List[Any]:
     """One-shot :meth:`ParallelExecutor.map` (see class for semantics)."""
     executor = ParallelExecutor(jobs, chunk_size=chunk_size, seed=seed,
-                                mp_context=mp_context)
-    return executor.map(fn, items)
+                                mp_context=mp_context, policy=policy,
+                                fault_plan=fault_plan, on_error=on_error)
+    return executor.map(fn, items, on_result=on_result)

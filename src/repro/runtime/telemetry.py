@@ -177,8 +177,36 @@ def aggregate_events(events: Iterable[Dict[str, Any]]) -> Dict[str, StageStats]:
     return stats
 
 
+#: Stages the executor's fault-tolerance layer emits; summarized
+#: separately by :func:`render_fault_summary`.
+FAULT_STAGES = ("runtime/retry", "runtime/timeout", "runtime/giveup",
+                "sweep/cell_failed")
+
+
+def render_fault_summary(events: Iterable[Dict[str, Any]]) -> Optional[str]:
+    """One-line retry/timeout/giveup summary, or None if the run was clean."""
+    counts = {stage: 0 for stage in FAULT_STAGES}
+    for event in events:
+        stage = event.get("stage")
+        if stage in counts:
+            counts[stage] += 1
+    if not any(counts.values()):
+        return None
+    return ("fault events: "
+            f"retries={counts['runtime/retry']} "
+            f"timeouts={counts['runtime/timeout']} "
+            f"giveups={counts['runtime/giveup']} "
+            f"failed cells={counts['sweep/cell_failed']}")
+
+
 def render_timings(events: Iterable[Dict[str, Any]]) -> str:
-    """Per-stage wall-clock table (sorted by total time, descending)."""
+    """Per-stage wall-clock table (sorted by total time, descending).
+
+    Retry/timeout/giveup events from the fault-tolerance layer appear as
+    ordinary stage rows and are additionally folded into a one-line
+    summary appended below the table.
+    """
+    events = list(events)
     stats = sorted(aggregate_events(events).values(),
                    key=lambda s: s.total_s, reverse=True)
     if not stats:
@@ -194,4 +222,7 @@ def render_timings(events: Iterable[Dict[str, Any]]) -> str:
     total = sum(s.total_s for s in stats)
     lines.append("-" * len(header))
     lines.append(f"{'total stage time':<28} {'':>6} {total:>9.3f}")
+    faults = render_fault_summary(events)
+    if faults:
+        lines.append(faults)
     return "\n".join(lines)

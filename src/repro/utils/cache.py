@@ -198,6 +198,57 @@ class DiskCache:
         self.stats.bytes_read += size
         return arrays
 
+    # ------------------------------------------------------------------
+    # Small JSON documents (checkpoint manifests, run metadata)
+    # ------------------------------------------------------------------
+    def _json_path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / f"{key}.json"
+
+    def save_json(self, namespace: str, key: str, obj: Dict[str, Any]) -> Path:
+        """Atomically store a JSON document under (namespace, key).
+
+        Same crash-safety contract as :meth:`save`: the document is
+        published whole or not at all, so a checkpoint manifest can be
+        rewritten after every completed sweep cell without a kill window
+        ever leaving a torn file behind.
+        """
+        path = self._json_path(namespace, key)
+        blob = json.dumps(obj, indent=2, sort_keys=True,
+                          default=str).encode("utf-8")
+        written = _atomic_write(path, lambda fh: fh.write(blob),
+                                suffix=".json.tmp")
+        self.stats.writes += 1
+        self.stats.bytes_written += written
+        return path
+
+    def load_json(self, namespace: str, key: str) -> Dict[str, Any]:
+        """Load a JSON document; raises KeyError if absent or unreadable.
+
+        A corrupt document (torn legacy write, injected fault) is
+        discarded and surfaces as a miss, mirroring :meth:`load`.
+        """
+        path = self._json_path(namespace, key)
+        if not path.exists():
+            self.stats.misses += 1
+            raise KeyError(f"cache miss: {namespace}/{key}")
+        try:
+            size = path.stat().st_size
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.stats.stale_discards += 1
+            self.stats.misses += 1
+            log.warning("discarding unreadable cache json %s/%s: %s",
+                        namespace, key, type(exc).__name__)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise KeyError(
+                f"cache json unreadable: {namespace}/{key}") from None
+        self.stats.hits += 1
+        self.stats.bytes_read += size
+        return obj
+
     def load_meta(self, namespace: str, key: str) -> Dict[str, Any]:
         path = self._path(namespace, key).with_suffix(".json")
         if not path.exists():

@@ -1,0 +1,134 @@
+"""Cross-attack property tests: invariants every AttackResult must hold.
+
+Rather than checking one attack's idiosyncrasies, this module asserts
+the contract shared by all of them against a real trained classifier:
+
+* adversarial images respect the [0, 1] pixel box,
+* the distortion norms an attack *reports* match norms *recomputed*
+  from its returned examples (no stale or pre-clip bookkeeping),
+* failed rows carry the unmodified original image,
+* EAD's two decision rules each minimize their own objective — the
+  ``en`` pick has the smaller elastic-net score ``beta*L1 + L2^2`` and
+  the ``l1`` pick the smaller L1 — on every successful example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    CarliniWagnerL2,
+    DeepFool,
+    EAD,
+    FGSM,
+    IterativeFGSM,
+    logits_of,
+)
+from repro.attacks.base import flat_norms
+
+EAD_BETA = 1e-1
+
+
+@pytest.fixture(scope="module")
+def seeds(tiny_classifier, tiny_splits):
+    preds = logits_of(tiny_classifier, tiny_splits.test.x).argmax(1)
+    idx = np.flatnonzero(preds == tiny_splits.test.y)[:8]
+    return tiny_splits.test.x[idx], tiny_splits.test.y[idx]
+
+
+@pytest.fixture(scope="module")
+def ead_results(tiny_classifier, seeds):
+    x0, y0 = seeds
+    attack = EAD(tiny_classifier, beta=EAD_BETA, kappa=0.0,
+                 binary_search_steps=3, max_iterations=60,
+                 initial_const=1.0)
+    return attack.attack_both(x0, y0)
+
+
+@pytest.fixture(scope="module")
+def all_results(tiny_classifier, seeds, ead_results):
+    """name -> AttackResult for every attack family, small budgets."""
+    x0, y0 = seeds
+    results = {
+        "cw": CarliniWagnerL2(tiny_classifier, kappa=0.0,
+                              binary_search_steps=3, max_iterations=60,
+                              initial_const=1.0, lr=5e-2).attack(x0, y0),
+        "ead_en": ead_results["en"],
+        "ead_l1": ead_results["l1"],
+        "fgsm": FGSM(tiny_classifier, epsilon=0.15).attack(x0, y0),
+        "ifgsm": IterativeFGSM(tiny_classifier, epsilon=0.15,
+                               step_size=0.03, steps=8).attack(x0, y0),
+        "deepfool": DeepFool(tiny_classifier,
+                             max_iterations=20).attack(x0, y0),
+    }
+    return results
+
+
+ATTACK_NAMES = ("cw", "ead_en", "ead_l1", "fgsm", "ifgsm", "deepfool")
+
+
+@pytest.mark.parametrize("name", ATTACK_NAMES)
+class TestSharedInvariants:
+    def test_box_constraint(self, all_results, name):
+        x_adv = all_results[name].x_adv
+        assert x_adv.min() >= 0.0
+        assert x_adv.max() <= 1.0
+
+    def test_reported_norms_match_recomputed(self, all_results, seeds, name):
+        result = all_results[name]
+        x0, _ = seeds
+        norms = flat_norms(result.x_adv - x0)
+        for order in ("l0", "l1", "l2", "linf"):
+            np.testing.assert_allclose(
+                getattr(result, order), norms[order],
+                rtol=1e-5, atol=1e-6,
+                err_msg=f"{name}: reported {order} != recomputed")
+
+    def test_failed_rows_are_originals(self, all_results, seeds, name):
+        result = all_results[name]
+        x0, _ = seeds
+        failed = ~result.success
+        if failed.any():
+            np.testing.assert_array_equal(result.x_adv[failed], x0[failed])
+
+    def test_failed_rows_have_zero_distortion(self, all_results, name):
+        result = all_results[name]
+        failed = ~result.success
+        if failed.any():
+            assert result.l1[failed].max() == 0.0
+            assert result.l2[failed].max() == 0.0
+
+    def test_shapes_consistent(self, all_results, seeds, name):
+        result = all_results[name]
+        x0, y0 = seeds
+        assert result.x_adv.shape == x0.shape
+        for field in ("success", "y_true", "y_adv", "l0", "l1", "l2", "linf"):
+            assert getattr(result, field).shape == y0.shape
+
+
+class TestEADDecisionRules:
+    """Each rule's pick must minimize its own objective (per example)."""
+
+    @staticmethod
+    def _en_score(result):
+        return EAD_BETA * result.l1 + result.l2 ** 2
+
+    def test_en_pick_minimizes_elastic_net(self, ead_results):
+        ok = ead_results["en"].success
+        assert ok.any(), "need at least one success to compare objectives"
+        en_score = self._en_score(ead_results["en"])
+        l1_score = self._en_score(ead_results["l1"])
+        assert (en_score[ok] <= l1_score[ok] + 1e-4).all()
+
+    def test_l1_pick_minimizes_l1(self, ead_results):
+        ok = ead_results["en"].success
+        assert ok.any()
+        assert (ead_results["l1"].l1[ok]
+                <= ead_results["en"].l1[ok] + 1e-4).all()
+
+    def test_rules_agree_on_success_and_labels(self, ead_results):
+        np.testing.assert_array_equal(ead_results["en"].success,
+                                      ead_results["l1"].success)
+        np.testing.assert_array_equal(ead_results["en"].y_true,
+                                      ead_results["l1"].y_true)

@@ -1,50 +1,14 @@
-"""Finite-difference gradient checking for the autodiff engine tests."""
+"""Thin re-export: gradient checking now lives in :mod:`repro.nn.gradcheck`.
 
-from __future__ import annotations
+Kept so existing tests that do ``from tests.nn.gradcheck import
+check_gradient`` (or the relative equivalent) keep working; new code
+should import from ``repro.nn.gradcheck`` directly.
+"""
 
-from typing import Callable
+from repro.nn.gradcheck import (  # noqa: F401
+    check_gradient,
+    check_gradients,
+    numerical_gradient,
+)
 
-import numpy as np
-
-from repro.nn.autograd import Tensor
-
-
-def numerical_gradient(f: Callable[[np.ndarray], float], x: np.ndarray,
-                       eps: float = 1e-5) -> np.ndarray:
-    """Central-difference gradient of a scalar function of an ndarray."""
-    x = x.astype(np.float64, copy=True)
-    grad = np.zeros_like(x)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        orig = x[idx]
-        x[idx] = orig + eps
-        f_plus = f(x)
-        x[idx] = orig - eps
-        f_minus = f(x)
-        x[idx] = orig
-        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
-        it.iternext()
-    return grad
-
-
-def check_gradient(op: Callable[[Tensor], Tensor], x: np.ndarray,
-                   atol: float = 1e-6, rtol: float = 1e-4) -> None:
-    """Assert that autograd and numerical gradients agree for ``op``.
-
-    ``op`` maps a Tensor to a Tensor; the scalar under test is the sum of
-    squares of the op output (smooth and sensitive to every element).
-    """
-    x = x.astype(np.float64)
-
-    def scalar(arr: np.ndarray) -> float:
-        out = op(Tensor(arr, dtype=np.float64))
-        return float((out.data.astype(np.float64) ** 2).sum())
-
-    t = Tensor(x, requires_grad=True, dtype=np.float64)
-    out = op(t)
-    loss = (out * out).sum()
-    loss.backward()
-    assert t.grad is not None, "no gradient reached the input"
-    numeric = numerical_gradient(scalar, x)
-    np.testing.assert_allclose(t.grad, numeric, atol=atol, rtol=rtol)
+__all__ = ["check_gradient", "check_gradients", "numerical_gradient"]

@@ -1,0 +1,132 @@
+"""Exhaustive finite-difference coverage of every autograd op.
+
+`tests/nn/test_autograd.py` spot-checks ops as it exercises engine
+mechanics; this module is the systematic sweep.  Every differentiable op
+exported by :mod:`repro.nn.autograd` appears below, checked through the
+public :func:`repro.nn.gradcheck.check_gradients` API — multi-input ops
+are verified with respect to *all* operands in a single call, which also
+covers paths the engine-mechanics tests skip (``clip``, fancy ``take``
+with repeated indices, the second operand of ``maximum``/``minimum``/
+``where``, both halves of ``concatenate``).
+
+Inputs for kinked ops (abs, relu, clip, max/min, where) are nudged away
+from their non-differentiable points so the eps=1e-5 central difference
+stays on one branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn.autograd as ag
+from repro.nn.gradcheck import check_gradients, numerical_gradient
+
+RNG = np.random.default_rng(20260806)
+
+
+def _away_from(values: np.ndarray, points, margin: float = 1e-2) -> np.ndarray:
+    """Push entries of ``values`` at least ``margin`` away from ``points``."""
+    out = values.copy()
+    for p in points:
+        close = np.abs(out - p) < margin
+        out[close] = p + margin * np.where(out[close] >= p, 1.0, -1.0) * 2.0
+    return out
+
+
+def _pair(shape=(3, 4), *, low=None, sep=False):
+    """Two random arrays; ``low`` bounds below, ``sep`` keeps them apart."""
+    a = RNG.standard_normal(shape)
+    b = RNG.standard_normal(shape)
+    if low is not None:
+        a = np.abs(a) + low
+        b = np.abs(b) + low
+    if sep:
+        b = a + np.where(RNG.random(shape) > 0.5, 0.5, -0.5)
+    return a, b
+
+
+_WHERE_COND = RNG.random((3, 4)) > 0.5
+_TAKE_IDX = np.array([0, 2, 2, 1, 0])  # repeats: gradients must accumulate
+
+# (name, op, input arrays) — every differentiable op in repro.nn.autograd.
+_CASES = [
+    ("add", lambda a, b: a + b, _pair()),
+    ("sub", lambda a, b: a - b, _pair()),
+    ("mul", lambda a, b: a * b, _pair()),
+    ("div", lambda a, b: a / b, _pair(low=0.5)),
+    ("neg", lambda a: -a, (RNG.standard_normal((2, 5)),)),
+    ("power_int", lambda a: a ** 3, (RNG.standard_normal((3, 3)),)),
+    ("power_frac", lambda a: a ** 2.5, (np.abs(RNG.standard_normal((3, 3))) + 0.5,)),
+    ("exp", ag.exp, (RNG.standard_normal((2, 3)),)),
+    ("log", ag.log, (RNG.random((2, 3)) + 0.5,)),
+    ("sqrt", ag.sqrt, (RNG.random((2, 3)) + 0.5,)),
+    ("abs", ag.abs_, (_away_from(RNG.standard_normal((3, 4)), [0.0]),)),
+    ("clip", lambda a: ag.clip(a, -0.5, 0.5),
+     (_away_from(RNG.standard_normal((3, 4)), [-0.5, 0.5]),)),
+    ("maximum", ag.maximum, _pair(sep=True)),
+    ("minimum", ag.minimum, _pair(sep=True)),
+    ("relu", ag.relu, (_away_from(RNG.standard_normal((3, 4)), [0.0]),)),
+    ("leaky_relu", lambda a: ag.leaky_relu(a, 0.2),
+     (_away_from(RNG.standard_normal((3, 4)), [0.0]),)),
+    ("softplus", ag.softplus, (RNG.standard_normal((3, 4)),)),
+    ("sigmoid", ag.sigmoid, (RNG.standard_normal((3, 4)),)),
+    ("tanh", ag.tanh, (RNG.standard_normal((3, 4)),)),
+    ("matmul", lambda a, b: a @ b,
+     (RNG.standard_normal((3, 4)), RNG.standard_normal((4, 2)))),
+    ("matmul_batched", lambda a, b: a @ b,
+     (RNG.standard_normal((2, 3, 4)), RNG.standard_normal((2, 4, 2)))),
+    ("sum_all", ag.sum_, (RNG.standard_normal((3, 4)),)),
+    ("sum_axis", lambda a: ag.sum_(a, axis=1, keepdims=True),
+     (RNG.standard_normal((3, 4)),)),
+    ("mean_all", ag.mean, (RNG.standard_normal((3, 4)),)),
+    ("mean_axis", lambda a: ag.mean(a, axis=0), (RNG.standard_normal((3, 4)),)),
+    ("reshape", lambda a: ag.reshape(a, (6, 2)), (RNG.standard_normal((3, 4)),)),
+    ("transpose", lambda a: ag.transpose(a, (2, 0, 1)),
+     (RNG.standard_normal((2, 3, 4)),)),
+    ("take_slice", lambda a: a[1:3], (RNG.standard_normal((4, 3)),)),
+    ("take_fancy", lambda a: ag.take(a, _TAKE_IDX),
+     (RNG.standard_normal((4, 3)),)),
+    ("concatenate", lambda a, b: ag.concatenate([a, b], axis=1),
+     _pair((3, 2))),
+    ("pad2d", lambda a: ag.pad2d(a, 2), (RNG.standard_normal((2, 1, 4, 4)),)),
+    ("where", lambda a, b: ag.where(_WHERE_COND, a, b), _pair()),
+    ("add_broadcast", lambda a, b: a + b,
+     (RNG.standard_normal((3, 4)), RNG.standard_normal((4,)))),
+    ("mul_broadcast", lambda a, b: a * b,
+     (RNG.standard_normal((2, 3, 4)), RNG.standard_normal((3, 1)))),
+]
+
+
+@pytest.mark.parametrize("name,op,inputs", _CASES,
+                         ids=[case[0] for case in _CASES])
+def test_op_gradient_matches_finite_difference(name, op, inputs):
+    check_gradients(op, *inputs)
+
+
+class TestCheckGradientsAPI:
+    def test_requires_at_least_one_input(self):
+        with pytest.raises(ValueError, match="at least one input"):
+            check_gradients(lambda: None)
+
+    def test_detects_wrong_gradient(self):
+        # A "gradient-free" op: detached output breaks the graph, so the
+        # input never receives a gradient and the check must fail.
+        def broken(a):
+            return ag.as_tensor(a.data * 2.0)
+
+        with pytest.raises(AssertionError):
+            check_gradients(broken, RNG.standard_normal((2, 2)))
+
+    def test_reports_offending_input_position(self):
+        # Gradient only flows to operand 0; operand 1 is detached.
+        def half_broken(a, b):
+            return a * ag.as_tensor(b.data)
+
+        with pytest.raises(AssertionError, match="input 1"):
+            check_gradients(half_broken, *_pair((2, 2)))
+
+    def test_numerical_gradient_of_quadratic(self):
+        x = RNG.standard_normal((2, 3))
+        grad = numerical_gradient(lambda arr: float((arr ** 2).sum()), x)
+        np.testing.assert_allclose(grad, 2.0 * x, atol=1e-6, rtol=1e-6)

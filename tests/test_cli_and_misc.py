@@ -111,6 +111,55 @@ class TestArgparseCli:
         with pytest.raises(SystemExit):
             self._parser().parse_args(["run", "table1", "--profile", "warp"])
 
+    def test_negative_jobs_rejected_at_parse_time(self, capsys):
+        """--jobs -1 is an argparse error (exit 2), not a crash later."""
+        with pytest.raises(SystemExit) as err:
+            self._parser().parse_args(["run", "table1", "--jobs", "-1"])
+        assert err.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+
+        from repro.runtime.executor import resolve_jobs
+
+        args = self._parser().parse_args(["run", "table1", "--jobs", "0"])
+        assert args.jobs == 0
+        assert resolve_jobs(args.jobs) == (os.cpu_count() or 1)
+
+    def test_huge_jobs_clamped_not_fatal(self):
+        from repro.runtime.executor import MAX_JOBS, resolve_jobs
+
+        args = self._parser().parse_args(["run", "table1", "--jobs", "1000000"])
+        assert args.jobs == 1000000  # parsing accepts it...
+        assert resolve_jobs(args.jobs) == MAX_JOBS  # ...execution clamps it
+
+    def test_negative_jobs_rejected_by_executor_too(self):
+        """Library callers bypassing argparse hit the same validation."""
+        from repro.runtime.executor import resolve_jobs
+
+        with pytest.raises(ValueError, match="must be >= 0"):
+            resolve_jobs(-1)
+        with pytest.raises(ValueError, match="must be >= 0"):
+            resolve_jobs(-4)
+
+    def test_fault_flags_parse(self):
+        args = self._parser().parse_args(
+            ["run", "table1", "--resume", "--timeout", "30",
+             "--retries", "5", "--inject-faults", "seed=7,crash=0.1"])
+        assert args.resume is True
+        assert args.timeout == 30.0
+        assert args.retries == 5
+        assert args.inject_faults.seed == 7
+        assert args.inject_faults.rates[0] == 0.1
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            self._parser().parse_args(
+                ["run", "table1", "--inject-faults", "explode=1"])
+        assert err.value.code == 2
+        assert "explode" in capsys.readouterr().err
+
     def test_run_requires_experiment(self):
         with pytest.raises(SystemExit):
             self._parser().parse_args(["run"])

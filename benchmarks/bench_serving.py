@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Benchmark the serving layer: micro-batched vs serial-batch-1 throughput.
+
+A closed-loop load generator (N client threads, each issuing its next
+request only after the previous verdict returns) drives the in-process
+:class:`~repro.serving.service.InferenceService` over a full MagNet
+pipeline (detectors -> reformer -> classifier x2), twice:
+
+* **baseline** — ``max_batch=1``: every request is served alone, the
+  per-call overhead of the numpy pipeline is paid per request;
+* **batched** — ``max_batch=32, max_wait_ms=5``: concurrent requests
+  coalesce into micro-batches through one ``decide_batch`` pass.
+
+Two workloads:
+
+* ``dense`` (default) — the small dense MagNet from
+  :mod:`repro.serving.smoke`.  Per-call dispatch overhead dominates the
+  arithmetic, which is the operating regime dynamic micro-batching is
+  built for; forward-pass throughput does not depend on the weight
+  values, so the untrained models time exactly like trained ones.
+* ``conv`` — the *trained* smoke-profile digits MagNet (convolutional).
+  im2col convolutions scale linearly with batch size, so coalescing can
+  only amortise the fixed per-call overhead (~3x ceiling on one core);
+  reported for context, the acceptance gate runs on ``dense``.
+
+Records throughput, queue/total latency percentiles and mean batch size
+per round, plus the correctness cross-check that serving verdicts are
+bitwise identical to the offline ``MagNet.decide`` pipeline on the same
+batch composition.  Results land in ``BENCH_serving.json`` at the repo
+root; exits non-zero if the batched round is not at least 3x the
+baseline throughput or the verdict check fails.
+
+This is a standalone script (not collected by pytest): one round spins
+up a real worker pool and thousands of requests.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_serving.py [--concurrency N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _build_conv_magnet(cache_dir: Path):
+    """Train (or load) the smoke-profile digits MagNet + test images."""
+    from repro.experiments import SMOKE, ExperimentContext
+    from repro.utils.cache import DiskCache
+
+    ctx = ExperimentContext("digits", profile=SMOKE,
+                            cache=DiskCache(cache_dir), seed=0)
+    magnet = ctx.magnet("default")
+    return magnet, ctx.splits.test.x
+
+
+def _build_dense_magnet():
+    """Small dense MagNet (no disk, no training) + random flat inputs."""
+    from repro.serving.smoke import DIM, build_toy_magnet
+
+    magnet = build_toy_magnet(seed=0)
+    rng = np.random.default_rng(7)
+    return magnet, rng.random((512, DIM)).astype(np.float32)
+
+
+def _closed_loop_round(magnet, inputs, config, concurrency: int,
+                       requests_per_client: int) -> dict:
+    """Drive one service config with a closed-loop thread fleet."""
+    from repro.serving import Client, InferenceService
+
+    total = concurrency * requests_per_client
+    latencies = [0.0] * total
+    errors = [0]
+    lock = threading.Lock()
+
+    with InferenceService(magnet, config) as service:
+        client = Client(service)
+
+        def run_client(worker: int) -> None:
+            for k in range(requests_per_client):
+                idx = (worker * requests_per_client + k) % len(inputs)
+                t0 = time.perf_counter()
+                try:
+                    client.predict(inputs[idx], timeout=120)
+                except Exception:  # noqa: BLE001 - count, keep loading
+                    with lock:
+                        errors[0] += 1
+                    continue
+                latencies[worker * requests_per_client + k] = (
+                    time.perf_counter() - t0) * 1000.0
+
+        threads = [threading.Thread(target=run_client, args=(i,))
+                   for i in range(concurrency)]
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - t_start
+        snap = service.stats_snapshot()
+
+    served = [ms for ms in latencies if ms > 0]
+    p50, p95, p99 = (np.percentile(served, (50, 95, 99))
+                     if served else (0.0, 0.0, 0.0))
+    return {
+        "max_batch": config.max_batch,
+        "max_wait_ms": config.max_wait_ms,
+        "requests": total,
+        "errors": errors[0],
+        "wall_s": round(wall_s, 3),
+        "throughput_rps": round(len(served) / wall_s, 2),
+        "latency_ms": {"p50": round(float(p50), 2),
+                       "p95": round(float(p95), 2),
+                       "p99": round(float(p99), 2)},
+        "mean_batch_size": snap["batches"]["mean_size"],
+        "max_batch_seen": snap["batches"]["max_size"],
+    }
+
+
+def _verdict_equality_check(magnet, inputs, n: int = 32) -> bool:
+    """Serving verdicts vs offline decide() on the same batch composition.
+
+    Per-row BLAS results are not bitwise stable across batch *shapes*,
+    so the check pins the composition: all n requests are queued before
+    the worker starts with max_batch=n, producing one flush whose
+    stacked input equals the offline batch exactly.
+    """
+    from repro.serving import InferenceService, ServingConfig
+
+    xs = [np.asarray(x, dtype=np.float32) for x in inputs[:n]]
+    service = InferenceService(
+        magnet, ServingConfig(max_batch=n, max_wait_ms=60_000,
+                              max_queue=2 * n))
+    futures = [service.submit(x) for x in xs]
+    service.start()
+    try:
+        verdicts = [f.result(timeout=300) for f in futures]
+    finally:
+        service.stop()
+
+    offline = magnet.decide(np.stack(xs))
+    for i, v in enumerate(verdicts):
+        if (v.label != int(offline.labels_reformed[i])
+                or v.label_raw != int(offline.labels_raw[i])
+                or v.detected != bool(offline.detected[i])):
+            return False
+        for d, det in enumerate(magnet.detectors):
+            if v.detector_flags[det.name] != bool(offline.detector_flags[d, i]):
+                return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", choices=("dense", "conv"),
+                        default="dense",
+                        help="dense: overhead-bound toy MagNet (default); "
+                             "conv: trained smoke digits MagNet")
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="closed-loop client threads (default 32)")
+    parser.add_argument("--requests-per-client", type=int, default=None,
+                        help="requests each client issues "
+                             "(default: 100 dense / 24 conv)")
+    parser.add_argument("--max-batch", type=int, default=32,
+                        help="micro-batch bound for the batched round")
+    parser.add_argument("--cache-dir", default=None,
+                        help="model cache for conv (default: fresh temp dir)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_serving.json"))
+    args = parser.parse_args(argv)
+    if args.requests_per_client is None:
+        args.requests_per_client = 100 if args.workload == "dense" else 24
+
+    from repro.serving import ServingConfig
+
+    with tempfile.TemporaryDirectory(prefix="bench_serving_") as tmp:
+        if args.workload == "dense":
+            magnet, inputs = _build_dense_magnet()
+        else:
+            cache_dir = Path(args.cache_dir) if args.cache_dir else Path(tmp)
+            print("[bench_serving] training smoke-profile models ...",
+                  flush=True)
+            magnet, inputs = _build_conv_magnet(cache_dir)
+
+        queue_bound = max(512, 4 * args.concurrency)
+        rounds = {}
+        for name, config in (
+            ("baseline", ServingConfig(max_batch=1, max_wait_ms=0.0,
+                                       max_queue=queue_bound)),
+            ("batched", ServingConfig(max_batch=args.max_batch,
+                                      max_wait_ms=5.0,
+                                      max_queue=queue_bound)),
+        ):
+            print(f"[bench_serving] round '{name}' "
+                  f"(max_batch={config.max_batch}, "
+                  f"concurrency={args.concurrency}) ...", flush=True)
+            rounds[name] = _closed_loop_round(
+                magnet, inputs, config, args.concurrency,
+                args.requests_per_client)
+            print(f"[bench_serving]   {rounds[name]['throughput_rps']} rps, "
+                  f"p95 {rounds[name]['latency_ms']['p95']} ms, "
+                  f"mean batch {rounds[name]['mean_batch_size']}", flush=True)
+
+        print("[bench_serving] verdict equality check ...", flush=True)
+        identical = _verdict_equality_check(magnet, inputs)
+
+    speedup = (rounds["batched"]["throughput_rps"]
+               / max(rounds["baseline"]["throughput_rps"], 1e-9))
+    result = {
+        "benchmark": "serving micro-batch vs batch-1 (closed loop)",
+        "workload": args.workload,
+        "cpu_count": os.cpu_count(),
+        "concurrency": args.concurrency,
+        "baseline": rounds["baseline"],
+        "batched": rounds["batched"],
+        "speedup": round(speedup, 3),
+        "verdicts_identical_to_offline": identical,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+
+    ok = True
+    if speedup < 3.0 and args.workload == "dense":
+        print(f"[bench_serving] FAIL: speedup {speedup:.2f} < 3.0",
+              file=sys.stderr)
+        ok = False
+    if not identical:
+        print("[bench_serving] FAIL: serving verdicts differ from offline "
+              "MagNet", file=sys.stderr)
+        ok = False
+    if rounds["baseline"]["errors"] or rounds["batched"]["errors"]:
+        print("[bench_serving] FAIL: request errors during load",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

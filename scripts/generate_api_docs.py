@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.experiments",
     "repro.runtime",
+    "repro.serving",
     "repro.utils",
 ]
 

@@ -115,6 +115,17 @@ def main(out_path: str = "EXPERIMENTS.md") -> None:
         "bitwise-identical to clean ones (see README \"Fault tolerance",
         "and resume\").",
         "",
+        "The defended pipeline also serves online: `python -m",
+        "repro.experiments serve --dataset digits --profile smoke` exposes",
+        "`/predict`, `/healthz` and `/stats` over HTTP with dynamic",
+        "micro-batching and bounded-queue admission control",
+        "(`repro.serving`). `PYTHONPATH=src python",
+        "benchmarks/bench_serving.py` measures micro-batched vs",
+        "serial-batch-1 throughput with a closed-loop load generator and",
+        "records the result (plus the serving==offline verdict check) in",
+        "`BENCH_serving.json`; `scripts/smoke_serving.py` is the",
+        "end-to-end HTTP smoke test.",
+        "",
     ]
     for exp_id in ORDER:
         t0 = time.time()

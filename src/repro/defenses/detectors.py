@@ -33,6 +33,9 @@ def _batched_forward(model: Module, x: np.ndarray, batch_size: int = 256) -> np.
     return np.concatenate(outs, axis=0)
 
 
+_EMPTY_SCORES = np.zeros(0, dtype=np.float32)
+
+
 class Detector:
     """Base detector: anomaly ``score`` plus a calibrated ``threshold``."""
 
@@ -84,6 +87,8 @@ class ReconstructionDetector(Detector):
 
     def score(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.shape[0] == 0:
+            return _EMPTY_SCORES.copy()
         recon = _batched_forward(self.autoencoder, x, self.batch_size)
         diff = (x - recon).reshape(x.shape[0], -1)
         if self.norm == 1:
@@ -125,6 +130,8 @@ class JSDDetector(Detector):
 
     def score(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
+        if x.shape[0] == 0:
+            return _EMPTY_SCORES.copy()
         recon = _batched_forward(self.autoencoder, x, self.batch_size)
         logits_x = _batched_forward(self.classifier, x, self.batch_size)
         logits_r = _batched_forward(self.classifier, recon, self.batch_size)

@@ -20,7 +20,8 @@ The evaluation conventions follow the paper under reproduction:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +39,14 @@ class MagNetDecision:
     labels_raw: np.ndarray        # (N,) classifier labels on the raw input
     labels_reformed: np.ndarray   # (N,) classifier labels after reforming
     detector_flags: np.ndarray    # (D, N) bool — per-detector decisions
+    #: (D, N) float per-detector anomaly scores; populated by
+    #: :meth:`MagNet.decide_batch` (None on the plain :meth:`MagNet.decide`
+    #: path, which never materializes them).
+    detector_scores: Optional[np.ndarray] = None
+    #: Wall-clock seconds per pipeline stage ("detect", "reform",
+    #: "classify"); populated by :meth:`MagNet.decide_batch` for the
+    #: serving layer's telemetry.
+    stage_s: Optional[Dict[str, float]] = None
 
     def __len__(self) -> int:
         return len(self.detected)
@@ -84,6 +93,12 @@ class MagNet:
             return np.zeros((0, x.shape[0]), dtype=bool)
         return np.stack([det.flags(x) for det in self.detectors])
 
+    def detector_scores(self, x: np.ndarray) -> np.ndarray:
+        """(D, N) per-detector anomaly scores (higher = more anomalous)."""
+        if not self.detectors:
+            return np.zeros((0, x.shape[0]), dtype=np.float32)
+        return np.stack([det.score(x) for det in self.detectors])
+
     def reform(self, x: np.ndarray) -> np.ndarray:
         """Apply the reformer (identity if the variant has none)."""
         if self.reformer is None:
@@ -101,22 +116,73 @@ class MagNet:
                               labels_reformed=labels_reformed,
                               detector_flags=det_flags)
 
+    def decide_batch(self, x: np.ndarray) -> MagNetDecision:
+        """Serving entry point: one batched pass with scores and timings.
+
+        Computes exactly what :meth:`decide` computes — each detector flag
+        is its score compared against the calibrated threshold, labels come
+        from the same batched forward passes — so for the same input array
+        the two paths produce bitwise-identical decisions.  Additionally
+        materializes the (D, N) score matrix (each detector's forward pass
+        is run once, not twice) and per-stage wall-clock timings for the
+        serving layer's verdicts and telemetry.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        n = x.shape[0]
+        t0 = time.perf_counter()
+        scores = self.detector_scores(x)
+        flags = np.zeros((len(self.detectors), n), dtype=bool)
+        for i, det in enumerate(self.detectors):
+            if det.threshold is None:
+                raise RuntimeError(
+                    f"{det.name} has no threshold; call calibrate() first")
+            flags[i] = scores[i] > det.threshold
+        detected = flags.any(axis=0) if flags.size else np.zeros(n, bool)
+        t1 = time.perf_counter()
+        x_reformed = self.reform(x)
+        t2 = time.perf_counter()
+        labels_raw = predict_labels(self.classifier, x)
+        labels_reformed = predict_labels(self.classifier, x_reformed)
+        t3 = time.perf_counter()
+        return MagNetDecision(
+            detected=detected, labels_raw=labels_raw,
+            labels_reformed=labels_reformed, detector_flags=flags,
+            detector_scores=scores,
+            stage_s={"detect": t1 - t0, "reform": t2 - t1,
+                     "classify": t3 - t2})
+
     # ------------------------------------------------------------------
     # Paper metrics
     # ------------------------------------------------------------------
     def defense_accuracy(self, x_adv: np.ndarray, y_true: np.ndarray) -> float:
         """Paper's 'classification accuracy' on adversarial examples:
-        detected OR correctly classified after reforming."""
+        detected OR correctly classified after reforming.
+
+        Empty input returns 0.0 by convention (no examples defended)
+        rather than propagating a 0/0 NaN.
+        """
+        if np.asarray(x_adv).shape[0] == 0:
+            return 0.0
         decision = self.decide(x_adv)
         ok = decision.detected | (decision.labels_reformed == np.asarray(y_true))
         return float(ok.mean())
 
     def attack_success_rate(self, x_adv: np.ndarray, y_true: np.ndarray) -> float:
-        """ASR = 100% − defense accuracy (as a fraction in [0, 1])."""
+        """ASR = 100% − defense accuracy (as a fraction in [0, 1]).
+
+        Empty input returns 0.0 by convention (no examples attacked).
+        """
+        if np.asarray(x_adv).shape[0] == 0:
+            return 0.0
         return 1.0 - self.defense_accuracy(x_adv, y_true)
 
     def clean_accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Accuracy on clean data with the defense active (FPs count as errors)."""
+        """Accuracy on clean data with the defense active (FPs count as errors).
+
+        Empty input returns 0.0 by convention.
+        """
+        if np.asarray(x).shape[0] == 0:
+            return 0.0
         decision = self.decide(x)
         ok = (~decision.detected) & (decision.labels_reformed == np.asarray(y))
         return float(ok.mean())

@@ -24,6 +24,8 @@ class Reformer:
     def reform(self, x: np.ndarray) -> np.ndarray:
         """Return AE(x), clipped into the valid pixel box."""
         x = np.asarray(x, dtype=np.float32)
+        if x.shape[0] == 0:
+            return x.copy()
         outs = []
         with no_grad():
             for start in range(0, x.shape[0], self.batch_size):

@@ -7,6 +7,14 @@ Usage::
     python -m repro.experiments run all --jobs 4       # everything, 4 workers
     python -m repro.experiments run fig2 --profile smoke --seed 1
     python -m repro.experiments timings                # per-stage wall-clock
+    python -m repro.experiments serve --port 8080      # online inference
+
+``serve`` starts the micro-batching HTTP inference service over the
+defended pipeline (``repro.serving``): concurrent ``POST /predict``
+requests are coalesced into batches (``--max-batch``/``--max-wait-ms``)
+with bounded admission (``--max-queue``, HTTP 429 beyond it); see
+``GET /healthz`` and ``GET /stats`` for liveness and latency
+percentiles.
 
 ``run`` accepts ``--profile`` (smoke|quick|paper), ``--jobs`` (worker
 processes; 0 = one per core, negative values rejected), ``--cache-dir``,
@@ -30,6 +38,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 import warnings
 from typing import List, Optional
 
@@ -50,7 +59,7 @@ from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
 
-_COMMANDS = ("run", "list", "timings")
+_COMMANDS = ("run", "list", "timings", "serve")
 
 _DEFAULT_TELEMETRY_NAME = "telemetry.jsonl"
 
@@ -134,6 +143,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="show experiment ids",
                    description="List every experiment id with a description.")
 
+    serve = sub.add_parser(
+        "serve", help="run the online MagNet inference service over HTTP",
+        description="Serve the defended pipeline: coalesce concurrent "
+                    "/predict requests into micro-batches through one "
+                    "batched MagNet pass. Endpoints: POST /predict, "
+                    "GET /healthz, GET /stats.")
+    serve.add_argument("--dataset", choices=("digits", "objects"),
+                       default="digits", help="dataset whose models to serve")
+    serve.add_argument("--variant", default="default",
+                       help="MagNet variant (default: 'default')")
+    serve.add_argument("--ae-loss", default="mse", choices=("mse", "mae"),
+                       help="autoencoder training loss (default mse)")
+    serve.add_argument("--profile", choices=sorted(PROFILES),
+                       help="scale profile for the served models "
+                            "(default: quick)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = ephemeral; the bound port is "
+                            "printed on startup)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="flush a micro-batch at this many requests "
+                            "(default 32)")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0, metavar="MS",
+                       help="flush when the oldest queued request is this "
+                            "old (default 5)")
+    serve.add_argument("--max-queue", type=int, default=256, metavar="N",
+                       help="admission bound: reject (HTTP 429) beyond this "
+                            "queue depth (default 256)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker threads draining the queue (default 1)")
+    serve.add_argument("--max-requests", type=int, default=None, metavar="N",
+                       help="exit after serving N requests (smoke/testing; "
+                            "default: run until interrupted)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact cache root (default: .repro_cache)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="model seed (default 0)")
+    serve.add_argument("--telemetry", metavar="PATH",
+                       help="JSONL event log (default: "
+                            "<cache-dir>/telemetry.jsonl; 'off' disables)")
+
     timings = sub.add_parser(
         "timings", help="per-stage wall-clock report from the telemetry log",
         description="Aggregate a telemetry JSONL log into a per-stage "
@@ -214,6 +264,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.context import ExperimentContext
+    from repro.serving import InferenceService, ServingConfig, serve_in_thread
+
+    profile = _resolve_profile(args.profile)
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    configure_telemetry(_telemetry_path(args.telemetry, cache_dir))
+
+    ctx = ExperimentContext(args.dataset, profile=profile,
+                            cache=DiskCache(cache_dir), seed=args.seed)
+    log.info("loading %s/%s models (%s profile) ...", args.dataset,
+             args.variant, profile.name)
+    magnet = ctx.magnet(args.variant, ae_loss=args.ae_loss)
+    config = ServingConfig(max_batch=args.max_batch,
+                           max_wait_ms=args.max_wait_ms,
+                           max_queue=args.max_queue,
+                           workers=args.workers)
+
+    with InferenceService(magnet, config) as service:
+        server, _ = serve_in_thread(service, args.host, args.port)
+        host, port = server.server_address[:2]
+        print(f"serving {args.dataset}/{args.variant} on http://{host}:{port} "
+              f"(max_batch={config.max_batch}, "
+              f"max_wait_ms={config.max_wait_ms:g}, "
+              f"max_queue={config.max_queue})", flush=True)
+        try:
+            while True:
+                time.sleep(0.2)
+                if (args.max_requests is not None
+                        and service.stats.completed >= args.max_requests):
+                    log.info("served %d requests (--max-requests), exiting",
+                             service.stats.completed)
+                    break
+                if not service.healthy():
+                    log.error("service became unhealthy, exiting")
+                    return 1
+        except KeyboardInterrupt:
+            print("interrupted, draining ...", flush=True)
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
 def _cmd_list() -> int:
     for exp_id, desc in describe_experiments().items():
         print(f"{exp_id:<8} {desc}")
@@ -249,6 +343,8 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.command == "timings":
         return _cmd_timings(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     print(__doc__)
     return 0
 

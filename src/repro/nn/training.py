@@ -183,7 +183,9 @@ def predict_logits(model: Module, x: np.ndarray, batch_size: int = 256) -> np.nd
 
 
 def predict_labels(model: Module, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-    """Argmax class predictions."""
+    """Argmax class predictions (empty int64 array for an empty batch)."""
+    if np.asarray(x).shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
     return predict_logits(model, x, batch_size).argmax(axis=1)
 
 

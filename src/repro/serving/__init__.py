@@ -1,0 +1,47 @@
+"""Online inference serving for the defended MagNet pipeline.
+
+The offline experiments evaluate MagNet on pre-assembled batches; a
+deployment sees one request at a time.  This package bridges the gap
+with *dynamic micro-batching*: concurrent single-example requests are
+coalesced into batches (flush on ``max_batch`` or ``max_wait_ms``,
+whichever first) and served through one batched
+:meth:`~repro.defenses.magnet.MagNet.decide_batch` pass, with bounded
+queueing and explicit load shedding instead of unbounded latency.
+
+* :class:`MicroBatcher` — the request queue + flush scheduler.
+* :class:`InferenceService` — worker pool + per-request verdicts.
+* :class:`Client` — in-process frontend for tests and benchmarks.
+* :func:`build_http_server` / :func:`serve_in_thread` — stdlib JSON
+  HTTP frontend (``/predict``, ``/healthz``, ``/stats``).
+* ``python -m repro.experiments serve`` — CLI entry point.
+"""
+
+from repro.serving.batcher import (
+    MicroBatcher,
+    QueueFullError,
+    Request,
+    ServingClosedError,
+)
+from repro.serving.client import Client
+from repro.serving.config import ServingConfig
+from repro.serving.http import (
+    ServingHTTPServer,
+    build_http_server,
+    serve_in_thread,
+)
+from repro.serving.service import InferenceService, ServiceStats, Verdict
+
+__all__ = [
+    "Client",
+    "InferenceService",
+    "MicroBatcher",
+    "QueueFullError",
+    "Request",
+    "ServiceStats",
+    "ServingClosedError",
+    "ServingConfig",
+    "ServingHTTPServer",
+    "Verdict",
+    "build_http_server",
+    "serve_in_thread",
+]

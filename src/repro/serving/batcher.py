@@ -1,0 +1,153 @@
+"""Request queue + dynamic micro-batching scheduler.
+
+Requests arrive one at a time (HTTP handler threads, in-process
+clients); the MagNet pipeline underneath is throughput-bound vectorized
+numpy that only pays off on batches.  :class:`MicroBatcher` bridges the
+two: producers :meth:`~MicroBatcher.submit` single requests into a
+bounded FIFO, consumers (worker threads) block in
+:meth:`~MicroBatcher.next_batch` until a batch is due.  A batch is due
+when
+
+* ``max_batch`` requests are waiting (flush on size), or
+* the oldest waiting request has aged ``max_wait_ms`` (flush on
+  timeout), or
+* the batcher is closing and must drain.
+
+Admission control is explicit: once ``max_queue`` requests are waiting,
+:meth:`~MicroBatcher.submit` raises :class:`QueueFullError` immediately
+instead of queueing into unbounded latency — the caller (HTTP 429, a
+load generator) decides whether to retry.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional
+
+import numpy as np
+
+
+class QueueFullError(RuntimeError):
+    """Admission control rejected a request: the queue is at max_queue."""
+
+
+class ServingClosedError(RuntimeError):
+    """The service is shut down (or shutting down) and takes no requests."""
+
+
+@dataclasses.dataclass
+class Request:
+    """One queued inference request (a single example, not a batch)."""
+
+    x: np.ndarray                 # one example, shape = model input shape
+    id: str                       # caller-supplied or auto-assigned id
+    future: Future                # resolves to a Verdict (or an exception)
+    enqueued_at: float            # monotonic seconds at submit time
+
+
+class MicroBatcher:
+    """Bounded FIFO of requests with size/deadline-triggered flushing."""
+
+    def __init__(self, max_batch: int = 32, max_wait_ms: float = 5.0,
+                 max_queue: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self._clock = clock
+        self._queue: collections.deque = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        #: Total requests accepted / rejected since construction.
+        self.submitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enqueue one request; wakes a waiting consumer.
+
+        Raises :class:`ServingClosedError` after :meth:`close`, and
+        :class:`QueueFullError` when the queue already holds
+        ``max_queue`` requests (the request is *not* queued).
+        """
+        with self._cond:
+            if self._closed:
+                raise ServingClosedError("batcher is closed")
+            if len(self._queue) >= self.max_queue:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"queue full: {len(self._queue)} waiting >= "
+                    f"max_queue={self.max_queue}")
+            self._queue.append(request)
+            self.submitted += 1
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def next_batch(self, timeout: Optional[float] = None
+                   ) -> Optional[List[Request]]:
+        """Block until a batch is due and return it (FIFO order).
+
+        Returns ``None`` once the batcher is closed *and* drained — the
+        consumer's signal to exit.  With a ``timeout``, returns ``[]``
+        if nothing became due within that many seconds, so workers can
+        periodically re-check external stop conditions.
+        """
+        deadline = self._clock() + timeout if timeout is not None else None
+        with self._cond:
+            while True:
+                now = self._clock()
+                wait: Optional[float]
+                if self._queue:
+                    if self._closed or len(self._queue) >= self.max_batch:
+                        return self._pop_batch()
+                    flush_at = self._queue[0].enqueued_at + self.max_wait_s
+                    if now >= flush_at:
+                        return self._pop_batch()
+                    wait = flush_at - now
+                    if deadline is not None:
+                        wait = min(wait, deadline - now)
+                else:
+                    if self._closed:
+                        return None
+                    wait = None if deadline is None else deadline - now
+                if wait is not None and wait <= 0:
+                    # The overall timeout expired first; a due flush was
+                    # handled above, so this poll round came up empty.
+                    return []
+                self._cond.wait(wait)
+
+    def _pop_batch(self) -> List[Request]:
+        n = min(self.max_batch, len(self._queue))
+        return [self._queue.popleft() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admissions; queued requests still drain via next_batch."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,39 @@
+"""In-process client for the serving layer (tests and benchmarks).
+
+The :class:`Client` talks to an :class:`~repro.serving.service.InferenceService`
+directly — same process, no HTTP — which makes it the right frontend for
+closed-loop load generation and for tests that assert on exact verdicts.
+It intentionally mirrors the HTTP surface: ``predict`` ≙ ``POST
+/predict``, ``stats`` ≙ ``GET /stats``, ``healthy`` ≙ ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.service import InferenceService, Verdict
+
+
+class Client:
+    """Thin in-process frontend over a running :class:`InferenceService`."""
+
+    def __init__(self, service: InferenceService):
+        self.service = service
+
+    def predict(self, x: np.ndarray, timeout: Optional[float] = None
+                ) -> Verdict:
+        """One example in, one verdict out (blocks until served)."""
+        return self.service.predict(x, timeout=timeout)
+
+    def predict_many(self, xs: Sequence[np.ndarray],
+                     timeout: Optional[float] = None) -> List[Verdict]:
+        """Submit a burst and gather verdicts in submission order."""
+        return self.service.predict_many(xs, timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.service.stats_snapshot()
+
+    def healthy(self) -> bool:
+        return self.service.healthy()

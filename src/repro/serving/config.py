@@ -1,0 +1,63 @@
+"""Configuration for the online inference service.
+
+One frozen dataclass holds every serving knob so the CLI, the HTTP
+frontend, the benchmark and the tests construct services identically.
+The two knobs that define *dynamic micro-batching* are ``max_batch`` and
+``max_wait_ms``: a batch is flushed to the worker pool as soon as either
+``max_batch`` requests are waiting or the oldest waiting request has
+aged ``max_wait_ms`` — whichever happens first.  ``max_queue`` bounds
+admission: once that many requests are queued, new submissions are
+rejected immediately (load shedding) instead of growing latency without
+bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Knobs for :class:`~repro.serving.service.InferenceService`."""
+
+    #: Flush a batch once this many requests are waiting.
+    max_batch: int = 32
+    #: ... or once the oldest waiting request is this old (milliseconds).
+    max_wait_ms: float = 5.0
+    #: Admission bound: submissions beyond this queue depth are rejected
+    #: with :class:`~repro.serving.batcher.QueueFullError`.
+    max_queue: int = 256
+    #: Worker threads draining the queue.  The pipeline is vectorized
+    #: numpy that releases the GIL in BLAS, so 1-2 workers saturate a
+    #: small host; more workers mainly reduce head-of-line blocking.
+    workers: int = 1
+    #: Ring-buffer size for the latency percentiles reported by /stats.
+    latency_window: int = 2048
+    #: Server-side cap on how long one HTTP /predict call may wait for
+    #: its verdict before answering 504.
+    request_timeout_s: float = 30.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.latency_window < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {self.latency_window}")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive, got "
+                             f"{self.request_timeout_s}")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)

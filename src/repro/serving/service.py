@@ -1,0 +1,328 @@
+"""The online inference service: worker pool over batched MagNet passes.
+
+:class:`InferenceService` glues a :class:`~repro.serving.batcher.MicroBatcher`
+to a calibrated :class:`~repro.defenses.magnet.MagNet`: worker threads
+pull coalesced micro-batches, run one
+:meth:`~repro.defenses.magnet.MagNet.decide_batch` pass (detect → reform
+→ classify), and resolve each request's future with a per-request
+:class:`Verdict` — the reformed label, the detected flag, and every
+detector's score.  Because the pipeline is pure numpy that spends its
+time in GIL-releasing BLAS calls, threads (not processes) are the right
+worker pool: batches share the in-process model weights with zero
+serialization cost.
+
+Telemetry: when :mod:`repro.runtime.telemetry` is configured the service
+emits one ``serve/batch`` event per flush (batch size, queue wait,
+per-stage latencies) and one ``serve/request`` event per completed
+request.  :meth:`InferenceService.stats_snapshot` serves the same
+numbers in-process (and over HTTP via ``/stats``): counters plus
+p50/p95/p99 queue/total latency over a bounded window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.defenses.magnet import MagNet
+from repro.runtime.telemetry import telemetry
+from repro.serving.batcher import (
+    MicroBatcher,
+    QueueFullError,
+    Request,
+    ServingClosedError,
+)
+from repro.serving.config import ServingConfig
+from repro.utils.logging import get_logger
+
+log = get_logger(__name__)
+
+
+@dataclasses.dataclass
+class Verdict:
+    """Per-request outcome of one defended inference."""
+
+    request_id: str
+    label: int                    # classifier label after reforming
+    detected: bool                # rejected by any detector
+    label_raw: int                # classifier label on the raw input
+    detector_scores: Dict[str, float]   # per-detector anomaly scores
+    detector_flags: Dict[str, bool]     # per-detector decisions
+    queue_ms: float               # time spent waiting to be batched
+    infer_ms: float               # batched pipeline time for the flush
+    batch_size: int               # size of the micro-batch served with
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _percentiles(values: Sequence[float]) -> Dict[str, float]:
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(values, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+    return {"p50": round(float(p50), 3), "p95": round(float(p95), 3),
+            "p99": round(float(p99), 3)}
+
+
+class ServiceStats:
+    """Thread-safe serving counters + bounded latency windows."""
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._queue_ms: List[float] = []
+        self._total_ms: List[float] = []
+        self._window = int(window)
+        self.completed = 0
+        self.rejected = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_seen = 0
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def note_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.max_batch_seen = max(self.max_batch_seen, size)
+
+    def note_request(self, queue_ms: float, total_ms: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._queue_ms.append(queue_ms)
+            self._total_ms.append(total_ms)
+            if len(self._queue_ms) > self._window:
+                del self._queue_ms[:-self._window]
+                del self._total_ms[:-self._window]
+
+    def note_errors(self, n: int) -> None:
+        with self._lock:
+            self.errors += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            mean_batch = (self.batched_requests / self.batches
+                          if self.batches else 0.0)
+            return {
+                "requests": {
+                    "completed": self.completed,
+                    "rejected": self.rejected,
+                    "errors": self.errors,
+                },
+                "batches": {
+                    "count": self.batches,
+                    "mean_size": round(mean_batch, 3),
+                    "max_size": self.max_batch_seen,
+                },
+                "latency_ms": {
+                    "queue": _percentiles(self._queue_ms),
+                    "total": _percentiles(self._total_ms),
+                },
+            }
+
+
+class InferenceService:
+    """Micro-batching MagNet server with bounded admission.
+
+    Usage::
+
+        service = InferenceService(magnet, ServingConfig(max_batch=32))
+        with service:                      # starts/stops the worker pool
+            verdict = service.predict(x)   # one example in, one Verdict out
+
+    ``submit`` is the async form (returns a ``Future``); ``predict``
+    blocks.  Submissions beyond ``config.max_queue`` raise
+    :class:`QueueFullError` — explicit load shedding, never unbounded
+    queueing.
+    """
+
+    #: Poll interval for worker threads re-checking the stop flag.
+    _IDLE_POLL_S = 0.05
+
+    def __init__(self, magnet: MagNet, config: Optional[ServingConfig] = None):
+        self.magnet = magnet
+        self.config = config or ServingConfig()
+        self.stats = ServiceStats(window=self.config.latency_window)
+        self._batcher = MicroBatcher(max_batch=self.config.max_batch,
+                                     max_wait_ms=self.config.max_wait_ms,
+                                     max_queue=self.config.max_queue)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+        self._started_at: Optional[float] = None
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._started_at = time.monotonic()
+        for i in range(self.config.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"repro-serve-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        log.info("serving started: %d worker(s), max_batch=%d, "
+                 "max_wait_ms=%g, max_queue=%d", self.config.workers,
+                 self.config.max_batch, self.config.max_wait_ms,
+                 self.config.max_queue)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop admissions, drain queued requests, join the workers."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._batcher.close()
+        for t in self._threads:
+            t.join(timeout)
+        log.info("serving stopped: %d completed, %d rejected, %d errors",
+                 self.stats.completed, self.stats.rejected, self.stats.errors)
+
+    def __enter__(self) -> "InferenceService":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def healthy(self) -> bool:
+        """True while the worker pool is up and accepting requests."""
+        return (self._started and not self._stopped
+                and not self._batcher.closed
+                and any(t.is_alive() for t in self._threads))
+
+    @property
+    def uptime_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _assign_id(self) -> str:
+        with self._id_lock:
+            self._next_id += 1
+            return f"r{self._next_id}"
+
+    def _check_shape(self, x: np.ndarray) -> None:
+        # The first request pins the service's input shape; later
+        # requests must match so the worker can np.stack the batch.
+        with self._id_lock:
+            if self._input_shape is None:
+                self._input_shape = x.shape
+            elif x.shape != self._input_shape:
+                raise ValueError(
+                    f"input shape {x.shape} does not match the service's "
+                    f"shape {self._input_shape} (one example per request)")
+
+    def submit(self, x: np.ndarray, request_id: Optional[str] = None
+               ) -> "Future[Verdict]":
+        """Queue one example; returns a future resolving to its Verdict."""
+        x = np.asarray(x, dtype=np.float32)
+        self._check_shape(x)
+        future: "Future[Verdict]" = Future()
+        request = Request(x=x, id=request_id or self._assign_id(),
+                          future=future, enqueued_at=time.monotonic())
+        try:
+            self._batcher.submit(request)
+        except (QueueFullError, ServingClosedError):
+            self.stats.note_rejected()
+            raise
+        return future
+
+    def predict(self, x: np.ndarray, timeout: Optional[float] = None
+                ) -> Verdict:
+        """Blocking single-example inference through the batching queue."""
+        return self.submit(x).result(timeout)
+
+    def predict_many(self, xs: Sequence[np.ndarray],
+                     timeout: Optional[float] = None) -> List[Verdict]:
+        """Submit a burst of examples and gather their verdicts in order."""
+        futures = [self.submit(x) for x in xs]
+        return [f.result(timeout) for f in futures]
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Counters, latency percentiles and config — the /stats payload."""
+        snap = self.stats.snapshot()
+        snap["requests"]["submitted"] = self._batcher.submitted
+        snap["queue_depth"] = len(self._batcher)
+        snap["uptime_s"] = round(self.uptime_s, 3)
+        snap["healthy"] = self.healthy()
+        snap["config"] = self.config.as_dict()
+        return snap
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch(timeout=self._IDLE_POLL_S)
+            if batch is None:
+                return                      # closed and drained
+            if batch:
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: List[Request]) -> None:
+        t_start = time.monotonic()
+        try:
+            x = np.stack([r.x for r in batch])
+            decision = self.magnet.decide_batch(x)
+        except Exception as exc:            # model failure: fail the batch,
+            self.stats.note_errors(len(batch))   # not the worker
+            log.exception("batch of %d failed", len(batch))
+            telemetry().emit("serve/error", batch=len(batch),
+                             error=type(exc).__name__)
+            for r in batch:
+                r.future.set_exception(exc)
+            return
+        infer_ms = (time.monotonic() - t_start) * 1000.0
+        stage_s = decision.stage_s or {}
+        names = [d.name for d in self.magnet.detectors]
+        self.stats.note_batch(len(batch))
+        telemetry().emit(
+            "serve/batch", duration_s=infer_ms / 1000.0, batch=len(batch),
+            detect_s=round(stage_s.get("detect", 0.0), 6),
+            reform_s=round(stage_s.get("reform", 0.0), 6),
+            classify_s=round(stage_s.get("classify", 0.0), 6),
+            oldest_queue_ms=round(
+                (t_start - batch[0].enqueued_at) * 1000.0, 3))
+        for i, r in enumerate(batch):
+            queue_ms = (t_start - r.enqueued_at) * 1000.0
+            verdict = Verdict(
+                request_id=r.id,
+                label=int(decision.labels_reformed[i]),
+                detected=bool(decision.detected[i]),
+                label_raw=int(decision.labels_raw[i]),
+                detector_scores={
+                    name: float(decision.detector_scores[d, i])
+                    for d, name in enumerate(names)},
+                detector_flags={
+                    name: bool(decision.detector_flags[d, i])
+                    for d, name in enumerate(names)},
+                queue_ms=round(queue_ms, 3),
+                infer_ms=round(infer_ms, 3),
+                batch_size=len(batch),
+            )
+            self.stats.note_request(queue_ms, queue_ms + infer_ms)
+            telemetry().emit("serve/request",
+                             duration_s=(queue_ms + infer_ms) / 1000.0,
+                             queue_ms=round(queue_ms, 3), batch=len(batch),
+                             detected=verdict.detected)
+            r.future.set_result(verdict)

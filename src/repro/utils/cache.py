@@ -97,13 +97,36 @@ class CacheStats:
                 f"read={self.bytes_read}B, written={self.bytes_written}B)")
 
 
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a power loss.
+
+    ``os.replace`` makes the rename atomic against concurrent readers,
+    but the *directory entry* itself is only durable once the directory
+    inode reaches disk — without this, a kill at the wrong moment can
+    roll a checkpoint manifest back to its previous (or no) version.
+    Best-effort: platforms that cannot fsync a directory are skipped.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: Path, write_fn: Callable[[Any], None],
                   suffix: str) -> int:
-    """Write via unique temp file + fsync + rename; returns bytes written.
+    """Write via unique temp file + fsync + rename + dir fsync; returns
+    bytes written.
 
     Unique temp names make concurrent writers of the same key safe: each
-    publishes a complete file and the last ``os.replace`` wins.  The
-    fsync closes the crash window where a rename could outlive its data.
+    publishes a complete file and the last ``os.replace`` wins.  The file
+    fsync closes the crash window where a rename could outlive its data;
+    the directory fsync makes the rename itself durable.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=suffix)
@@ -119,6 +142,7 @@ def _atomic_write(path: Path, write_fn: Callable[[Any], None],
             os.fsync(fh.fileno())
         size = os.path.getsize(tmp)
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)

@@ -156,3 +156,80 @@ class TestMagNetMetrics:
     def test_repr(self):
         magnet = _calibrated_magnet()
         assert "recon_l1" in repr(magnet)
+
+
+class TestDecideBatch:
+    """decide_batch: the serving entry point mirrors decide() exactly."""
+
+    def test_matches_decide_bitwise(self):
+        magnet = _calibrated_magnet()
+        x = np.concatenate([_dark(3), _bright(3)])
+        offline = magnet.decide(x)
+        batched = magnet.decide_batch(x)
+        np.testing.assert_array_equal(batched.detected, offline.detected)
+        np.testing.assert_array_equal(batched.labels_raw, offline.labels_raw)
+        np.testing.assert_array_equal(batched.labels_reformed,
+                                      offline.labels_reformed)
+        np.testing.assert_array_equal(batched.detector_flags,
+                                      offline.detector_flags)
+
+    def test_materializes_scores_and_timings(self):
+        magnet = _calibrated_magnet()
+        decision = magnet.decide_batch(_dark(4))
+        assert decision.detector_scores.shape == (1, 4)
+        np.testing.assert_array_equal(
+            decision.detector_flags,
+            decision.detector_scores > magnet.detectors[0].threshold)
+        assert set(decision.stage_s) == {"detect", "reform", "classify"}
+        assert all(v >= 0 for v in decision.stage_s.values())
+
+    def test_uncalibrated_detector_raises(self):
+        det = ReconstructionDetector(_ConstantAE(0.1), norm=1)
+        magnet = MagNet(_FixedClassifier(), [det], None, name="uncal")
+        with pytest.raises(RuntimeError, match="calibrate"):
+            magnet.decide_batch(_dark(2))
+
+
+class TestEmptyBatch:
+    """N=0 fast paths: the serving flush path must survive empty batches."""
+
+    def _empty(self):
+        return np.zeros((0, 1, 2, 2), dtype=np.float32)
+
+    def test_decide_empty(self):
+        decision = _calibrated_magnet().decide(self._empty())
+        assert len(decision) == 0
+        assert decision.detected.shape == (0,)
+        assert decision.labels_raw.shape == (0,)
+        assert decision.labels_reformed.shape == (0,)
+
+    def test_decide_batch_empty(self):
+        decision = _calibrated_magnet().decide_batch(self._empty())
+        assert len(decision) == 0
+        assert decision.detector_scores.shape == (1, 0)
+        assert decision.detector_flags.shape == (1, 0)
+
+    def test_accuracy_helpers_empty(self):
+        magnet = _calibrated_magnet()
+        y = np.zeros(0, dtype=int)
+        assert magnet.defense_accuracy(self._empty(), y) == 0.0
+        assert magnet.attack_success_rate(self._empty(), y) == 0.0
+        assert magnet.clean_accuracy(self._empty(), y) == 0.0
+
+    def test_detector_score_and_flags_empty(self):
+        magnet = _calibrated_magnet()
+        det = magnet.detectors[0]
+        assert det.score(self._empty()).shape == (0,)
+        assert det.flags(self._empty()).shape == (0,)
+        assert magnet.detector_scores(self._empty()).shape == (1, 0)
+        assert magnet.detect(self._empty()).shape == (0,)
+
+    def test_reformer_empty(self):
+        out = Reformer(_ConstantAE(0.5)).reform(self._empty())
+        assert out.shape == (0, 1, 2, 2)
+        assert out.dtype == np.float32
+
+    def test_jsd_detector_empty(self):
+        from repro.defenses.detectors import JSDDetector
+        det = JSDDetector(_IdentityAE(), _FixedClassifier())
+        assert det.score(self._empty()).shape == (0,)

@@ -1,0 +1,143 @@
+"""Unit tests for the micro-batching scheduler (no models involved)."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    MicroBatcher,
+    QueueFullError,
+    Request,
+    ServingClosedError,
+)
+
+
+def _request(i=0):
+    return Request(x=np.zeros(4, dtype=np.float32), id=f"t{i}",
+                   future=Future(), enqueued_at=time.monotonic())
+
+
+class TestFlushOnSize:
+    def test_full_batch_flushes_immediately(self):
+        b = MicroBatcher(max_batch=4, max_wait_ms=10_000, max_queue=16)
+        for i in range(4):
+            b.submit(_request(i))
+        t0 = time.monotonic()
+        batch = b.next_batch(timeout=5)
+        # max_wait is 10 s, yet a size-triggered flush returns at once.
+        assert time.monotonic() - t0 < 1.0
+        assert [r.id for r in batch] == ["t0", "t1", "t2", "t3"]
+
+    def test_oversubmit_splits_into_max_batch_chunks(self):
+        b = MicroBatcher(max_batch=3, max_wait_ms=10_000, max_queue=16)
+        for i in range(7):
+            b.submit(_request(i))
+        sizes = [len(b.next_batch(timeout=1)) for _ in range(2)]
+        assert sizes == [3, 3]
+        b.close()
+        assert len(b.next_batch(timeout=1)) == 1   # closed → drain remainder
+
+    def test_fifo_order_preserved(self):
+        b = MicroBatcher(max_batch=8, max_wait_ms=10_000, max_queue=16)
+        for i in range(8):
+            b.submit(_request(i))
+        assert [r.id for r in b.next_batch(timeout=1)] == [
+            f"t{i}" for i in range(8)]
+
+
+class TestFlushOnTimeout:
+    def test_partial_batch_flushes_after_max_wait(self):
+        b = MicroBatcher(max_batch=64, max_wait_ms=30, max_queue=16)
+        b.submit(_request(0))
+        t0 = time.monotonic()
+        batch = b.next_batch(timeout=5)
+        elapsed = time.monotonic() - t0
+        assert [r.id for r in batch] == ["t0"]
+        # Flushed by deadline, not by size; allow generous scheduler slop.
+        assert 0.01 <= elapsed < 2.0
+
+    def test_zero_wait_flushes_instantly(self):
+        b = MicroBatcher(max_batch=64, max_wait_ms=0, max_queue=16)
+        b.submit(_request(0))
+        assert len(b.next_batch(timeout=1)) == 1
+
+    def test_empty_poll_times_out_with_empty_list(self):
+        b = MicroBatcher(max_batch=4, max_wait_ms=5, max_queue=16)
+        t0 = time.monotonic()
+        assert b.next_batch(timeout=0.05) == []
+        assert time.monotonic() - t0 < 2.0
+
+    def test_consumer_woken_by_late_submit(self):
+        b = MicroBatcher(max_batch=2, max_wait_ms=10_000, max_queue=16)
+        got = []
+
+        def consume():
+            got.append(b.next_batch(timeout=5))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        b.submit(_request(0))
+        b.submit(_request(1))          # completes the batch → wakes consumer
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert [r.id for r in got[0]] == ["t0", "t1"]
+
+
+class TestAdmissionControl:
+    def test_rejects_when_full(self):
+        b = MicroBatcher(max_batch=4, max_wait_ms=10_000, max_queue=2)
+        b.submit(_request(0))
+        b.submit(_request(1))
+        with pytest.raises(QueueFullError):
+            b.submit(_request(2))
+        assert b.submitted == 2
+        assert b.rejected == 1
+
+    def test_drain_reopens_admission(self):
+        b = MicroBatcher(max_batch=2, max_wait_ms=10_000, max_queue=2)
+        b.submit(_request(0))
+        b.submit(_request(1))
+        assert len(b.next_batch(timeout=1)) == 2
+        b.submit(_request(2))          # queue drained → accepted again
+        assert len(b) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_queue=0)
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self):
+        b = MicroBatcher()
+        b.close()
+        with pytest.raises(ServingClosedError):
+            b.submit(_request())
+
+    def test_close_drains_then_signals_none(self):
+        b = MicroBatcher(max_batch=8, max_wait_ms=10_000, max_queue=16)
+        b.submit(_request(0))
+        b.close()
+        assert len(b.next_batch(timeout=1)) == 1   # partial batch drains
+        assert b.next_batch(timeout=0.05) is None  # then the exit signal
+
+    def test_close_wakes_blocked_consumer(self):
+        b = MicroBatcher()
+        got = []
+
+        def consume():
+            got.append(b.next_batch(timeout=10))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.05)
+        b.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert got == [None]

@@ -1,0 +1,214 @@
+"""InferenceService tests: verdicts, equality with offline MagNet, errors.
+
+Most tests use the fast toy MagNet from :mod:`repro.serving.smoke`
+(untrained dense models, no disk, ~ms); the offline-equality test also
+runs against the session-scoped *trained* tiny models to cover the real
+pipeline.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.defenses.detectors import ReconstructionDetector
+from repro.defenses.magnet import MagNet
+from repro.defenses.reformer import Reformer
+from repro.serving import (
+    Client,
+    InferenceService,
+    QueueFullError,
+    ServingClosedError,
+    ServingConfig,
+)
+from repro.serving.smoke import DIM, build_toy_magnet
+
+
+@pytest.fixture(scope="module")
+def toy_magnet():
+    return build_toy_magnet(seed=3)
+
+
+def _inputs(n, seed=0):
+    return np.random.default_rng(seed).random((n, DIM)).astype(np.float32)
+
+
+class TestPredict:
+    def test_single_predict_round_trip(self, toy_magnet):
+        with InferenceService(toy_magnet, ServingConfig(max_batch=4,
+                                                        max_wait_ms=1)) as s:
+            verdict = s.predict(_inputs(1)[0], timeout=10)
+        assert isinstance(verdict.label, int)
+        assert isinstance(verdict.detected, bool)
+        assert set(verdict.detector_scores) == {d.name
+                                                for d in toy_magnet.detectors}
+        assert verdict.batch_size >= 1
+        assert verdict.queue_ms >= 0
+
+    def test_burst_is_batched(self, toy_magnet):
+        config = ServingConfig(max_batch=8, max_wait_ms=20, max_queue=64)
+        with InferenceService(toy_magnet, config) as s:
+            verdicts = s.predict_many(list(_inputs(16)), timeout=10)
+        assert len(verdicts) == 16
+        # A 16-burst against max_batch=8 must produce multi-request batches.
+        assert max(v.batch_size for v in verdicts) > 1
+        assert s.stats.batches < 16
+
+    def test_client_frontend(self, toy_magnet):
+        with InferenceService(toy_magnet, ServingConfig(max_wait_ms=1)) as s:
+            client = Client(s)
+            assert client.healthy()
+            verdict = client.predict(_inputs(1)[0], timeout=10)
+            assert verdict.request_id
+            snap = client.stats()
+        assert snap["requests"]["completed"] == 1
+        assert snap["config"]["max_batch"] == 32
+
+    def test_shape_mismatch_rejected(self, toy_magnet):
+        with InferenceService(toy_magnet, ServingConfig(max_wait_ms=1)) as s:
+            s.predict(_inputs(1)[0], timeout=10)
+            with pytest.raises(ValueError, match="shape"):
+                s.submit(np.zeros(DIM + 1, dtype=np.float32))
+
+    def test_stats_snapshot_shape(self, toy_magnet):
+        with InferenceService(toy_magnet, ServingConfig(max_wait_ms=1)) as s:
+            s.predict_many(list(_inputs(4)), timeout=10)
+            snap = s.stats_snapshot()
+        assert snap["requests"]["completed"] == 4
+        assert snap["requests"]["rejected"] == 0
+        assert snap["batches"]["count"] >= 1
+        for series in ("queue", "total"):
+            p = snap["latency_ms"][series]
+            assert p["p50"] <= p["p95"] <= p["p99"]
+
+
+class TestEquality:
+    """Serving verdicts == offline MagNet on the same batch composition."""
+
+    def _assert_equal(self, magnet, xs):
+        # Controlled coalescing: submit everything BEFORE starting the
+        # worker with max_batch >= N, so the service runs one batch whose
+        # stacked array is exactly the offline input.  (Per-row results
+        # are not bitwise stable across different BLAS batch shapes, so
+        # equality is defined over identical batch composition.)
+        n = len(xs)
+        service = InferenceService(
+            magnet, ServingConfig(max_batch=n, max_wait_ms=10_000,
+                                  max_queue=2 * n))
+        futures = [service.submit(x) for x in xs]
+        service.start()
+        try:
+            verdicts = [f.result(timeout=60) for f in futures]
+        finally:
+            service.stop()
+        offline = magnet.decide(np.stack(xs))
+        for i, v in enumerate(verdicts):
+            assert v.batch_size == n
+            assert v.label == int(offline.labels_reformed[i])
+            assert v.label_raw == int(offline.labels_raw[i])
+            assert v.detected == bool(offline.detected[i])
+            for d, det in enumerate(magnet.detectors):
+                assert v.detector_flags[det.name] == bool(
+                    offline.detector_flags[d, i])
+
+    def test_toy_magnet_bitwise(self, toy_magnet):
+        self._assert_equal(toy_magnet, list(_inputs(12, seed=5)))
+
+    def test_trained_magnet_bitwise(self, tiny_classifier, tiny_autoencoder,
+                                    tiny_splits):
+        det = ReconstructionDetector(tiny_autoencoder, norm=1)
+        magnet = MagNet(tiny_classifier, [det], Reformer(tiny_autoencoder),
+                        name="tiny-serving")
+        magnet.calibrate(tiny_splits.val.x[:100], fpr_total=0.02)
+        self._assert_equal(magnet, list(tiny_splits.test.x[:8]))
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_and_counts(self, toy_magnet):
+        # Workers never started → the queue cannot drain.
+        service = InferenceService(
+            toy_magnet, ServingConfig(max_batch=4, max_wait_ms=10_000,
+                                      max_queue=2))
+        service.submit(_inputs(1)[0])
+        service.submit(_inputs(1)[0])
+        with pytest.raises(QueueFullError):
+            service.submit(_inputs(1)[0])
+        assert service.stats_snapshot()["requests"]["rejected"] == 1
+        service.stop()
+
+    def test_submit_after_stop_raises(self, toy_magnet):
+        service = InferenceService(toy_magnet, ServingConfig(max_wait_ms=1))
+        service.start()
+        service.stop()
+        with pytest.raises(ServingClosedError):
+            service.submit(_inputs(1)[0])
+
+    def test_stop_drains_queued_requests(self, toy_magnet):
+        service = InferenceService(
+            toy_magnet, ServingConfig(max_batch=4, max_wait_ms=10_000,
+                                      max_queue=64))
+        futures = [service.submit(x) for x in _inputs(3)]
+        service.start()
+        service.stop()                 # close + drain + join
+        for f in futures:
+            assert f.result(timeout=1).label >= 0
+
+
+class _ExplodingMagnet:
+    """decide_batch always raises; detectors list for verdict naming."""
+
+    detectors = ()
+
+    def decide_batch(self, x):
+        raise RuntimeError("model exploded")
+
+
+class TestErrors:
+    def test_model_failure_fails_futures_not_worker(self, toy_magnet):
+        service = InferenceService(_ExplodingMagnet(),
+                                   ServingConfig(max_batch=2, max_wait_ms=1))
+        service.start()
+        future = service.submit(_inputs(1)[0])
+        with pytest.raises(RuntimeError, match="exploded"):
+            future.result(timeout=10)
+        # The worker survived the failed batch and the service stays up.
+        assert service.healthy()
+        assert service.stats_snapshot()["requests"]["errors"] == 1
+        service.stop()
+
+    def test_healthy_lifecycle(self, toy_magnet):
+        service = InferenceService(toy_magnet, ServingConfig(max_wait_ms=1))
+        assert not service.healthy()      # not started
+        service.start()
+        assert service.healthy()
+        assert service.uptime_s >= 0
+        service.stop()
+        assert not service.healthy()
+
+    def test_double_start_raises(self, toy_magnet):
+        service = InferenceService(toy_magnet)
+        service.start()
+        with pytest.raises(RuntimeError, match="started"):
+            service.start()
+        service.stop()
+
+
+class TestConcurrentClients:
+    def test_many_threads_all_served(self, toy_magnet):
+        config = ServingConfig(max_batch=8, max_wait_ms=2, max_queue=256)
+        xs = _inputs(48, seed=9)
+        results = [None] * len(xs)
+        with InferenceService(toy_magnet, config) as service:
+            def run(i):
+                results[i] = service.predict(xs[i], timeout=30)
+
+            threads = [threading.Thread(target=run, args=(i,))
+                       for i in range(len(xs))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            snap = service.stats_snapshot()
+        assert all(r is not None for r in results)
+        assert snap["requests"]["completed"] == len(xs)
+        assert snap["batches"]["mean_size"] > 1.0   # batching engaged

@@ -243,3 +243,57 @@ class TestTimingsCommand:
         missing = tmp_path / "none.jsonl"
         assert cli_main(["timings", "--telemetry", str(missing)]) == 1
         assert "no telemetry events" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    """The serve subcommand: parsing and config validation."""
+
+    def _parser(self):
+        from repro.experiments.__main__ import build_parser
+
+        return build_parser()
+
+    def test_serve_flags_parse(self):
+        args = self._parser().parse_args(
+            ["serve", "--dataset", "objects", "--variant", "wide",
+             "--host", "0.0.0.0", "--port", "9000", "--max-batch", "16",
+             "--max-wait-ms", "2.5", "--max-queue", "64", "--workers", "2",
+             "--max-requests", "10", "--profile", "smoke"])
+        assert args.command == "serve"
+        assert args.dataset == "objects"
+        assert args.variant == "wide"
+        assert args.host == "0.0.0.0"
+        assert args.port == 9000
+        assert args.max_batch == 16
+        assert args.max_wait_ms == 2.5
+        assert args.max_queue == 64
+        assert args.workers == 2
+        assert args.max_requests == 10
+
+    def test_serve_defaults(self):
+        args = self._parser().parse_args(["serve"])
+        assert args.dataset == "digits"
+        assert args.variant == "default"
+        assert args.port == 8080
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 5.0
+        assert args.max_queue == 256
+        assert args.workers == 1
+        assert args.max_requests is None
+
+    def test_serve_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["serve", "--dataset", "sounds"])
+
+    def test_serving_config_validation(self):
+        from repro.serving import ServingConfig
+
+        with pytest.raises(ValueError):
+            ServingConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServingConfig(max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            ServingConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServingConfig(request_timeout_s=0)
+        assert ServingConfig(max_wait_ms=0).max_wait_s == 0.0

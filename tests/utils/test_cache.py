@@ -1,5 +1,7 @@
 """Unit tests for stable hashing and the disk cache."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -253,3 +255,50 @@ def _write_entry(payload):
     cache = DiskCache(root)
     cache.save("ns", f"p{i}", {"v": np.full(16, float(i))})
     return i
+
+
+class TestDurability:
+    """save/save_json must fsync the data AND the directory entry."""
+
+    def test_atomic_write_fsyncs_directory(self, tmp_path, monkeypatch):
+        import repro.utils.cache as cache_mod
+
+        synced = []
+        real_fsync = os.fsync
+
+        def spy_fsync(fd):
+            synced.append(os.fstat(fd).st_mode)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        DiskCache(tmp_path).save_json("checkpoints", "m", {"done": [1, 2]})
+        import stat
+
+        modes = [stat.S_ISDIR(m) for m in synced]
+        assert True in modes, "directory entry was never fsynced"
+        assert False in modes, "file contents were never fsynced"
+
+    def test_save_json_leaves_no_temp_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.save_json("checkpoints", "m", {"k": "v"})
+        cache.save_json("checkpoints", "m", {"k": "v2"})  # overwrite
+        leftovers = [p for p in (tmp_path / "checkpoints").iterdir()
+                     if ".tmp" in p.name]
+        assert leftovers == []
+        assert cache.load_json("checkpoints", "m") == {"k": "v2"}
+
+    def test_dir_fsync_failure_is_nonfatal(self, tmp_path, monkeypatch):
+        """A filesystem that refuses directory fsync must not break saves."""
+        import stat
+
+        real_fsync = os.fsync
+
+        def picky_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("EINVAL")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", picky_fsync)
+        cache = DiskCache(tmp_path)
+        cache.save_json("ns", "k", {"ok": 1})
+        assert cache.load_json("ns", "k") == {"ok": 1}

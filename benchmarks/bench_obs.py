@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Benchmark the observability layer's overhead: disabled vs enabled.
+
+Two concerns, two modes:
+
+* ``--quick`` — synthetic micro-benchmark suitable for CI: a hot loop
+  of spans + counter increments + histogram observations, run with the
+  sink disabled and with it enabled, plus the bare-loop baseline.
+  Verifies instrumentation left in hot paths is near-free when off.
+* default — the smoke-profile attack sweep (the real pipeline) run
+  twice against fresh caches, once with observability disabled and once
+  enabled, cross-checking that the cached artifacts are bitwise
+  identical (``stable_hash``) — tracing must never change results.
+
+Results are written to ``BENCH_obs.json`` at the repo root, including
+the relative overhead of the enabled run; the acceptance budget for the
+disabled path is <5% over baseline.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_obs.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# Quick synthetic mode (CI)
+# ----------------------------------------------------------------------
+def _hot_loop(iterations: int) -> float:
+    """The instrumented loop: span + counter + histogram per iteration."""
+    from repro.obs import counter, histogram, span
+
+    c = counter("bench/iterations")
+    h = histogram("bench/values")
+    t0 = time.perf_counter()
+    for i in range(iterations):
+        with span("bench/step", step=i):
+            c.inc()
+            h.observe(i * 0.001)
+    return time.perf_counter() - t0
+
+
+def _bare_loop(iterations: int) -> float:
+    """The same loop shape with no instrumentation at all."""
+    total = 0.0
+    t0 = time.perf_counter()
+    for i in range(iterations):
+        total += i * 0.001
+    return time.perf_counter() - t0
+
+
+def _bench_quick(iterations: int) -> dict:
+    from repro.obs import configure_observability
+
+    configure_observability(None)
+    _hot_loop(1000)                                   # warm up
+    bare_s = _bare_loop(iterations)
+    disabled_s = _hot_loop(iterations)
+
+    with tempfile.TemporaryDirectory(prefix="bench_obs_") as tmp:
+        configure_observability(Path(tmp) / "trace.jsonl")
+        try:
+            enabled_s = _hot_loop(iterations)
+        finally:
+            configure_observability(None)
+
+    return {
+        "mode": "quick",
+        "iterations": iterations,
+        "bare_loop_s": round(bare_s, 4),
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "disabled_us_per_span": round(1e6 * disabled_s / iterations, 3),
+        "enabled_us_per_span": round(1e6 * enabled_s / iterations, 3),
+        "enabled_over_disabled": round(enabled_s / max(disabled_s, 1e-9), 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# Full pipeline mode
+# ----------------------------------------------------------------------
+def _sweep_once(cache_dir: Path, telemetry_path) -> dict:
+    """Train + craft the smoke grid into a fresh cache; return metrics."""
+    from repro.experiments import SMOKE, ExperimentContext, sweeps
+    from repro.obs import configure_observability
+    from repro.utils.cache import DiskCache, stable_hash
+
+    configure_observability(telemetry_path)
+    try:
+        ctx = ExperimentContext("digits", profile=SMOKE,
+                                cache=DiskCache(cache_dir), seed=0)
+        t0 = time.perf_counter()
+        sweeps.precompute_attacks(ctx, jobs=1)
+        wall_s = time.perf_counter() - t0
+        hashes = {}
+        for cell in sweeps.attack_grid(ctx):
+            for slot, key in sweeps._cell_keys(ctx, cell).items():
+                label = f"{sorted(cell.items())}/{slot}"
+                hashes[label] = stable_hash(ctx.cache.load("attacks", key))
+    finally:
+        configure_observability(None)
+    return {"wall_s": round(wall_s, 3), "hashes": hashes}
+
+
+def _bench_full() -> dict:
+    from repro.obs import load_events
+
+    with tempfile.TemporaryDirectory(prefix="bench_obs_") as tmp:
+        tmp = Path(tmp)
+        print("[bench_obs] sweep with observability disabled ...", flush=True)
+        off = _sweep_once(tmp / "cache_off", None)
+        print(f"[bench_obs]   {off['wall_s']:.2f}s", flush=True)
+        print("[bench_obs] sweep with observability enabled ...", flush=True)
+        trace_path = tmp / "trace.jsonl"
+        on = _sweep_once(tmp / "cache_on", trace_path)
+        n_events = len(load_events(trace_path))
+        print(f"[bench_obs]   {on['wall_s']:.2f}s, {n_events} events",
+              flush=True)
+
+    overhead = on["wall_s"] / max(off["wall_s"], 1e-9) - 1.0
+    return {
+        "mode": "full",
+        "disabled_wall_s": off["wall_s"],
+        "enabled_wall_s": on["wall_s"],
+        "overhead_pct": round(100.0 * overhead, 2),
+        "events_recorded": n_events,
+        "hashes_identical": off["hashes"] == on["hashes"],
+        "n_artifacts": len(off["hashes"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="synthetic hot-loop mode (fast, for CI)")
+    parser.add_argument("--iterations", type=int, default=200_000,
+                        help="hot-loop iterations in --quick mode")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_obs.json"))
+    args = parser.parse_args(argv)
+
+    result = {"benchmark": "observability overhead (spans+metrics)",
+              "cpu_count": os.cpu_count()}
+    result.update(_bench_quick(args.iterations) if args.quick
+                  else _bench_full())
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+    if result.get("hashes_identical") is False:
+        print("[bench_obs] FAIL: tracing changed the computed artifacts",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.experiments",
     "repro.runtime",
+    "repro.obs",
     "repro.serving",
     "repro.utils",
 ]

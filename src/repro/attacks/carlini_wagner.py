@@ -14,14 +14,12 @@ follows the reference ``nn_robust_attacks`` code:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.gradients import margin_loss_and_grad
 from repro.nn.layers import Module
-from repro.runtime.telemetry import telemetry
+from repro.obs import counter, span
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -83,7 +81,6 @@ class CarliniWagnerL2(Attack):
         targeted.
         """
         self._validate_inputs(x0, labels)
-        t_start = time.perf_counter()
         x0 = np.asarray(x0, dtype=np.float32)
         labels = np.asarray(labels, dtype=np.int64)
         n = x0.shape[0]
@@ -99,67 +96,86 @@ class CarliniWagnerL2(Attack):
         best_adv = x0.copy()
         best_const = np.full(n, np.nan, dtype=np.float64)
         ever_success = np.zeros(n, dtype=bool)
+        iters = counter("attack/iterations")
 
-        for step in range(self.binary_search_steps):
-            w = w0.copy()
-            adam_m = np.zeros_like(w)
-            adam_v = np.zeros_like(w)
-            step_success = np.zeros(n, dtype=bool)
-            prev_loss = np.inf
-            check_every = max(self.max_iterations // 10, 1)
+        with span(f"attack/{self.name}", batch=n,
+                  kappa=self.kappa) as attack_sp:
+            for step in range(self.binary_search_steps):
+                with span("attack/binary_search_step", step=step):
+                    step_success = self._optimize_step(
+                        x0, w0, labels, const, best_l2, best_adv,
+                        best_const, ever_success, iters)
 
-            for it in range(self.max_iterations):
-                tanh_w = np.tanh(w)
-                x = ((tanh_w + 1.0) * 0.5).astype(np.float32)
-                f_vals, grad_f, logits = margin_loss_and_grad(
-                    self.model, x, labels, self.kappa, targeted=self.targeted)
-
-                delta = (x - x0).astype(np.float64)
-                l2_sq = (delta.reshape(n, -1) ** 2).sum(axis=1)
-
-                # Success test: the hinge saturated, i.e. margin >= kappa.
-                succeeded = f_vals <= -self.kappa + 1e-6
-                improved = succeeded & (l2_sq < best_l2)
-                if improved.any():
-                    best_l2[improved] = l2_sq[improved]
-                    best_adv[improved] = x[improved]
-                    best_const[improved] = const[improved]
-                step_success |= succeeded
-                ever_success |= succeeded
-
-                # d(loss)/dx = 2*(x - x0) + c * df/dx ; chain through tanh.
-                grad_x = 2.0 * (x - x0) + const[:, None, None, None].astype(np.float32) * grad_f
-                grad_w = grad_x * (0.5 * (1.0 - tanh_w ** 2)).astype(np.float32)
-
-                # Adam update (bias-corrected), matching the reference attack.
-                adam_m = 0.9 * adam_m + 0.1 * grad_w
-                adam_v = 0.999 * adam_v + 0.001 * grad_w * grad_w
-                m_hat = adam_m / (1.0 - 0.9 ** (it + 1))
-                v_hat = adam_v / (1.0 - 0.999 ** (it + 1))
-                w = w - self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
-
-                if self.abort_early and (it + 1) % check_every == 0:
-                    total = float((l2_sq + const * f_vals).mean())
-                    if total > prev_loss * 0.9999:
-                        break
-                    prev_loss = total
-
-            # Binary-search update of c (per example).
-            found = step_success
-            upper[found] = np.minimum(upper[found], const[found])
-            lower[~found] = np.maximum(lower[~found], const[~found])
-            has_upper = upper < self.const_upper
-            midpoint = (lower + upper) / 2.0
-            const = np.where(has_upper, midpoint,
-                             np.where(found, const, const * 10.0))
-            const = np.minimum(const, self.const_upper)
+                # Binary-search update of c (per example).
+                found = step_success
+                upper[found] = np.minimum(upper[found], const[found])
+                lower[~found] = np.maximum(lower[~found], const[~found])
+                has_upper = upper < self.const_upper
+                midpoint = (lower + upper) / 2.0
+                const = np.where(has_upper, midpoint,
+                                 np.where(found, const, const * 10.0))
+                const = np.minimum(const, self.const_upper)
+            attack_sp["successes"] = int(ever_success.sum())
 
         log.debug("C&W kappa=%g: %d/%d successful", self.kappa,
                   int(ever_success.sum()), n)
-        telemetry().emit(f"attack/{self.name}",
-                         duration_s=time.perf_counter() - t_start,
-                         batch=n, kappa=self.kappa,
-                         successes=int(ever_success.sum()))
         return AttackResult.from_examples(
             self.model, x0, best_adv, ever_success, labels,
             const=best_const, name=f"cw_l2(kappa={self.kappa:g})")
+
+    def _optimize_step(self, x0: np.ndarray, w0: np.ndarray,
+                       labels: np.ndarray, const: np.ndarray,
+                       best_l2: np.ndarray, best_adv: np.ndarray,
+                       best_const: np.ndarray, ever_success: np.ndarray,
+                       iters) -> np.ndarray:
+        """One binary-search step: a full Adam run at fixed ``const``.
+
+        Mutates the ``best_*`` / ``ever_success`` arrays in place and
+        returns this step's success mask.
+        """
+        n = x0.shape[0]
+        w = w0.copy()
+        adam_m = np.zeros_like(w)
+        adam_v = np.zeros_like(w)
+        step_success = np.zeros(n, dtype=bool)
+        prev_loss = np.inf
+        check_every = max(self.max_iterations // 10, 1)
+
+        for it in range(self.max_iterations):
+            iters.inc()
+            tanh_w = np.tanh(w)
+            x = ((tanh_w + 1.0) * 0.5).astype(np.float32)
+            f_vals, grad_f, logits = margin_loss_and_grad(
+                self.model, x, labels, self.kappa, targeted=self.targeted)
+
+            delta = (x - x0).astype(np.float64)
+            l2_sq = (delta.reshape(n, -1) ** 2).sum(axis=1)
+
+            # Success test: the hinge saturated, i.e. margin >= kappa.
+            succeeded = f_vals <= -self.kappa + 1e-6
+            improved = succeeded & (l2_sq < best_l2)
+            if improved.any():
+                best_l2[improved] = l2_sq[improved]
+                best_adv[improved] = x[improved]
+                best_const[improved] = const[improved]
+            step_success |= succeeded
+            ever_success |= succeeded
+
+            # d(loss)/dx = 2*(x - x0) + c * df/dx ; chain through tanh.
+            grad_x = 2.0 * (x - x0) + const[:, None, None, None].astype(np.float32) * grad_f
+            grad_w = grad_x * (0.5 * (1.0 - tanh_w ** 2)).astype(np.float32)
+
+            # Adam update (bias-corrected), matching the reference attack.
+            adam_m = 0.9 * adam_m + 0.1 * grad_w
+            adam_v = 0.999 * adam_v + 0.001 * grad_w * grad_w
+            m_hat = adam_m / (1.0 - 0.9 ** (it + 1))
+            v_hat = adam_v / (1.0 - 0.999 ** (it + 1))
+            w = w - self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
+
+            if self.abort_early and (it + 1) % check_every == 0:
+                total = float((l2_sq + const * f_vals).mean())
+                if total > prev_loss * 0.9999:
+                    break
+                prev_loss = total
+
+        return step_success

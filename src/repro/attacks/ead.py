@@ -24,7 +24,6 @@ paper evaluates both everywhere.
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
 import numpy as np
@@ -32,7 +31,7 @@ import numpy as np
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.gradients import margin_loss_and_grad
 from repro.nn.layers import Module
-from repro.runtime.telemetry import telemetry
+from repro.obs import counter, span
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -122,7 +121,6 @@ class EAD(Attack):
         one run halves the experiment cost.
         """
         self._validate_inputs(x0, labels)
-        t_start = time.perf_counter()
         x0 = np.asarray(x0, dtype=np.float32)
         labels = np.asarray(labels, dtype=np.int64)
         n = x0.shape[0]
@@ -140,64 +138,27 @@ class EAD(Attack):
             for rule in DECISION_RULES
         }
         ever_success = np.zeros(n, dtype=bool)
+        iters = counter("attack/iterations")
 
-        for step in range(self.binary_search_steps):
-            x = x0.copy()
-            y = x0.copy()   # FISTA slack variable (equals x for ISTA)
-            step_success = np.zeros(n, dtype=bool)
+        with span(f"attack/{self.name}", batch=n, beta=self.beta,
+                  kappa=self.kappa) as attack_sp:
+            for step in range(self.binary_search_steps):
+                with span("attack/binary_search_step", step=step):
+                    x, y, step_success = self._optimize_step(
+                        x0, labels, const, best, ever_success, iters)
 
-            for it in range(self.max_iterations):
-                lr_it = self.lr * np.sqrt(max(1.0 - it / self.max_iterations, 0.0))
-
-                f_vals, grad_f, _ = margin_loss_and_grad(
-                    self.model, y, labels, self.kappa, targeted=self.targeted)
-                grad_g = (const[:, None, None, None].astype(np.float32) * grad_f
-                          + 2.0 * (y - x0))
-                z = y - lr_it * grad_g
-                x_new = shrink_threshold(z, x0, self.beta)
-
-                if self.method == "fista":
-                    momentum = it / (it + 3.0)
-                    y = x_new + momentum * (x_new - x)
-                else:
-                    y = x_new
-                x = x_new
-
-                # Evaluate the *iterate* (not the slack) for success/selection.
-                f_iter, _, _ = _margin_no_grad(
-                    self.model, x_new, labels, self.kappa, self.targeted)
-                succeeded = f_iter <= -self.kappa + 1e-6
-                if not succeeded.any():
-                    continue
-                step_success |= succeeded
-                ever_success |= succeeded
-
-                delta = (x_new - x0).astype(np.float64).reshape(n, -1)
-                l1 = np.abs(delta).sum(axis=1)
-                l2_sq = (delta ** 2).sum(axis=1)
-                scores = {"l1": l1, "en": self.beta * l1 + l2_sq}
-                for rule in DECISION_RULES:
-                    improved = succeeded & (scores[rule] < best[rule]["score"])
-                    if improved.any():
-                        best[rule]["score"][improved] = scores[rule][improved]
-                        best[rule]["adv"][improved] = x_new[improved]
-                        best[rule]["const"][improved] = const[improved]
-
-            found = step_success
-            upper[found] = np.minimum(upper[found], const[found])
-            lower[~found] = np.maximum(lower[~found], const[~found])
-            has_upper = upper < self.const_upper
-            midpoint = (lower + upper) / 2.0
-            const = np.where(has_upper, midpoint,
-                             np.where(found, const, const * 10.0))
-            const = np.minimum(const, self.const_upper)
+                found = step_success
+                upper[found] = np.minimum(upper[found], const[found])
+                lower[~found] = np.maximum(lower[~found], const[~found])
+                has_upper = upper < self.const_upper
+                midpoint = (lower + upper) / 2.0
+                const = np.where(has_upper, midpoint,
+                                 np.where(found, const, const * 10.0))
+                const = np.minimum(const, self.const_upper)
+            attack_sp["successes"] = int(ever_success.sum())
 
         log.debug("EAD beta=%g kappa=%g: %d/%d successful",
                   self.beta, self.kappa, int(ever_success.sum()), n)
-        telemetry().emit(f"attack/{self.name}",
-                         duration_s=time.perf_counter() - t_start,
-                         batch=n, beta=self.beta, kappa=self.kappa,
-                         successes=int(ever_success.sum()))
         results = {}
         for rule in DECISION_RULES:
             results[rule] = AttackResult.from_examples(
@@ -205,6 +166,59 @@ class EAD(Attack):
                 const=best[rule]["const"],
                 name=f"ead_{rule}(beta={self.beta:g}, kappa={self.kappa:g})")
         return results
+
+    def _optimize_step(self, x0: np.ndarray, labels: np.ndarray,
+                       const: np.ndarray, best: Dict[str, Dict[str, np.ndarray]],
+                       ever_success: np.ndarray, iters):
+        """One binary-search step: a full ISTA/FISTA run at fixed ``const``.
+
+        Mutates ``best`` and ``ever_success`` in place; returns the final
+        iterate, the slack variable, and this step's success mask.
+        """
+        n = x0.shape[0]
+        x = x0.copy()
+        y = x0.copy()   # FISTA slack variable (equals x for ISTA)
+        step_success = np.zeros(n, dtype=bool)
+
+        for it in range(self.max_iterations):
+            iters.inc()
+            lr_it = self.lr * np.sqrt(max(1.0 - it / self.max_iterations, 0.0))
+
+            f_vals, grad_f, _ = margin_loss_and_grad(
+                self.model, y, labels, self.kappa, targeted=self.targeted)
+            grad_g = (const[:, None, None, None].astype(np.float32) * grad_f
+                      + 2.0 * (y - x0))
+            z = y - lr_it * grad_g
+            x_new = shrink_threshold(z, x0, self.beta)
+
+            if self.method == "fista":
+                momentum = it / (it + 3.0)
+                y = x_new + momentum * (x_new - x)
+            else:
+                y = x_new
+            x = x_new
+
+            # Evaluate the *iterate* (not the slack) for success/selection.
+            f_iter, _, _ = _margin_no_grad(
+                self.model, x_new, labels, self.kappa, self.targeted)
+            succeeded = f_iter <= -self.kappa + 1e-6
+            if not succeeded.any():
+                continue
+            step_success |= succeeded
+            ever_success |= succeeded
+
+            delta = (x_new - x0).astype(np.float64).reshape(n, -1)
+            l1 = np.abs(delta).sum(axis=1)
+            l2_sq = (delta ** 2).sum(axis=1)
+            scores = {"l1": l1, "en": self.beta * l1 + l2_sq}
+            for rule in DECISION_RULES:
+                improved = succeeded & (scores[rule] < best[rule]["score"])
+                if improved.any():
+                    best[rule]["score"][improved] = scores[rule][improved]
+                    best[rule]["adv"][improved] = x_new[improved]
+                    best[rule]["const"][improved] = const[improved]
+
+        return x, y, step_success
 
 
 def _margin_no_grad(model: Module, x: np.ndarray, labels: np.ndarray,

@@ -17,7 +17,7 @@ from repro.attacks.base import Attack, AttackResult
 from repro.attacks.gradients import logits_of
 from repro.nn.layers import Module
 from repro.runtime.executor import parallel_map, resolve_jobs
-from repro.runtime.telemetry import telemetry
+from repro.obs import span
 
 
 def transfer_success(result: AttackResult, target: Module) -> float:
@@ -61,8 +61,7 @@ def transfer_matrix(attack_factory, models: Mapping[str, Module],
         nested dict ``matrix[source][target]`` = transfer success rate.
     """
     names = list(models)
-    with telemetry().stage("transfer/matrix", sources=len(names),
-                           batch=len(y0)):
+    with span("transfer/matrix", sources=len(names), batch=len(y0)):
         payloads = [(attack_factory, models[name], x0, y0) for name in names]
         crafted = parallel_map(_craft_on_source, payloads,
                                jobs=resolve_jobs(jobs), chunk_size=1)

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments run all --jobs 4       # everything, 4 workers
     python -m repro.experiments run fig2 --profile smoke --seed 1
     python -m repro.experiments timings                # per-stage wall-clock
+    python -m repro.experiments trace                  # span-tree report
     python -m repro.experiments serve --port 8080      # online inference
 
 ``serve`` starts the micro-batching HTTP inference service over the
@@ -14,7 +15,12 @@ defended pipeline (``repro.serving``): concurrent ``POST /predict``
 requests are coalesced into batches (``--max-batch``/``--max-wait-ms``)
 with bounded admission (``--max-queue``, HTTP 429 beyond it); see
 ``GET /healthz`` and ``GET /stats`` for liveness and latency
-percentiles.
+percentiles, and ``GET /metrics`` for Prometheus-format counters.
+
+``trace`` reassembles the hierarchical span tree recorded by
+:mod:`repro.obs` (sweep → cell → attack → binary-search step; request →
+micro-batch → pipeline stage) from the same JSONL log that ``timings``
+aggregates flat, with per-span total/self times.
 
 ``run`` accepts ``--profile`` (smoke|quick|paper), ``--jobs`` (worker
 processes; 0 = one per core, negative values rejected), ``--cache-dir``,
@@ -48,18 +54,19 @@ from repro.experiments.registry import (
     describe_experiments,
     run_experiment,
 )
-from repro.runtime.faults import FaultPlan, RetryPolicy
-from repro.runtime.telemetry import (
-    configure_telemetry,
+from repro.obs import (
+    configure_observability,
     load_events,
     render_timings,
+    render_trace,
 )
+from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.utils.cache import DiskCache
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
 
-_COMMANDS = ("run", "list", "timings", "serve")
+_COMMANDS = ("run", "list", "timings", "trace", "serve")
 
 _DEFAULT_TELEMETRY_NAME = "telemetry.jsonl"
 
@@ -193,6 +200,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "<cache-dir>/telemetry.jsonl)")
     timings.add_argument("--cache-dir", metavar="DIR",
                          help="cache root holding the default telemetry log")
+
+    trace = sub.add_parser(
+        "trace", help="hierarchical span-tree report from the telemetry log",
+        description="Reassemble the span tree recorded by repro.obs and "
+                    "render it with per-span total/self wall-clock times.")
+    trace.add_argument("--telemetry", metavar="PATH",
+                       help="JSONL log to read (default: "
+                            "<cache-dir>/telemetry.jsonl)")
+    trace.add_argument("--cache-dir", metavar="DIR",
+                       help="cache root holding the default telemetry log")
+    trace.add_argument("--max-depth", type=int, default=None, metavar="N",
+                       help="truncate the tree below this depth")
+    trace.add_argument("--no-collapse", action="store_true",
+                       help="show every span instead of collapsing "
+                            "repeated same-name siblings into one xN line")
     return parser
 
 
@@ -252,7 +274,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         log.warning("chaos mode enabled: %s", args.inject_faults.describe())
 
     cache = DiskCache(cache_dir)
-    configure_telemetry(_telemetry_path(args.telemetry, cache_dir))
+    configure_observability(_telemetry_path(args.telemetry, cache_dir))
     for exp_id in exp_ids:
         report = run_experiment(exp_id, profile=profile, cache=cache,
                                 seed=args.seed, jobs=args.jobs,
@@ -270,7 +292,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     profile = _resolve_profile(args.profile)
     cache_dir = _resolve_cache_dir(args.cache_dir)
-    configure_telemetry(_telemetry_path(args.telemetry, cache_dir))
+    configure_observability(_telemetry_path(args.telemetry, cache_dir))
 
     ctx = ExperimentContext(args.dataset, profile=profile,
                             cache=DiskCache(cache_dir), seed=args.seed)
@@ -305,6 +327,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             server.shutdown()
             server.server_close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    path = _telemetry_path(args.telemetry, cache_dir)
+    events = load_events(path) if path else []
+    if not events:
+        print(f"no telemetry events found at {path}")
+        print("run experiments first: python -m repro.experiments run all")
+        return 1
+    print(f"telemetry: {path} ({len(events)} events)")
+    print()
+    print(render_trace(events, collapse=not args.no_collapse,
+                       max_depth=args.max_depth))
     return 0
 
 
@@ -343,6 +380,8 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.command == "timings":
         return _cmd_timings(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
     print(__doc__)

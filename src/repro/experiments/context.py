@@ -28,7 +28,7 @@ from repro.experiments.config import ExperimentProfile, current_profile
 from repro.models.classifiers import ScaledLogits
 from repro.models.zoo import ClassifierSpec, ModelZoo
 from repro.nn.layers import Module
-from repro.runtime.telemetry import telemetry
+from repro.obs import span
 from repro.utils.cache import DiskCache, default_cache, stable_hash
 from repro.utils.logging import get_logger
 
@@ -174,7 +174,7 @@ class ExperimentContext:
 
     def _cached_attack(self, spec: Dict, name: str, run) -> AttackResult:
         key = self._attack_key(spec)
-        with telemetry().stage(f"cell/{spec['attack']}", dataset=self.dataset,
+        with span(f"cell/{spec['attack']}", dataset=self.dataset,
                                batch=self.profile.n_attack(self.dataset)) as evt:
             try:
                 result = _result_from_arrays(
@@ -213,7 +213,7 @@ class ExperimentContext:
         """EAD at (β, κ); returns both decision rules from one cached run."""
         results = {}
         missing = []
-        with telemetry().stage("cell/ead", dataset=self.dataset,
+        with span("cell/ead", dataset=self.dataset,
                                batch=self.profile.n_attack(self.dataset)) as evt:
             for rule in DECISION_RULES:
                 spec = self._ead_spec(beta, kappa, rule)

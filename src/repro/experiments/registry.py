@@ -15,7 +15,7 @@ from repro.experiments import figures, tables
 from repro.experiments.config import ExperimentProfile, current_profile
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import ExperimentReport
-from repro.runtime.telemetry import telemetry
+from repro.obs import span
 from repro.utils.cache import DiskCache
 
 # exp id -> (function, datasets it needs, short description)
@@ -105,7 +105,7 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
                             jobs=jobs, retry_policy=retry_policy,
                             fault_plan=fault_plan)
                 for ds in datasets]
-    with telemetry().stage(f"experiment/{exp_id}", jobs=jobs):
+    with span(f"experiment/{exp_id}", jobs=jobs):
         if (jobs is not None and jobs != 1) or resume:
             from repro.experiments.sweeps import precompute_attacks
 

@@ -37,7 +37,7 @@ from repro.runtime.faults import (
     RetryPolicy,
     corrupt_cache_entry,
 )
-from repro.runtime.telemetry import telemetry
+from repro.obs import event, span
 from repro.utils.cache import stable_hash
 from repro.utils.logging import get_logger
 
@@ -254,9 +254,8 @@ def precompute_attacks(ctx: ExperimentContext, *,
             manifest["done"].setdefault(_cell_id(cell), {})
     _save_manifest(ctx, ckpt_key, manifest)
 
-    with telemetry().stage("sweep/precompute", dataset=ctx.dataset,
-                           cells=len(todo), jobs=jobs,
-                           resume=resume or None) as evt:
+    with span("sweep/precompute", dataset=ctx.dataset,
+              cells=len(todo), jobs=jobs, resume=resume or None) as evt:
         # Materialize shared inputs once, in the parent, so workers do
         # not redundantly train/select (and so results cannot depend on
         # worker-local state).
@@ -295,8 +294,8 @@ def precompute_attacks(ctx: ExperimentContext, *,
                     "kind": output.kind, "error": output.error,
                     "attempts": output.attempts,
                 }
-                telemetry().emit("sweep/cell_failed", cell=_cell_id(cell),
-                                 reason=output.kind, attempts=output.attempts)
+                event("sweep/cell_failed", cell=_cell_id(cell),
+                      reason=output.kind, attempts=output.attempts)
                 log.error("sweep cell %s failed terminally (%s after %d "
                           "attempts): %s", _cell_id(cell), output.kind,
                           output.attempts, output.error)

@@ -23,7 +23,7 @@ from repro.models.autoencoders import build_autoencoder
 from repro.models.classifiers import build_classifier
 from repro.nn.layers import Module
 from repro.nn.training import Trainer, accuracy
-from repro.runtime.telemetry import telemetry
+from repro.obs import span
 from repro.utils.cache import DiskCache, default_cache, stable_hash
 from repro.utils.logging import get_logger
 from repro.utils.rng import rng_from_seed
@@ -157,7 +157,7 @@ class ModelZoo:
     def _restore_or_train(self, key: str, fresh_model: Module, train_fn,
                           stage: str = "train/model",
                           batch: Optional[int] = None) -> Module:
-        with telemetry().stage(stage, batch=batch) as evt:
+        with span(stage, batch=batch) as evt:
             try:
                 state = self.cache.load("models", key)
                 fresh_model.load_state_dict(state)

@@ -106,58 +106,61 @@ class Trainer:
         """
         if early_stopping_patience is not None and x_val is None:
             raise ValueError("early stopping requires validation data")
-        from repro.runtime.telemetry import telemetry
+        from repro.obs import histogram, span
 
-        t_start = time.perf_counter()
         history = TrainingHistory()
         best_val = float("inf")
         stale = 0
+        epoch_seconds = histogram("train/epoch_seconds")
         self.model.train()
-        for epoch in range(1, epochs + 1):
-            if lr_schedule is not None:
-                lr_schedule.apply(self.optimizer, epoch - 1)
-            t0 = time.time()
-            losses = []
-            for xb, yb in iterate_minibatches(x, y, batch_size, rng=self.rng):
-                target = yb if yb is not None else xb
-                self.optimizer.zero_grad()
-                pred = self.model(Tensor(xb))
-                loss = self.loss_fn(pred, target)
-                loss.backward()
-                if grad_clip_norm is not None:
-                    from repro.nn.schedules import clip_grad_norm
+        with span(f"fit/{self.loss_name}", batch=min(batch_size, len(x)),
+                  samples=len(x)) as fit_sp:
+            for epoch in range(1, epochs + 1):
+                if lr_schedule is not None:
+                    lr_schedule.apply(self.optimizer, epoch - 1)
+                t0 = time.time()
+                losses = []
+                for xb, yb in iterate_minibatches(x, y, batch_size,
+                                                  rng=self.rng):
+                    target = yb if yb is not None else xb
+                    self.optimizer.zero_grad()
+                    pred = self.model(Tensor(xb))
+                    loss = self.loss_fn(pred, target)
+                    loss.backward()
+                    if grad_clip_norm is not None:
+                        from repro.nn.schedules import clip_grad_norm
 
-                    clip_grad_norm(self.model.parameters(), grad_clip_norm)
-                self.optimizer.step()
-                losses.append(loss.item())
-            stats = EpochStats(epoch=epoch, train_loss=float(np.mean(losses)),
-                               seconds=time.time() - t0)
-            if x_val is not None:
-                stats.val_loss = self.evaluate_loss(x_val, y_val)
-                if y_val is not None and self.loss_name == "cross_entropy":
-                    stats.val_accuracy = accuracy(self.model, x_val, y_val)
-            history.epochs.append(stats)
-            if verbose:
-                msg = f"epoch {epoch}/{epochs} loss={stats.train_loss:.4f}"
-                if stats.val_loss is not None:
-                    msg += f" val_loss={stats.val_loss:.4f}"
-                if stats.val_accuracy is not None:
-                    msg += f" val_acc={stats.val_accuracy:.3f}"
-                log.info(msg)
-            if early_stopping_patience is not None:
-                if stats.val_loss is not None and stats.val_loss < best_val - 1e-9:
-                    best_val = stats.val_loss
-                    stale = 0
-                else:
-                    stale += 1
-                    if stale > early_stopping_patience:
-                        log.info("early stopping at epoch %d", epoch)
-                        break
+                        clip_grad_norm(self.model.parameters(), grad_clip_norm)
+                    self.optimizer.step()
+                    losses.append(loss.item())
+                stats = EpochStats(epoch=epoch,
+                                   train_loss=float(np.mean(losses)),
+                                   seconds=time.time() - t0)
+                epoch_seconds.observe(stats.seconds)
+                if x_val is not None:
+                    stats.val_loss = self.evaluate_loss(x_val, y_val)
+                    if y_val is not None and self.loss_name == "cross_entropy":
+                        stats.val_accuracy = accuracy(self.model, x_val, y_val)
+                history.epochs.append(stats)
+                if verbose:
+                    msg = f"epoch {epoch}/{epochs} loss={stats.train_loss:.4f}"
+                    if stats.val_loss is not None:
+                        msg += f" val_loss={stats.val_loss:.4f}"
+                    if stats.val_accuracy is not None:
+                        msg += f" val_acc={stats.val_accuracy:.3f}"
+                    log.info(msg)
+                if early_stopping_patience is not None:
+                    if (stats.val_loss is not None
+                            and stats.val_loss < best_val - 1e-9):
+                        best_val = stats.val_loss
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale > early_stopping_patience:
+                            log.info("early stopping at epoch %d", epoch)
+                            break
+            fit_sp["epochs"] = len(history.epochs)
         self.model.eval()
-        telemetry().emit(f"fit/{self.loss_name}",
-                         duration_s=time.perf_counter() - t_start,
-                         batch=min(batch_size, len(x)),
-                         epochs=len(history.epochs), samples=len(x))
         return history
 
     def evaluate_loss(self, x: np.ndarray, y: Optional[np.ndarray],

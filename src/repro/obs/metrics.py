@@ -1,0 +1,291 @@
+"""Process-local metrics: counters, gauges and histograms with a registry.
+
+Metric updates sit on hot paths (per cache access, per serving request,
+per attack binary-search step), so they must be cheap and thread-safe:
+the registry stripes metrics across a small fixed pool of locks keyed
+by metric name, so unrelated metrics never contend and one update costs
+a dict lookup plus one uncontended lock round-trip.
+
+Naming convention: ``subsystem/measure`` with ``/`` separators, e.g.
+``attack/iterations``, ``cache/hits``, ``serve/queue_depth``.  The
+Prometheus text rendering (:meth:`MetricsRegistry.render_prometheus`,
+served at ``/metrics`` by the HTTP frontend) maps ``/`` to ``_``.
+
+Metrics are process-local by design: worker processes fold their hot
+counts into span attributes (which travel through the shared JSONL
+sink) rather than trying to share memory across processes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+#: Bucket upper bounds used when a histogram does not pass its own —
+#: a log-ish spread wide enough for latencies in seconds and batch sizes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+_N_STRIPES = 16
+
+
+class Counter:
+    """Monotonically increasing count (events, items, bytes)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, open workers)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max.
+
+    Buckets are upper bounds (``value <= bound``); observations beyond
+    the last bound land in the overflow bucket (``+Inf``).
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, lock: threading.Lock,
+                 buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+        self._lock = lock
+        self._counts = [0] * (len(bounds) + 1)      # last = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        labels = [f"le_{b:g}" for b in self.buckets] + ["le_inf"]
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+            "buckets": dict(zip(labels, counts)),
+        }
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    prom = "".join(out)
+    return prom if not prom[:1].isdigit() else "_" + prom
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric, with lock-striped updates.
+
+    Metric objects are created once and cached forever, so hot paths can
+    hoist ``registry.counter("x")`` out of loops or just call it per
+    update (one dict lookup).  :meth:`reset` zeroes values *in place* —
+    existing metric handles stay valid — which is what tests and
+    benchmark harnesses need between rounds.
+    """
+
+    def __init__(self, stripes: int = _N_STRIPES):
+        self._stripes = [threading.Lock() for _ in range(max(1, stripes))]
+        self._registry_lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _lock_for(self, name: str) -> threading.Lock:
+        return self._stripes[hash(name) % len(self._stripes)]
+
+    def _get_or_create(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._registry_lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = kind(name, self._lock_for(name), **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets=buckets)
+
+    def names(self) -> Iterable[str]:
+        with self._registry_lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One coherent-enough view of every metric, grouped by type."""
+        with self._registry_lock:
+            metrics = dict(self._metrics)
+        snap: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                snap["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                snap["gauges"][name] = metric.value
+            else:
+                snap["histograms"][name] = metric.snapshot()
+        return snap
+
+    def reset(self) -> None:
+        """Zero every metric in place (handles stay valid)."""
+        with self._registry_lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric._reset()
+
+    def render_prometheus(self,
+                          extra_gauges: Optional[Dict[str, float]] = None
+                          ) -> str:
+        """Prometheus text exposition of the registry (+ ad-hoc gauges).
+
+        ``extra_gauges`` lets a caller fold in numbers owned elsewhere
+        (the serving layer's latency percentiles) without registering
+        them as live metrics.
+        """
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            prom = _prom_name(name) + "_total"
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {value}")
+        for name, value in snap["gauges"].items():
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {value:g}")
+        for name, hist in snap["histograms"].items():
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for label, count in hist["buckets"].items():
+                cumulative += count
+                bound = label[3:].replace("inf", "+Inf")
+                lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f"{prom}_sum {hist['sum']:g}")
+            lines.append(f"{prom}_count {hist['count']}")
+        for name, value in sorted((extra_gauges or {}).items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {float(value):g}")
+        return "\n".join(lines) + "\n"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide registry (one per process; workers have their own)."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``metrics_registry().counter(name)``."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Shorthand for ``metrics_registry().gauge(name)``."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    """Shorthand for ``metrics_registry().histogram(name)``."""
+    return _REGISTRY.histogram(name, buckets=buckets)
+
+
+def metrics_snapshot() -> Dict[str, Any]:
+    """Shorthand for ``metrics_registry().snapshot()``."""
+    return _REGISTRY.snapshot()

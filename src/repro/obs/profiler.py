@@ -1,0 +1,175 @@
+"""Opt-in sampling wall-clock profiler for hot loops.
+
+A background daemon thread snapshots the *target* thread's Python stack
+every ``interval_s`` seconds via :func:`sys._current_frames` and
+accumulates per-function self/cumulative sample counts.  Because it
+samples instead of tracing, overhead on the profiled thread is near
+zero and attaching it never changes results — it reads frames, it does
+not instrument them.
+
+Intended for the attack/training hot loops::
+
+    with profiled("attack/ead") as prof:
+        attack.attack(x0, y0)
+    print(prof.report())
+
+:func:`profiled` also emits a ``profile/<name>`` observability event on
+exit (top functions by self time) when the sink is enabled, so a
+profile taken inside an experiment lands in the same JSONL log as the
+spans around it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.trace import event
+
+#: Frame key: (function qualname-ish, basename:lineno of the def site).
+_FrameKey = Tuple[str, str]
+
+
+def _frame_key(frame) -> _FrameKey:
+    code = frame.f_code
+    return (code.co_name,
+            f"{os.path.basename(code.co_filename)}:{code.co_firstlineno}")
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler attachable to one thread.
+
+    Args:
+        interval_s: seconds between samples (default 5 ms ≈ 200 Hz).
+        max_samples: stop sampling past this many snapshots (a bound on
+            memory and on a forgotten profiler, not a hard error).
+    """
+
+    def __init__(self, interval_s: float = 0.005,
+                 max_samples: int = 200_000):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.max_samples = int(max_samples)
+        self.samples = 0
+        self._self_counts: Dict[_FrameKey, int] = {}
+        self._cum_counts: Dict[_FrameKey, int] = {}
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._t0 = 0.0
+        self.elapsed_s = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the *calling* thread from a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-obs-profiler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+        self.elapsed_s = time.perf_counter() - self._t0
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if self.samples >= self.max_samples:
+                return
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                return                          # target thread exited
+            self.samples += 1
+            leaf = _frame_key(frame)
+            self._self_counts[leaf] = self._self_counts.get(leaf, 0) + 1
+            seen = set()
+            while frame is not None:
+                key = _frame_key(frame)
+                if key not in seen:             # recursion counts once
+                    seen.add(key)
+                    self._cum_counts[key] = self._cum_counts.get(key, 0) + 1
+                frame = frame.f_back
+
+    # ------------------------------------------------------------------
+    def top_functions(self, n: int = 10) -> List[Dict[str, Any]]:
+        """Hottest functions by self samples (ties broken by cumulative)."""
+        ranked = sorted(self._self_counts.items(),
+                        key=lambda kv: (-kv[1],
+                                        -self._cum_counts.get(kv[0], 0),
+                                        kv[0]))
+        total = max(self.samples, 1)
+        return [
+            {
+                "function": name,
+                "site": site,
+                "self": count,
+                "self_pct": round(100.0 * count / total, 1),
+                "cumulative": self._cum_counts.get((name, site), count),
+            }
+            for (name, site), count in ranked[:n]
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "samples": self.samples,
+            "interval_s": self.interval_s,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "top": self.top_functions(20),
+        }
+
+    def report(self, n: int = 15) -> str:
+        """Human-readable top-N table."""
+        if not self.samples:
+            return "no profile samples collected"
+        header = f"{'self%':>6} {'self':>6} {'cum':>6}  function (site)"
+        lines = [f"{self.samples} samples at {1.0 / self.interval_s:.0f} Hz "
+                 f"over {self.elapsed_s:.2f}s", header, "-" * len(header)]
+        for row in self.top_functions(n):
+            lines.append(f"{row['self_pct']:>5.1f}% {row['self']:>6d} "
+                         f"{row['cumulative']:>6d}  {row['function']} "
+                         f"({row['site']})")
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def profiled(name: str = "block", interval_s: float = 0.005,
+             emit_event: bool = True) -> Iterator[SamplingProfiler]:
+    """Profile a block on the current thread; yields the profiler.
+
+    On exit the profiler is stopped and (when the sink is enabled and
+    ``emit_event``) a ``profile/<name>`` event carrying the sample count
+    and top functions is emitted under the current span.
+    """
+    prof = SamplingProfiler(interval_s=interval_s)
+    prof.start()
+    try:
+        yield prof
+    finally:
+        prof.stop()
+        if emit_event:
+            event(f"profile/{name}", duration_s=prof.elapsed_s,
+                  samples=prof.samples,
+                  top=[f"{r['function']} {r['self_pct']}%"
+                       for r in prof.top_functions(5)] or None)

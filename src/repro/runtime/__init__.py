@@ -17,10 +17,14 @@ shared machinery:
   crashes, hangs, transient exceptions, corrupted cache reads) keyed by
   item index, used by the chaos tests and the ``--inject-faults`` CLI
   flag.
-* :class:`RunTelemetry` / :func:`telemetry` — an append-only JSONL event
-  log (stage name, duration, cache hit/miss, worker id, retry/giveup
-  events) shared safely by concurrent worker processes, plus the
-  aggregation used by ``python -m repro.experiments timings``.
+* :class:`RunTelemetry` / :func:`telemetry` — the *deprecated*
+  string-keyed telemetry API, now a shim over :mod:`repro.obs` (spans,
+  metrics, profiling).  New code should use
+  :func:`repro.obs.configure_observability` + :func:`repro.obs.span` /
+  :func:`repro.obs.event`; the executor propagates the driver's trace
+  context into workers automatically, so worker spans nest under the
+  driver's ``runtime/map`` span.  The read side (``load_events`` and
+  friends) lives in :mod:`repro.obs.report` and is re-exported here.
 """
 
 from repro.runtime.executor import (

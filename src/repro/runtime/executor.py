@@ -37,6 +37,14 @@ import signal
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.obs import (
+    TraceContext,
+    attach_trace_context,
+    counter,
+    current_trace_context,
+    event,
+    span,
+)
 from repro.runtime.faults import (
     FaultPlan,
     InjectedCrash,
@@ -44,7 +52,6 @@ from repro.runtime.faults import (
     ItemTimeout,
     RetryPolicy,
 )
-from repro.runtime.telemetry import telemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_seeds
 
@@ -88,9 +95,14 @@ def _call(fn: Callable, item: Any, seed: Optional[int]) -> Any:
 
 
 def _invoke(payload) -> Any:
-    """Top-level trampoline so the pool can pickle the unit of work."""
-    fn, item, seed = payload
-    return _call(fn, item, seed)
+    """Top-level trampoline so the pool can pickle the unit of work.
+
+    The payload carries the driver's :class:`TraceContext`, so spans the
+    work item opens in the worker nest under the driver's map span.
+    """
+    fn, item, seed, trace_ctx = payload
+    with attach_trace_context(trace_ctx):
+        return _call(fn, item, seed)
 
 
 @contextlib.contextmanager
@@ -129,13 +141,14 @@ def _picklable_error(exc: BaseException) -> BaseException:
 
 def _run_one(fn, item, seed, index: int, attempt: int,
              timeout_s: Optional[float], plan: Optional[FaultPlan],
-             in_worker: bool):
+             trace_ctx: Optional[TraceContext], in_worker: bool):
     """Run one supervised item; never raises (crash faults excepted)."""
     try:
         with _watchdog(timeout_s):
             if plan is not None:
                 plan.fire(index, attempt, in_worker=in_worker)
-            return (index, "ok", _call(fn, item, seed))
+            with attach_trace_context(trace_ctx):
+                return (index, "ok", _call(fn, item, seed))
     except ItemTimeout as exc:
         return (index, "timeout", _picklable_error(exc))
     except InjectedCrash as exc:       # serial-path stand-in for os._exit
@@ -147,8 +160,9 @@ def _run_one(fn, item, seed, index: int, attempt: int,
 def _invoke_chunk(payloads) -> List:
     """Worker body of the resilient path: supervise a chunk of items."""
     return [_run_one(fn, item, seed, index, attempt, timeout_s, plan,
-                     in_worker=True)
-            for fn, item, seed, index, attempt, timeout_s, plan in payloads]
+                     trace_ctx, in_worker=True)
+            for fn, item, seed, index, attempt, timeout_s, plan, trace_ctx
+            in payloads]
 
 
 class ParallelExecutor:
@@ -224,23 +238,30 @@ class ParallelExecutor:
         else:
             seeds = [None] * n
         jobs = min(self.jobs, n)
-        if self._resilient:
-            return self._map_resilient(fn, items, seeds, jobs, on_result)
-        if jobs <= 1:
-            return self._map_serial_fast(fn, items, seeds, on_result)
+        with span("runtime/map", items=n, jobs=jobs) as sp:
+            # The map span is the parent of every item's spans, whether
+            # the item runs in this process or in a pool worker (the
+            # context rides along in each payload).
+            trace_ctx = current_trace_context()
+            if self._resilient:
+                return self._map_resilient(fn, items, seeds, jobs, trace_ctx,
+                                           on_result)
+            if jobs <= 1:
+                return self._map_serial_fast(fn, items, seeds, on_result)
 
-        payloads = [(fn, item, s) for item, s in zip(items, seeds)]
-        chunk = self.chunk_size or default_chunk_size(n, jobs)
-        try:
-            results = self._pool_map(payloads, jobs, chunk, on_result)
-        except Exception as exc:
-            if not _is_fallback_error(exc):
-                raise
-            log.warning("process pool unavailable (%s: %s) — running "
-                        "%d items serially", type(exc).__name__, exc, n)
-            return self._map_serial_fast(fn, items, seeds, on_result)
-        telemetry().emit("runtime/map", items=n, jobs=jobs, chunk=chunk)
-        return results
+            payloads = [(fn, item, s, trace_ctx)
+                        for item, s in zip(items, seeds)]
+            chunk = self.chunk_size or default_chunk_size(n, jobs)
+            sp["chunk"] = chunk
+            try:
+                return self._pool_map(payloads, jobs, chunk, on_result)
+            except Exception as exc:
+                if not _is_fallback_error(exc):
+                    raise
+                log.warning("process pool unavailable (%s: %s) — running "
+                            "%d items serially", type(exc).__name__, exc, n)
+                sp["fallback"] = "serial"
+                return self._map_serial_fast(fn, items, seeds, on_result)
 
     @staticmethod
     def _map_serial_fast(fn, items, seeds, on_result) -> List[Any]:
@@ -272,6 +293,7 @@ class ParallelExecutor:
     # Resilient path
     # ------------------------------------------------------------------
     def _map_resilient(self, fn, items, seeds, jobs: int,
+                       trace_ctx: Optional[TraceContext],
                        on_result) -> List[Any]:
         policy = self.policy or RetryPolicy()
         n = len(items)
@@ -283,11 +305,12 @@ class ParallelExecutor:
 
         if jobs <= 1:
             self._drain_serial(fn, items, seeds, pending, attempts, results,
-                               done, errors, policy, on_result)
+                               done, errors, policy, trace_ctx, on_result)
         else:
             try:
                 self._drain_pool(fn, items, seeds, jobs, pending, attempts,
-                                 results, done, errors, policy, on_result)
+                                 results, done, errors, policy, trace_ctx,
+                                 on_result)
             except Exception as exc:
                 if not _is_fallback_error(exc):
                     raise
@@ -295,7 +318,7 @@ class ParallelExecutor:
                             "%d items serially", type(exc).__name__, exc, n)
                 still = [i for i in range(n) if not done[i] and i not in errors]
                 self._drain_serial(fn, items, seeds, still, attempts, results,
-                                   done, errors, policy, on_result)
+                                   done, errors, policy, trace_ctx, on_result)
 
         for index, (kind, exc) in sorted(errors.items()):
             failure = ItemFailure(index=index, kind=kind, error=str(exc),
@@ -318,24 +341,24 @@ class ParallelExecutor:
             return
         attempts[index] += 1
         if status == "timeout":
-            telemetry().emit("runtime/timeout", item=index,
-                             attempt=attempts[index],
-                             timeout_s=policy.timeout_s)
+            counter("runtime/timeouts").inc()
+            event("runtime/timeout", item=index, attempt=attempts[index],
+                  timeout_s=policy.timeout_s)
         if attempts[index] <= policy.retries:
-            telemetry().emit("runtime/retry", item=index,
-                             attempt=attempts[index], reason=status,
-                             error=str(value))
+            counter("runtime/retries").inc()
+            event("runtime/retry", item=index, attempt=attempts[index],
+                  reason=status, error=str(value))
             log.warning("item %d failed (%s: %s) — retry %d/%d", index,
                         status, value, attempts[index], policy.retries)
             retry_queue.append(index)
         else:
-            telemetry().emit("runtime/giveup", item=index,
-                             attempts=attempts[index], reason=status,
-                             error=str(value))
+            counter("runtime/giveups").inc()
+            event("runtime/giveup", item=index, attempts=attempts[index],
+                  reason=status, error=str(value))
             errors[index] = (status, value)
 
     def _drain_serial(self, fn, items, seeds, pending, attempts, results,
-                      done, errors, policy, on_result) -> None:
+                      done, errors, policy, trace_ctx, on_result) -> None:
         """In-process resilient loop (jobs=1 and the pool-less fallback)."""
         queue = list(pending)
         while queue:
@@ -343,12 +366,12 @@ class ParallelExecutor:
             time.sleep(policy.delay(attempts[index]))
             outcome = _run_one(fn, items[index], seeds[index], index,
                                attempts[index], policy.timeout_s,
-                               self.fault_plan, in_worker=False)
+                               self.fault_plan, trace_ctx, in_worker=False)
             self._handle_outcome(outcome, attempts, results, done, errors,
                                  policy, on_result, queue)
 
     def _drain_pool(self, fn, items, seeds, jobs, pending, attempts, results,
-                    done, errors, policy, on_result) -> None:
+                    done, errors, policy, trace_ctx, on_result) -> None:
         import concurrent.futures
         from concurrent.futures.process import BrokenProcessPool
 
@@ -371,7 +394,7 @@ class ParallelExecutor:
                     chunk_indices = pending[start:start + chunk]
                     payloads = [
                         (fn, items[i], seeds[i], i, attempts[i],
-                         policy.timeout_s, self.fault_plan)
+                         policy.timeout_s, self.fault_plan, trace_ctx)
                         for i in chunk_indices
                     ]
                     futures[pool.submit(_invoke_chunk, payloads)] = chunk_indices
@@ -411,7 +434,7 @@ class ParallelExecutor:
                                     broken_rounds, len(retry_queue))
                         self._drain_serial(fn, items, seeds, retry_queue,
                                            attempts, results, done, errors,
-                                           policy, on_result)
+                                           policy, trace_ctx, on_result)
                         retry_queue = []
                 else:
                     broken_rounds = 0

@@ -1,88 +1,93 @@
-"""Per-stage run telemetry: an append-only JSONL event log + reports.
+"""Deprecated string-keyed telemetry API — a shim over :mod:`repro.obs`.
 
-Every instrumented stage (classifier/autoencoder training, attack
-crafting, cached-artifact access, whole experiments) emits one JSON
-event line with its name, wall-clock duration, worker pid, and whatever
-extra fields the call site knows (cache hit/miss, batch size, kappa...).
+The flat ``telemetry().emit(stage, ...)`` interface has been replaced
+by the span/metrics API in :mod:`repro.obs`:
 
-The log is *opt-in*: it is written only when a path is configured, via
-:func:`configure_telemetry` or the ``REPRO_TELEMETRY`` environment
-variable.  The environment variable doubles as the hand-off mechanism to
-:mod:`repro.runtime.executor` worker processes — children inherit it and
-append to the same file.  Each event is a single ``write()`` of one line
-on a file opened with ``O_APPEND``, which POSIX keeps atomic for the
-short lines emitted here, so concurrent workers cannot interleave
-partial lines.
+===============================  =====================================
+legacy                           replacement
+===============================  =====================================
+``configure_telemetry(path)``    ``obs.configure_observability(path)``
+``telemetry().emit(name, ...)``  ``obs.event(name, ...)``
+``telemetry().stage(name)``      ``obs.span(name)``
+===============================  =====================================
 
-``python -m repro.experiments timings`` renders the per-stage aggregate
-produced by :func:`aggregate_events` / :func:`render_timings`.
+The shims below keep old callers working — same JSONL file, same env
+var (``REPRO_TELEMETRY``), same event shape (events gain trace ids but
+keep ``ts``/``stage``/``worker``/``duration_s``) — while emitting a
+:class:`DeprecationWarning`.  The read side (:func:`load_events`,
+:func:`aggregate_events`, :func:`render_timings`,
+:func:`render_fault_summary`) is re-exported from
+:mod:`repro.obs.report`, which still parses every historical event
+shape.
 """
 
 from __future__ import annotations
 
 import contextlib
-import dataclasses
-import json
 import os
-import time
-from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+import warnings
+from typing import Any, Optional, Union
 
+# Re-exported read-side API (canonical home: repro.obs.report).
+from repro.obs.report import (  # noqa: F401  (re-exports)
+    FAULT_STAGES,
+    EventLog,
+    StageStats,
+    aggregate_events,
+    load_events,
+    render_fault_summary,
+    render_timings,
+)
+from repro.obs.sink import TELEMETRY_ENV, ObsSink, configure_observability
+from repro.obs.trace import event as _obs_event
+from repro.obs.trace import span as _obs_span
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
 
-#: Environment variable naming the JSONL sink (inherited by workers).
-TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.runtime.telemetry.{old} is deprecated; use repro.obs.{new} "
+        "instead", DeprecationWarning, stacklevel=3)
 
 
 class RunTelemetry:
-    """JSONL event sink for one run; disabled when ``path`` is None."""
+    """Deprecated JSONL event sink; forwards to :mod:`repro.obs`.
+
+    Kept so existing call sites (and logs) continue to work: ``emit``
+    becomes an :func:`repro.obs.event` and ``stage`` becomes a
+    :func:`repro.obs.span` on the same file.
+    """
 
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
-        self.path = Path(path) if path else None
+        self._sink = ObsSink(path)
+
+    @property
+    def path(self):
+        return self._sink.path
 
     @property
     def enabled(self) -> bool:
-        return self.path is not None
+        return self._sink.enabled
 
     def emit(self, stage: str, duration_s: Optional[float] = None,
              **fields: Any) -> None:
         """Append one event line; a no-op when telemetry is disabled."""
-        if self.path is None:
-            return
-        event: Dict[str, Any] = {
-            "ts": round(time.time(), 6),
-            "stage": stage,
-            "worker": os.getpid(),
-        }
-        if duration_s is not None:
-            event["duration_s"] = round(float(duration_s), 6)
-        event.update({k: v for k, v in fields.items() if v is not None})
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(event, default=str) + "\n")
-        except OSError as exc:  # telemetry must never take a run down
-            log.warning("telemetry write to %s failed: %s", self.path, exc)
+        _deprecated("RunTelemetry.emit", "event")
+        _obs_event(stage, duration_s=duration_s, sink=self._sink, **fields)
 
     @contextlib.contextmanager
     def stage(self, name: str, **fields: Any):
-        """Time a block and emit one event for it.
+        """Time a block and emit one span for it (deprecated).
 
-        Yields a mutable dict; call sites may add fields discovered
-        mid-stage (typically ``evt["cache"] = "hit"|"miss"``)::
-
-            with telemetry().stage("train/classifier", batch=64) as evt:
-                evt["cache"] = "miss"
-                ...train...
+        Yields the :class:`repro.obs.Span`, which supports the mutable
+        dict-style access the old API offered (``evt["cache"] =
+        "hit"``).
         """
-        evt: Dict[str, Any] = dict(fields)
-        t0 = time.perf_counter()
-        try:
-            yield evt
-        finally:
-            self.emit(name, duration_s=time.perf_counter() - t0, **evt)
+        _deprecated("RunTelemetry.stage", "span")
+        with _obs_span(name, sink=self._sink, **fields) as sp:
+            yield sp
 
 
 _ACTIVE: Optional[RunTelemetry] = None
@@ -90,139 +95,24 @@ _ACTIVE: Optional[RunTelemetry] = None
 
 def configure_telemetry(path: Optional[Union[str, os.PathLike]]
                         ) -> RunTelemetry:
-    """Point telemetry at ``path`` (None disables it).
+    """Deprecated: use :func:`repro.obs.configure_observability`.
 
-    Also exports ``REPRO_TELEMETRY`` so executor worker processes append
-    to the same log.
+    Still points the process-wide sink (and ``REPRO_TELEMETRY``, which
+    executor workers inherit) at ``path``; None disables.
     """
     global _ACTIVE
-    if path is None:
-        os.environ.pop(TELEMETRY_ENV, None)
-        _ACTIVE = RunTelemetry(None)
-    else:
-        os.environ[TELEMETRY_ENV] = str(path)
-        _ACTIVE = RunTelemetry(path)
+    _deprecated("configure_telemetry", "configure_observability")
+    configure_observability(path)
+    _ACTIVE = RunTelemetry(path)
     return _ACTIVE
 
 
 def telemetry() -> RunTelemetry:
-    """The process-wide sink, tracking ``REPRO_TELEMETRY`` changes."""
+    """Deprecated process-wide sink accessor (tracks ``REPRO_TELEMETRY``)."""
     global _ACTIVE
     env = os.environ.get(TELEMETRY_ENV) or None
-    active_path = str(_ACTIVE.path) if _ACTIVE is not None and _ACTIVE.path else None
+    active_path = (str(_ACTIVE.path)
+                   if _ACTIVE is not None and _ACTIVE.path else None)
     if _ACTIVE is None or env != active_path:
         _ACTIVE = RunTelemetry(env)
     return _ACTIVE
-
-
-# ----------------------------------------------------------------------
-# Reporting
-# ----------------------------------------------------------------------
-@dataclasses.dataclass
-class StageStats:
-    """Aggregate of all events sharing one stage name."""
-
-    stage: str
-    count: int = 0
-    total_s: float = 0.0
-    max_s: float = 0.0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    workers: int = 0
-
-    @property
-    def mean_s(self) -> float:
-        return self.total_s / self.count if self.count else 0.0
-
-
-def load_events(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
-    """Parse a telemetry JSONL file, skipping unparseable lines."""
-    events: List[Dict[str, Any]] = []
-    path = Path(path)
-    if not path.exists():
-        return events
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            event = json.loads(line)
-        except json.JSONDecodeError:
-            log.warning("skipping malformed telemetry line: %.60s", line)
-            continue
-        if isinstance(event, dict) and "stage" in event:
-            events.append(event)
-    return events
-
-
-def aggregate_events(events: Iterable[Dict[str, Any]]) -> Dict[str, StageStats]:
-    """Fold events into per-stage statistics, keyed by stage name."""
-    stats: Dict[str, StageStats] = {}
-    worker_sets: Dict[str, set] = {}
-    for event in events:
-        name = str(event.get("stage"))
-        entry = stats.setdefault(name, StageStats(stage=name))
-        entry.count += 1
-        duration = float(event.get("duration_s") or 0.0)
-        entry.total_s += duration
-        entry.max_s = max(entry.max_s, duration)
-        cache = event.get("cache")
-        if cache == "hit":
-            entry.cache_hits += 1
-        elif cache == "miss":
-            entry.cache_misses += 1
-        worker_sets.setdefault(name, set()).add(event.get("worker"))
-    for name, entry in stats.items():
-        entry.workers = len(worker_sets[name] - {None})
-    return stats
-
-
-#: Stages the executor's fault-tolerance layer emits; summarized
-#: separately by :func:`render_fault_summary`.
-FAULT_STAGES = ("runtime/retry", "runtime/timeout", "runtime/giveup",
-                "sweep/cell_failed")
-
-
-def render_fault_summary(events: Iterable[Dict[str, Any]]) -> Optional[str]:
-    """One-line retry/timeout/giveup summary, or None if the run was clean."""
-    counts = {stage: 0 for stage in FAULT_STAGES}
-    for event in events:
-        stage = event.get("stage")
-        if stage in counts:
-            counts[stage] += 1
-    if not any(counts.values()):
-        return None
-    return ("fault events: "
-            f"retries={counts['runtime/retry']} "
-            f"timeouts={counts['runtime/timeout']} "
-            f"giveups={counts['runtime/giveup']} "
-            f"failed cells={counts['sweep/cell_failed']}")
-
-
-def render_timings(events: Iterable[Dict[str, Any]]) -> str:
-    """Per-stage wall-clock table (sorted by total time, descending).
-
-    Retry/timeout/giveup events from the fault-tolerance layer appear as
-    ordinary stage rows and are additionally folded into a one-line
-    summary appended below the table.
-    """
-    events = list(events)
-    stats = sorted(aggregate_events(events).values(),
-                   key=lambda s: s.total_s, reverse=True)
-    if not stats:
-        return "no telemetry events recorded"
-    header = (f"{'stage':<28} {'calls':>6} {'total s':>9} {'mean s':>8} "
-              f"{'max s':>8} {'hit':>5} {'miss':>5} {'wrk':>4}")
-    lines = [header, "-" * len(header)]
-    for s in stats:
-        lines.append(
-            f"{s.stage:<28} {s.count:>6d} {s.total_s:>9.3f} {s.mean_s:>8.3f} "
-            f"{s.max_s:>8.3f} {s.cache_hits:>5d} {s.cache_misses:>5d} "
-            f"{s.workers:>4d}")
-    total = sum(s.total_s for s in stats)
-    lines.append("-" * len(header))
-    lines.append(f"{'total stage time':<28} {'':>6} {total:>9.3f}")
-    faults = render_fault_summary(events)
-    if faults:
-        lines.append(faults)
-    return "\n".join(lines)

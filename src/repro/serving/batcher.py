@@ -26,9 +26,14 @@ import dataclasses
 import threading
 import time
 from concurrent.futures import Future
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 import numpy as np
+
+from repro.obs import counter, gauge, histogram
+
+#: Batch-size histogram buckets (powers of two up to a large max_batch).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 class QueueFullError(RuntimeError):
@@ -47,6 +52,7 @@ class Request:
     id: str                       # caller-supplied or auto-assigned id
     future: Future                # resolves to a Verdict (or an exception)
     enqueued_at: float            # monotonic seconds at submit time
+    span: Optional[Any] = None    # open serve/request span (obs.Span)
 
 
 class MicroBatcher:
@@ -71,6 +77,11 @@ class MicroBatcher:
         #: Total requests accepted / rejected since construction.
         self.submitted = 0
         self.rejected = 0
+        self._depth_gauge = gauge("serve/queue_depth")
+        self._batch_sizes = histogram("serve/batch_size",
+                                      buckets=BATCH_SIZE_BUCKETS)
+        self._rejected_counter = counter("serve/rejected")
+        self._submitted_counter = counter("serve/submitted")
 
     def __len__(self) -> int:
         with self._cond:
@@ -96,11 +107,14 @@ class MicroBatcher:
                 raise ServingClosedError("batcher is closed")
             if len(self._queue) >= self.max_queue:
                 self.rejected += 1
+                self._rejected_counter.inc()
                 raise QueueFullError(
                     f"queue full: {len(self._queue)} waiting >= "
                     f"max_queue={self.max_queue}")
             self._queue.append(request)
             self.submitted += 1
+            self._submitted_counter.inc()
+            self._depth_gauge.set(len(self._queue))
             self._cond.notify()
 
     # ------------------------------------------------------------------
@@ -141,7 +155,10 @@ class MicroBatcher:
 
     def _pop_batch(self) -> List[Request]:
         n = min(self.max_batch, len(self._queue))
-        return [self._queue.popleft() for _ in range(n)]
+        batch = [self._queue.popleft() for _ in range(n)]
+        self._batch_sizes.observe(n)
+        self._depth_gauge.set(len(self._queue))
+        return batch
 
     # ------------------------------------------------------------------
     # Shutdown

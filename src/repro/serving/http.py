@@ -13,6 +13,9 @@ Endpoints:
   verdict timed out.
 * ``GET /healthz`` — ``{"status": "ok"}`` (``503`` once stopped).
 * ``GET /stats`` — counters, batch stats, p50/p95/p99 latencies, config.
+* ``GET /metrics`` — Prometheus text exposition of the process-wide
+  :mod:`repro.obs` metrics registry (``serve/*``, ``cache/*``, ...)
+  plus the service's latency percentiles and queue depth as gauges.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from repro.obs import metrics_registry
 from repro.serving.batcher import QueueFullError, ServingClosedError
 from repro.serving.service import InferenceService
 from repro.utils.logging import get_logger
@@ -99,8 +103,28 @@ class _ServingHandler(BaseHTTPRequestHandler):
                 self._send_json(503, {"status": "stopped"})
         elif self.path == "/stats":
             self._send_json(200, service.stats_snapshot())
+        elif self.path == "/metrics":
+            self._send_metrics(service)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _send_metrics(self, service: InferenceService) -> None:
+        """Prometheus text exposition: registry + serving percentiles."""
+        snap = service.stats_snapshot()
+        extra = {"serve/uptime_seconds": snap["uptime_s"],
+                 "serve/healthy": 1.0 if snap["healthy"] else 0.0,
+                 "serve/queue_depth_now": snap["queue_depth"]}
+        for window, pcts in snap["latency_ms"].items():
+            for pct, value in pcts.items():
+                extra[f"serve/latency_{window}_ms_{pct}"] = value
+        body = metrics_registry().render_prometheus(
+            extra_gauges=extra).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         if self.path != "/predict":

@@ -11,12 +11,17 @@ time in GIL-releasing BLAS calls, threads (not processes) are the right
 worker pool: batches share the in-process model weights with zero
 serialization cost.
 
-Telemetry: when :mod:`repro.runtime.telemetry` is configured the service
-emits one ``serve/batch`` event per flush (batch size, queue wait,
-per-stage latencies) and one ``serve/request`` event per completed
-request.  :meth:`InferenceService.stats_snapshot` serves the same
-numbers in-process (and over HTTP via ``/stats``): counters plus
-p50/p95/p99 queue/total latency over a bounded window.
+Observability: when :mod:`repro.obs` is configured each request opens a
+``serve/request`` span at submit time; the flush that serves it emits a
+``serve/batch`` span (nested under the oldest request of the batch)
+with ``serve/detect`` / ``serve/reform`` / ``serve/classify`` child
+spans, so ``repro-experiments trace`` renders the full request →
+micro-batch → pipeline-stage tree.  Counters/gauges/histograms
+(``serve/requests``, ``serve/queue_depth``, ``serve/batch_size``, ...)
+feed the HTTP frontend's ``/metrics`` endpoint.
+:meth:`InferenceService.stats_snapshot` serves the same numbers
+in-process (and over HTTP via ``/stats``): counters plus p50/p95/p99
+queue/total latency over a bounded window.
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.defenses.magnet import MagNet
-from repro.runtime.telemetry import telemetry
+from repro.obs import counter, event, record_span, span, start_span
 from repro.serving.batcher import (
     MicroBatcher,
     QueueFullError,
@@ -238,12 +243,15 @@ class InferenceService:
         x = np.asarray(x, dtype=np.float32)
         self._check_shape(x)
         future: "Future[Verdict]" = Future()
-        request = Request(x=x, id=request_id or self._assign_id(),
-                          future=future, enqueued_at=time.monotonic())
+        rid = request_id or self._assign_id()
+        request = Request(x=x, id=rid, future=future,
+                          enqueued_at=time.monotonic(),
+                          span=start_span("serve/request", request=rid))
         try:
             self._batcher.submit(request)
-        except (QueueFullError, ServingClosedError):
+        except (QueueFullError, ServingClosedError) as exc:
             self.stats.note_rejected()
+            request.span.finish(rejected=type(exc).__name__)
             raise
         return future
 
@@ -281,28 +289,41 @@ class InferenceService:
 
     def _run_batch(self, batch: List[Request]) -> None:
         t_start = time.monotonic()
-        try:
-            x = np.stack([r.x for r in batch])
-            decision = self.magnet.decide_batch(x)
-        except Exception as exc:            # model failure: fail the batch,
-            self.stats.note_errors(len(batch))   # not the worker
-            log.exception("batch of %d failed", len(batch))
-            telemetry().emit("serve/error", batch=len(batch),
-                             error=type(exc).__name__)
-            for r in batch:
-                r.future.set_exception(exc)
-            return
-        infer_ms = (time.monotonic() - t_start) * 1000.0
-        stage_s = decision.stage_s or {}
-        names = [d.name for d in self.magnet.detectors]
-        self.stats.note_batch(len(batch))
-        telemetry().emit(
-            "serve/batch", duration_s=infer_ms / 1000.0, batch=len(batch),
-            detect_s=round(stage_s.get("detect", 0.0), 6),
-            reform_s=round(stage_s.get("reform", 0.0), 6),
-            classify_s=round(stage_s.get("classify", 0.0), 6),
-            oldest_queue_ms=round(
-                (t_start - batch[0].enqueued_at) * 1000.0, 3))
+        # The batch span nests under the oldest queued request's span, so
+        # the trace reads request -> micro-batch -> pipeline stages; the
+        # other requests of the batch close as their own trace roots.
+        parent = next((r.span.context for r in batch
+                       if r.span is not None and r.span.recording), None)
+        with span("serve/batch", parent=parent, batch=len(batch)) as batch_sp:
+            try:
+                x = np.stack([r.x for r in batch])
+                decision = self.magnet.decide_batch(x)
+            except Exception as exc:        # model failure: fail the batch,
+                self.stats.note_errors(len(batch))   # not the worker
+                log.exception("batch of %d failed", len(batch))
+                counter("serve/errors").inc(len(batch))
+                event("serve/error", batch=len(batch),
+                      error=type(exc).__name__)
+                batch_sp["error"] = type(exc).__name__
+                for r in batch:
+                    if r.span is not None:
+                        r.span.finish(error=type(exc).__name__)
+                    r.future.set_exception(exc)
+                return
+            infer_ms = (time.monotonic() - t_start) * 1000.0
+            stage_s = decision.stage_s or {}
+            names = [d.name for d in self.magnet.detectors]
+            self.stats.note_batch(len(batch))
+            counter("serve/batches").inc()
+            for stage in ("detect", "reform", "classify"):
+                record_span(f"serve/{stage}", stage_s.get(stage, 0.0),
+                            batch=len(batch))
+            batch_sp.update(
+                detect_s=round(stage_s.get("detect", 0.0), 6),
+                reform_s=round(stage_s.get("reform", 0.0), 6),
+                classify_s=round(stage_s.get("classify", 0.0), 6),
+                oldest_queue_ms=round(
+                    (t_start - batch[0].enqueued_at) * 1000.0, 3))
         for i, r in enumerate(batch):
             queue_ms = (t_start - r.enqueued_at) * 1000.0
             verdict = Verdict(
@@ -321,8 +342,8 @@ class InferenceService:
                 batch_size=len(batch),
             )
             self.stats.note_request(queue_ms, queue_ms + infer_ms)
-            telemetry().emit("serve/request",
-                             duration_s=(queue_ms + infer_ms) / 1000.0,
-                             queue_ms=round(queue_ms, 3), batch=len(batch),
-                             detected=verdict.detected)
+            counter("serve/requests").inc()
+            if r.span is not None:
+                r.span.finish(queue_ms=round(queue_ms, 3), batch=len(batch),
+                              detected=verdict.detected)
             r.future.set_result(verdict)

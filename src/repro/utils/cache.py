@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from repro.obs import counter
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -164,6 +165,9 @@ class DiskCache:
             root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
         self.root = Path(root)
         self.stats = CacheStats()
+        self._hits = counter("cache/hits")
+        self._misses = counter("cache/misses")
+        self._writes = counter("cache/writes")
 
     def _path(self, namespace: str, key: str) -> Path:
         return self.root / namespace / f"{key}.npz"
@@ -184,6 +188,7 @@ class DiskCache:
                                      suffix=".json.tmp")
         self.stats.writes += 1
         self.stats.bytes_written += written
+        self._writes.inc()
         return path
 
     def _discard_stale(self, namespace: str, key: str, reason: str) -> None:
@@ -208,6 +213,7 @@ class DiskCache:
         path = self._path(namespace, key)
         if not path.exists():
             self.stats.misses += 1
+            self._misses.inc()
             raise KeyError(f"cache miss: {namespace}/{key}")
         try:
             size = path.stat().st_size
@@ -216,9 +222,11 @@ class DiskCache:
         except Exception as exc:
             self._discard_stale(namespace, key, f"{type(exc).__name__}: {exc}")
             self.stats.misses += 1
+            self._misses.inc()
             raise KeyError(
                 f"cache entry unreadable: {namespace}/{key}") from None
         self.stats.hits += 1
+        self._hits.inc()
         self.stats.bytes_read += size
         return arrays
 
@@ -243,6 +251,7 @@ class DiskCache:
                                 suffix=".json.tmp")
         self.stats.writes += 1
         self.stats.bytes_written += written
+        self._writes.inc()
         return path
 
     def load_json(self, namespace: str, key: str) -> Dict[str, Any]:
@@ -254,6 +263,7 @@ class DiskCache:
         path = self._json_path(namespace, key)
         if not path.exists():
             self.stats.misses += 1
+            self._misses.inc()
             raise KeyError(f"cache miss: {namespace}/{key}")
         try:
             size = path.stat().st_size
@@ -261,6 +271,7 @@ class DiskCache:
         except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
             self.stats.stale_discards += 1
             self.stats.misses += 1
+            self._misses.inc()
             log.warning("discarding unreadable cache json %s/%s: %s",
                         namespace, key, type(exc).__name__)
             try:
@@ -270,6 +281,7 @@ class DiskCache:
             raise KeyError(
                 f"cache json unreadable: {namespace}/{key}") from None
         self.stats.hits += 1
+        self._hits.inc()
         self.stats.bytes_read += size
         return obj
 

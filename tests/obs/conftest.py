@@ -1,0 +1,19 @@
+"""Shared isolation for observability tests.
+
+The sink is process-global (configured via the ``REPRO_TELEMETRY`` env
+var) and the metrics registry is a process-global singleton; every test
+here starts from a disabled sink and zeroed metrics so tests cannot see
+each other's state.
+"""
+
+import pytest
+
+from repro.obs import TELEMETRY_ENV, configure_observability, metrics_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs(monkeypatch):
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    metrics_registry().reset()
+    yield
+    configure_observability(None)

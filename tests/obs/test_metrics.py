@@ -1,0 +1,120 @@
+"""Unit tests for the lock-striped metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    counter,
+    gauge,
+    histogram,
+    metrics_registry,
+    metrics_snapshot,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = counter("test/hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instance(self):
+        assert counter("test/one") is counter("test/one")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            counter("test/neg").inc(-1)
+
+    def test_concurrent_increments_are_not_lost(self):
+        c = counter("test/contended")
+        n, per_thread = 8, 500
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per_thread
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = gauge("test/depth")
+        g.set(7.0)
+        g.add(-2.0)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = histogram("test/latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(55.55)
+        assert snap["min"] == pytest.approx(0.05)
+        assert snap["max"] == pytest.approx(50.0)
+        assert snap["buckets"]["le_0.1"] == 1
+        assert snap["buckets"]["le_1"] == 1
+        assert snap["buckets"]["le_10"] == 1
+        assert snap["buckets"]["le_inf"] == 1
+
+    def test_boundary_value_counts_in_lower_bucket(self):
+        h = histogram("test/edge", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.snapshot()["buckets"]["le_1"] == 1
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        counter("test/typed")
+        with pytest.raises(TypeError):
+            gauge("test/typed")
+
+    def test_snapshot_groups_by_kind(self):
+        counter("test/c").inc()
+        gauge("test/g").set(1.5)
+        histogram("test/h").observe(0.2)
+        snap = metrics_snapshot()
+        assert snap["counters"]["test/c"] == 1
+        assert snap["gauges"]["test/g"] == 1.5
+        assert snap["histograms"]["test/h"]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_handles_valid(self):
+        c = counter("test/persistent")
+        c.inc(3)
+        metrics_registry().reset()
+        assert c.value == 0
+        c.inc()                              # hoisted handle still works
+        assert counter("test/persistent").value == 1
+
+
+class TestPrometheusRendering:
+    def test_counter_gets_total_suffix_and_sanitized_name(self):
+        counter("serve/requests").inc(2)
+        text = metrics_registry().render_prometheus()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = histogram("test/hist", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = metrics_registry().render_prometheus()
+        assert 'test_hist_bucket{le="1"} 1' in text
+        assert 'test_hist_bucket{le="2"} 2' in text
+        assert 'test_hist_bucket{le="+Inf"} 3' in text
+        assert "test_hist_count 3" in text
+
+    def test_extra_gauges_folded_in(self):
+        text = metrics_registry().render_prometheus(
+            extra_gauges={"serve/latency_ms_p95": 12.5})
+        assert "serve_latency_ms_p95 12.5" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the sampling wall-clock profiler."""
+
+import json
+
+import pytest
+
+from repro.obs import SamplingProfiler, configure_observability, profiled
+
+
+def _busy_work(deadline_iters: int = 400_000) -> float:
+    total = 0.0
+    for i in range(deadline_iters):
+        total += (i % 7) * 0.5
+    return total
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_from_busy_loop(self):
+        with SamplingProfiler(interval_s=0.001) as prof:
+            for _ in range(20):
+                _busy_work()
+        assert prof.samples > 0
+        top = prof.top_functions(5)
+        assert top
+        assert {"function", "site", "self", "self_pct", "cumulative"} <= set(
+            top[0])
+        assert any(row["function"] == "_busy_work" for row in top)
+
+    def test_report_renders_table(self):
+        with SamplingProfiler(interval_s=0.001) as prof:
+            for _ in range(10):
+                _busy_work()
+        text = prof.report()
+        assert "samples" in text
+        assert "_busy_work" in text
+
+    def test_empty_profile_report(self):
+        prof = SamplingProfiler()
+        assert prof.report() == "no profile samples collected"
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0.0)
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler().start()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_snapshot_shape(self):
+        with SamplingProfiler(interval_s=0.001) as prof:
+            _busy_work()
+        snap = prof.snapshot()
+        assert snap["interval_s"] == 0.001
+        assert snap["samples"] == prof.samples
+        assert isinstance(snap["top"], list)
+
+
+class TestProfiledContextManager:
+    def test_emits_profile_event_when_sink_enabled(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        configure_observability(path)
+        with profiled("hot", interval_s=0.001) as prof:
+            for _ in range(10):
+                _busy_work()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        (rec,) = [r for r in records if r["stage"] == "profile/hot"]
+        assert rec["samples"] == prof.samples
+        assert rec["duration_s"] > 0
+
+    def test_silent_when_sink_disabled(self, tmp_path):
+        with profiled("quiet", interval_s=0.001):
+            _busy_work()
+        assert not (tmp_path / "t.jsonl").exists()

@@ -1,0 +1,76 @@
+"""Trace-context propagation across ParallelExecutor worker processes.
+
+The acceptance contract for the span API: spans opened inside worker
+processes carry the driver's trace id and nest under the driver's
+``runtime/map`` span, and the reassembled tree is structurally identical
+for ``jobs=1`` (serial in-process path) and ``jobs=4`` (process pool) —
+only ordering and pids may differ.
+"""
+
+from repro.obs import (
+    build_span_tree,
+    configure_observability,
+    load_events,
+    span,
+    tree_signature,
+)
+from repro.runtime.executor import parallel_map
+
+
+def _traced_square(x):
+    """Worker body opening its own span (must be picklable)."""
+    with span("work/item", item=x):
+        return x * x
+
+
+def _run_traced_map(path, jobs):
+    configure_observability(path)
+    try:
+        with span("driver/root"):
+            result = parallel_map(_traced_square, [1, 2, 3, 4], jobs=jobs)
+    finally:
+        configure_observability(None)
+    return result
+
+
+class TestWorkerSpanPropagation:
+    def test_worker_spans_carry_driver_trace_id(self, tmp_path):
+        path = tmp_path / "pool.jsonl"
+        assert _run_traced_map(path, jobs=4) == [1, 4, 9, 16]
+        events = load_events(path)
+        by_stage = {}
+        for e in events:
+            by_stage.setdefault(e["stage"], []).append(e)
+        (root,) = by_stage["driver/root"]
+        (runtime_map,) = by_stage["runtime/map"]
+        items = by_stage["work/item"]
+        assert len(items) == 4
+        assert runtime_map["parent"] == root["span"]
+        for item in items:
+            assert item["trace"] == root["trace"]
+            assert item["parent"] == runtime_map["span"]
+
+    def test_serial_path_produces_same_nesting(self, tmp_path):
+        path = tmp_path / "serial.jsonl"
+        _run_traced_map(path, jobs=1)
+        events = load_events(path)
+        (root,) = build_span_tree(events)
+        assert root.name == "driver/root"
+        (runtime_map,) = root.children
+        assert runtime_map.name == "runtime/map"
+        assert sorted(c.name for c in runtime_map.children) == \
+            ["work/item"] * 4
+
+    def test_tree_identical_for_serial_and_parallel(self, tmp_path):
+        serial, pool = tmp_path / "serial.jsonl", tmp_path / "pool.jsonl"
+        assert (_run_traced_map(serial, jobs=1)
+                == _run_traced_map(pool, jobs=4))
+        sig_serial = tree_signature(build_span_tree(load_events(serial)))
+        sig_pool = tree_signature(build_span_tree(load_events(pool)))
+        assert sig_serial == sig_pool
+
+    def test_no_trace_ids_when_disabled(self, tmp_path):
+        with span("driver/root"):
+            out = parallel_map(_traced_square, [1, 2], jobs=2)
+        assert out == [1, 4]
+        assert not (tmp_path / "t.jsonl").exists()

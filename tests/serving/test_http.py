@@ -83,6 +83,20 @@ class TestEndpoints:
         assert "p95" in stats["latency_ms"]["total"]
         assert stats["config"]["max_batch"] == 8
 
+    def test_metrics_prometheus_exposition(self, served):
+        base, _ = served
+        for i in range(2):
+            _post(base, "/predict", {"x": _x(i).tolist()})
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        assert "# TYPE serve_requests_total counter" in text
+        assert "# TYPE serve_batch_size histogram" in text
+        assert "serve_uptime_seconds" in text
+        assert "serve_latency_total_ms_p95" in text
+        assert "serve_healthy 1" in text
+
     def test_concurrent_predicts_all_answered(self, served):
         base, _ = served
         codes = []

@@ -245,6 +245,41 @@ class TestTimingsCommand:
         assert "no telemetry events" in capsys.readouterr().out
 
 
+class TestTraceCommand:
+    def _write_span_log(self, path):
+        from repro.obs import configure_observability, span
+
+        configure_observability(path)
+        try:
+            with span("sweep/precompute", cells=2):
+                for step in range(2):
+                    with span("sweep/cell", step=step):
+                        pass
+        finally:
+            configure_observability(None)
+
+    def test_trace_renders_span_tree(self, tmp_path, capsys):
+        log_path = tmp_path / "t.jsonl"
+        self._write_span_log(log_path)
+        assert cli_main(["trace", "--telemetry", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep/precompute" in out
+        assert "sweep/cell ×2" in out           # collapsed by default
+
+    def test_trace_no_collapse(self, tmp_path, capsys):
+        log_path = tmp_path / "t.jsonl"
+        self._write_span_log(log_path)
+        assert cli_main(["trace", "--telemetry", str(log_path),
+                         "--no-collapse"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("sweep/cell") == 2
+
+    def test_trace_missing_log_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert cli_main(["trace", "--telemetry", str(missing)]) == 1
+        assert "no telemetry events" in capsys.readouterr().out
+
+
 class TestServeCLI:
     """The serve subcommand: parsing and config validation."""
 

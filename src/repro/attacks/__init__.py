@@ -1,6 +1,25 @@
-"""Adversarial attacks: EAD (the paper's L1 attack), C&W-L2, and baselines."""
+"""Adversarial attacks: EAD (the paper's L1 attack), C&W-L2, and baselines.
 
-from repro.attacks.base import Attack, AttackResult, flat_norms
+Every attack follows one batch-first contract — ``attack(x0, labels) ->
+AttackResult`` is batch-in/batch-out, constructor knobs are keyword-only
+after ``model``, and empty batches short-circuit without touching the
+model.  The optimization attacks (EAD, C&W) run on the masked batch
+engine in :mod:`repro.attacks.batch`; single-example calls go through
+the deprecated :meth:`Attack.attack_one` shim.
+"""
+
+from repro.attacks.base import (
+    Attack,
+    AttackResult,
+    concat_results,
+    flat_norms,
+)
+from repro.attacks.batch import (
+    BATCH_MODES,
+    BatchLoopMixin,
+    MaskedLanes,
+    resolve_batch_mode,
+)
 from repro.attacks.carlini_wagner import CarliniWagnerL2
 from repro.attacks.deepfool import DeepFool
 from repro.attacks.ead import DECISION_RULES, EAD, shrink_threshold
@@ -13,15 +32,19 @@ from repro.attacks.gradients import (
     attack_margin,
     class_logit_grads,
     cross_entropy_grad,
+    frozen_parameters,
     is_successful,
     logits_of,
     margin_loss_and_grad,
+    margin_only,
 )
 
 __all__ = [
     "Attack",
     "AttackResult",
     "AveragedModel",
+    "BATCH_MODES",
+    "BatchLoopMixin",
     "CarliniWagnerL2",
     "DECISION_RULES",
     "DeepFool",
@@ -29,18 +52,23 @@ __all__ = [
     "FGSM",
     "IterativeFGSM",
     "JSMA",
+    "MaskedLanes",
     "MomentumFGSM",
     "PGD",
     "RandomNoise",
     "ReformedModel",
+    "ZOO",
     "attack_margin",
     "class_logit_grads",
+    "concat_results",
     "cross_entropy_grad",
     "flat_norms",
+    "frozen_parameters",
     "graybox_model",
     "is_successful",
     "logits_of",
     "margin_loss_and_grad",
-    "ZOO",
+    "margin_only",
+    "resolve_batch_mode",
     "shrink_threshold",
 ]

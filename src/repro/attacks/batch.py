@@ -1,0 +1,146 @@
+"""Masked batch iteration for the optimization attacks.
+
+The EAD / C&W optimize loops advance a whole batch per numpy dispatch:
+every per-example quantity — the binary-search bracket (``c_lo`` /
+``c_hi`` / ``c``), Adam state, best-so-far scores — is carried as a wide
+array with one entry per *lane* (batch row), and a boolean **active
+mask** decides which lanes still iterate.  A lane leaves the mask when
+its loss plateaus (per-lane early abort); once frozen it is bit-stable:
+no later dispatch reads or writes its state.
+
+Model calls are **compacted** to the active lanes (``x[active]``), so a
+batch where most lanes have converged costs proportionally less, while
+the all-active fast path avoids the gather entirely.  The recorded-
+loop-over-wide-arrays structure follows drjit's symbolic loops: Python
+controls iteration count, numpy does one wide dispatch per step
+regardless of batch size.
+
+Two engine modes exist behind the same API (``batch_mode=``):
+
+* ``"batched"`` (default) — the wide engine above;
+* ``"per_example"`` — the reference path: each lane runs alone as a
+  batch of one.  It exists as the equivalence baseline (see
+  ``tests/attacks/test_batch_equivalence.py``) and for bisecting; it is
+  typically several times slower and emits a :class:`DeprecationWarning`
+  hint when selected implicitly via deprecated shims.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Engine modes accepted by the optimization attacks' ``batch_mode=``.
+BATCH_MODES = ("batched", "per_example")
+
+
+def resolve_batch_mode(batch_mode: str) -> str:
+    """Validate a ``batch_mode`` knob value."""
+    if batch_mode not in BATCH_MODES:
+        raise ValueError(
+            f"batch_mode must be one of {BATCH_MODES}, got {batch_mode!r}")
+    return batch_mode
+
+
+class MaskedLanes:
+    """Wide-array lane bookkeeping for one masked optimize loop.
+
+    Tracks which lanes are still iterating, how many optimizer
+    iterations each lane has consumed, and how many compacted model
+    dispatches the loop issued.  The discipline that makes frozen lanes
+    bit-stable lives here: every read/write in the loop goes through
+    :attr:`sub` (the active-lane gather index), so a frozen lane's state
+    is never touched again.
+    """
+
+    __slots__ = ("n", "active", "iterations", "dispatches")
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self.active = np.ones(self.n, dtype=bool)
+        self.iterations = np.zeros(self.n, dtype=np.int64)
+        self.dispatches = 0
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def count(self) -> int:
+        """Number of lanes still iterating."""
+        return int(self.active.sum())
+
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    @property
+    def sub(self) -> Union[slice, np.ndarray]:
+        """Gather index for the active lanes.
+
+        Returns ``slice(None)`` while every lane is active (views, no
+        copies — the hot all-active phase), an integer index array once
+        compaction kicks in.  Valid for both reads (``x[sub]``) and
+        scatter writes (``x[sub] = ...``).
+        """
+        if self.active.all():
+            return slice(None)
+        return np.flatnonzero(self.active)
+
+    def indices(self) -> np.ndarray:
+        """Active lane positions as an index array (always materialized)."""
+        return np.flatnonzero(self.active)
+
+    def tick(self, dispatches: int = 1) -> None:
+        """Record one loop iteration: every active lane did one
+        optimizer step, the model was dispatched ``dispatches`` times."""
+        self.iterations[self.active] += 1
+        self.dispatches += int(dispatches)
+
+    def freeze(self, lanes: np.ndarray) -> None:
+        """Clear the mask for ``lanes`` (positions into the full batch).
+
+        Freezing is one-way: a frozen lane never re-enters the loop, so
+        everything written for it so far is final (bit-stable).
+        """
+        self.active[lanes] = False
+
+    def freeze_where(self, stalled: np.ndarray) -> None:
+        """Freeze by a boolean mask over the *active* lanes, in active
+        order (the shape loop bodies naturally produce)."""
+        sub = self.sub
+        if isinstance(sub, slice):
+            self.active[np.flatnonzero(stalled)] = False
+        else:
+            self.active[sub[stalled]] = False
+
+
+class BatchLoopMixin:
+    """Shared plumbing for attacks built on the masked batch engine.
+
+    Adds the ``batch_mode`` knob plus the per-example fan-out used as
+    the reference path.  Mixing classes must implement their batched
+    body; :meth:`_lanewise` slices a prepared batch into single-lane
+    batches and returns the per-lane outputs in order for stitching
+    (see :func:`repro.attacks.base.concat_results`).
+    """
+
+    batch_mode: str = "batched"
+
+    def _set_batch_mode(self, batch_mode: str) -> None:
+        self.batch_mode = resolve_batch_mode(batch_mode)
+
+    @property
+    def _use_lanewise(self) -> bool:
+        """Whether the per-example reference engine should run.
+
+        Single-lane batches short-circuit to the batched engine — the
+        two are identical at ``N=1``, so the fan-out/stitch overhead is
+        skipped (the single-example fast path).
+        """
+        return self.batch_mode == "per_example"
+
+    @staticmethod
+    def _lanewise(x0: np.ndarray, labels: np.ndarray, run_one):
+        """Run ``run_one(x_lane, label_lane)`` per lane, in order."""
+        return [run_one(x0[i:i + 1], labels[i:i + 1])
+                for i in range(x0.shape[0])]

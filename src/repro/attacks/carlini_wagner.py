@@ -10,16 +10,26 @@ follows the reference ``nn_robust_attacks`` code:
   (paper setting: start 0.001, 9 steps, 1000 iterations, lr 0.01);
 * among all successful iterates the one with the smallest L2 distortion
   is kept.
+
+The optimize loop runs on the masked batch engine
+(:mod:`repro.attacks.batch`): every lane advances per numpy dispatch,
+the binary-search bracket is carried in wide per-lane arrays, and
+``abort_early`` is a **per-lane** plateau test — a stalled lane freezes
+in place (bit-stable) and drops out of the model dispatch while the
+rest keep iterating.  This matches the semantics of running each
+example alone (the historical batch-mean abort coupled lanes together);
+``batch_mode="per_example"`` selects that reference engine explicitly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, AttackResult
+from repro.attacks.base import Attack, AttackResult, concat_results
+from repro.attacks.batch import BatchLoopMixin, MaskedLanes
 from repro.attacks.gradients import margin_loss_and_grad
 from repro.nn.layers import Module
-from repro.obs import counter, span
+from repro.obs import counter, histogram, span
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -27,8 +37,9 @@ log = get_logger(__name__)
 _TANH_CLAMP = 0.999999
 
 
-class CarliniWagnerL2(Attack):
-    """Batched untargeted/targeted C&W-L2 attack with per-example binary search.
+class CarliniWagnerL2(BatchLoopMixin, Attack):
+    """Batch-first untargeted/targeted C&W-L2 attack with per-lane binary
+    search.
 
     All hyperparameters after ``model`` are keyword-only; use
     :meth:`from_profile` to bind the attack budget of an
@@ -41,7 +52,7 @@ class CarliniWagnerL2(Attack):
                  binary_search_steps: int = 9, max_iterations: int = 1000,
                  lr: float = 1e-2, initial_const: float = 1e-3,
                  const_upper: float = 1e10, abort_early: bool = True,
-                 targeted: bool = False):
+                 targeted: bool = False, batch_mode: str = "batched"):
         super().__init__(model)
         if kappa < 0:
             raise ValueError(f"kappa must be >= 0, got {kappa}")
@@ -55,6 +66,7 @@ class CarliniWagnerL2(Attack):
         self.const_upper = float(const_upper)
         self.abort_early = bool(abort_early)
         self.targeted = bool(targeted)
+        self._set_batch_mode(batch_mode)
 
     @classmethod
     def from_profile(cls, model: Module, profile, **overrides) -> "CarliniWagnerL2":
@@ -63,7 +75,8 @@ class CarliniWagnerL2(Attack):
         Maps ``max_iterations`` / ``binary_search_steps`` /
         ``initial_const`` / ``cw_lr`` from an
         :class:`~repro.experiments.config.ExperimentProfile`; keyword
-        ``overrides`` (typically ``kappa=``) win over profile fields.
+        ``overrides`` (typically ``kappa=``, ``batch_mode=``) win over
+        profile fields.
         """
         params = dict(
             binary_search_steps=profile.binary_search_steps,
@@ -74,108 +87,156 @@ class CarliniWagnerL2(Attack):
         params.update(overrides)
         return cls(model, **params)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        """Craft adversarial examples for (x0, labels).
+    def _result_name(self) -> str:
+        return f"cw_l2(kappa={self.kappa:g})"
+
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
+        """Craft adversarial examples for a prepared batch.
 
         ``labels`` are true labels when untargeted, target labels when
         targeted.
         """
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+        if self._use_lanewise and x0.shape[0] > 1:
+            parts = self._lanewise(x0, labels, self._run_batched)
+            return concat_results(parts, name=self._result_name())
+        return self._run_batched(x0, labels)
+
+    def _run_batched(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
+        """The wide engine: one numpy dispatch per iteration for all lanes."""
         n = x0.shape[0]
 
         # tanh-space anchor of the clean images.
         w0 = np.arctanh((2.0 * x0 - 1.0) * _TANH_CLAMP).astype(np.float32)
 
-        lower = np.zeros(n, dtype=np.float64)
-        upper = np.full(n, self.const_upper, dtype=np.float64)
+        # Per-lane binary-search bracket, carried as wide arrays.
+        c_lo = np.zeros(n, dtype=np.float64)
+        c_hi = np.full(n, self.const_upper, dtype=np.float64)
         const = np.full(n, self.initial_const, dtype=np.float64)
 
         best_l2 = np.full(n, np.inf, dtype=np.float64)
         best_adv = x0.copy()
         best_const = np.full(n, np.nan, dtype=np.float64)
         ever_success = np.zeros(n, dtype=bool)
+        iterations = np.zeros(n, dtype=np.int64)
+        converged = np.zeros(n, dtype=bool)
+        dispatches = 0
         iters = counter("attack/iterations")
 
-        with span(f"attack/{self.name}", batch=n,
-                  kappa=self.kappa) as attack_sp:
+        with span(f"attack/{self.name}", batch=n, kappa=self.kappa,
+                  mode=self.batch_mode) as attack_sp:
             for step in range(self.binary_search_steps):
-                with span("attack/binary_search_step", step=step):
-                    step_success = self._optimize_step(
+                with span("attack/binary_search_step", step=step) as step_sp:
+                    lanes, step_success = self._optimize_step(
                         x0, w0, labels, const, best_l2, best_adv,
                         best_const, ever_success, iters)
+                    iterations += lanes.iterations
+                    dispatches += lanes.dispatches
+                    converged = ~lanes.active
+                    step_sp["frozen"] = n - lanes.count
 
-                # Binary-search update of c (per example).
+                # Binary-search update of c (per lane).
                 found = step_success
-                upper[found] = np.minimum(upper[found], const[found])
-                lower[~found] = np.maximum(lower[~found], const[~found])
-                has_upper = upper < self.const_upper
-                midpoint = (lower + upper) / 2.0
+                c_hi[found] = np.minimum(c_hi[found], const[found])
+                c_lo[~found] = np.maximum(c_lo[~found], const[~found])
+                has_upper = c_hi < self.const_upper
+                midpoint = (c_lo + c_hi) / 2.0
                 const = np.where(has_upper, midpoint,
                                  np.where(found, const, const * 10.0))
                 const = np.minimum(const, self.const_upper)
             attack_sp["successes"] = int(ever_success.sum())
+            attack_sp["dispatches"] = dispatches
+            attack_sp["lane_iterations"] = int(iterations.sum())
+            counter("attack/dispatches").inc(dispatches)
+            lane_hist = histogram("attack/lane_iterations")
+            for count in iterations:
+                lane_hist.observe(float(count))
 
         log.debug("C&W kappa=%g: %d/%d successful", self.kappa,
                   int(ever_success.sum()), n)
         return AttackResult.from_examples(
             self.model, x0, best_adv, ever_success, labels,
-            const=best_const, name=f"cw_l2(kappa={self.kappa:g})")
+            const=best_const, name=self._result_name(),
+            iterations=iterations, converged=converged, final_const=const)
 
     def _optimize_step(self, x0: np.ndarray, w0: np.ndarray,
                        labels: np.ndarray, const: np.ndarray,
                        best_l2: np.ndarray, best_adv: np.ndarray,
                        best_const: np.ndarray, ever_success: np.ndarray,
-                       iters) -> np.ndarray:
-        """One binary-search step: a full Adam run at fixed ``const``.
+                       iters):
+        """One binary-search step: a masked Adam run at fixed ``const``.
 
+        All lanes advance together; ``abort_early`` freezes a lane when
+        *its own* loss plateaus, after which later dispatches compact to
+        the surviving lanes and the frozen lane's state is bit-stable.
         Mutates the ``best_*`` / ``ever_success`` arrays in place and
-        returns this step's success mask.
+        returns the step's :class:`~repro.attacks.batch.MaskedLanes`
+        and success mask.
         """
         n = x0.shape[0]
+        lanes = MaskedLanes(n)
         w = w0.copy()
         adam_m = np.zeros_like(w)
         adam_v = np.zeros_like(w)
         step_success = np.zeros(n, dtype=bool)
-        prev_loss = np.inf
+        prev_loss = np.full(n, np.inf, dtype=np.float64)
         check_every = max(self.max_iterations // 10, 1)
+        const_f32 = const.astype(np.float32)
 
         for it in range(self.max_iterations):
-            iters.inc()
-            tanh_w = np.tanh(w)
-            x = ((tanh_w + 1.0) * 0.5).astype(np.float32)
-            f_vals, grad_f, logits = margin_loss_and_grad(
-                self.model, x, labels, self.kappa, targeted=self.targeted)
+            if not lanes.any_active():
+                break
+            sub = lanes.sub
+            pos = np.arange(n) if isinstance(sub, slice) else sub
+            n_active = pos.shape[0]
 
-            delta = (x - x0).astype(np.float64)
-            l2_sq = (delta.reshape(n, -1) ** 2).sum(axis=1)
+            tanh_w = np.tanh(w[sub])
+            x = ((tanh_w + 1.0) * 0.5).astype(np.float32)
+            x0_a = x0[sub]
+            f_vals, grad_f, _ = margin_loss_and_grad(
+                self.model, x, labels[sub], self.kappa, targeted=self.targeted)
+            lanes.tick(dispatches=1)
+            iters.inc(n_active)
+
+            delta = (x - x0_a).astype(np.float64)
+            l2_sq = (delta.reshape(n_active, -1) ** 2).sum(axis=1)
 
             # Success test: the hinge saturated, i.e. margin >= kappa.
             succeeded = f_vals <= -self.kappa + 1e-6
-            improved = succeeded & (l2_sq < best_l2)
+            improved = succeeded & (l2_sq < best_l2[pos])
             if improved.any():
-                best_l2[improved] = l2_sq[improved]
-                best_adv[improved] = x[improved]
-                best_const[improved] = const[improved]
-            step_success |= succeeded
-            ever_success |= succeeded
+                upd = pos[improved]
+                best_l2[upd] = l2_sq[improved]
+                best_adv[upd] = x[improved]
+                best_const[upd] = const[upd]
+            if succeeded.any():
+                hit = pos[succeeded]
+                step_success[hit] = True
+                ever_success[hit] = True
 
             # d(loss)/dx = 2*(x - x0) + c * df/dx ; chain through tanh.
-            grad_x = 2.0 * (x - x0) + const[:, None, None, None].astype(np.float32) * grad_f
+            grad_x = (2.0 * (x - x0_a)
+                      + const_f32[sub][:, None, None, None] * grad_f)
             grad_w = grad_x * (0.5 * (1.0 - tanh_w ** 2)).astype(np.float32)
 
             # Adam update (bias-corrected), matching the reference attack.
-            adam_m = 0.9 * adam_m + 0.1 * grad_w
-            adam_v = 0.999 * adam_v + 0.001 * grad_w * grad_w
-            m_hat = adam_m / (1.0 - 0.9 ** (it + 1))
-            v_hat = adam_v / (1.0 - 0.999 ** (it + 1))
-            w = w - self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
+            # Active lanes all share the loop timestep: lanes only ever
+            # freeze, so a lane's local iteration count equals ``it``.
+            m_new = 0.9 * adam_m[sub] + 0.1 * grad_w
+            v_new = 0.999 * adam_v[sub] + 0.001 * grad_w * grad_w
+            adam_m[sub] = m_new
+            adam_v[sub] = v_new
+            m_hat = m_new / (1.0 - 0.9 ** (it + 1))
+            v_hat = v_new / (1.0 - 0.999 ** (it + 1))
+            w[sub] = w[sub] - self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
 
             if self.abort_early and (it + 1) % check_every == 0:
-                total = float((l2_sq + const * f_vals).mean())
-                if total > prev_loss * 0.9999:
-                    break
-                prev_loss = total
+                # Per-lane plateau test (the per-example semantics): a
+                # lane stalls when its own total loss stops improving.
+                total = l2_sq + const[pos] * f_vals
+                stalled = total > prev_loss[pos] * 0.9999
+                if stalled.any():
+                    lanes.freeze(pos[stalled])
+                keep = pos[~stalled]
+                prev_loss[keep] = total[~stalled]
 
-        return step_success
+        return lanes, step_success

@@ -19,7 +19,7 @@ class DeepFool(Attack):
 
     name = "deepfool"
 
-    def __init__(self, model: Module, max_iterations: int = 30,
+    def __init__(self, model: Module, *, max_iterations: int = 30,
                  overshoot: float = 0.02):
         super().__init__(model)
         if max_iterations < 1:
@@ -27,10 +27,7 @@ class DeepFool(Attack):
         self.max_iterations = int(max_iterations)
         self.overshoot = float(overshoot)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         n = x0.shape[0]
         rows = np.arange(n)
 

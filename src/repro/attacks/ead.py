@@ -20,6 +20,13 @@ successful iterates: least elastic-net distortion (``"en"``) or least L1
 distortion (``"l1"``).  A single optimization run tracks both, so
 :meth:`EAD.attack_both` shares all compute between the two rules — the
 paper evaluates both everywhere.
+
+The optimize loop runs on the masked batch engine
+(:mod:`repro.attacks.batch`): all lanes advance per numpy dispatch, the
+per-example binary-search bracket lives in wide arrays, and with
+``abort_early=True`` lanes whose elastic-net objective plateaus freeze
+in place and drop out of the model dispatch.  ``batch_mode=
+"per_example"`` selects the lane-at-a-time reference engine instead.
 """
 
 from __future__ import annotations
@@ -28,10 +35,11 @@ from typing import Dict
 
 import numpy as np
 
-from repro.attacks.base import Attack, AttackResult
-from repro.attacks.gradients import margin_loss_and_grad
+from repro.attacks.base import Attack, AttackResult, concat_results
+from repro.attacks.batch import BatchLoopMixin, MaskedLanes
+from repro.attacks.gradients import margin_loss_and_grad, margin_only
 from repro.nn.layers import Module
-from repro.obs import counter, span
+from repro.obs import counter, histogram, span
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -53,8 +61,8 @@ def shrink_threshold(z: np.ndarray, x0: np.ndarray, beta: float) -> np.ndarray:
                     np.where(diff < -beta, shrunk_down, x0)).astype(np.float32)
 
 
-class EAD(Attack):
-    """Batched elastic-net attack with per-example binary search on c.
+class EAD(BatchLoopMixin, Attack):
+    """Batch-first elastic-net attack with per-lane binary search on c.
 
     All hyperparameters after ``model`` are keyword-only; use
     :meth:`from_profile` to bind the attack budget of an
@@ -67,7 +75,8 @@ class EAD(Attack):
                  binary_search_steps: int = 9, max_iterations: int = 1000,
                  lr: float = 1e-2, initial_const: float = 1e-3,
                  const_upper: float = 1e10, rule: str = "en",
-                 method: str = "fista", targeted: bool = False):
+                 method: str = "fista", targeted: bool = False,
+                 abort_early: bool = False, batch_mode: str = "batched"):
         super().__init__(model)
         if beta < 0:
             raise ValueError(f"beta must be >= 0, got {beta}")
@@ -87,6 +96,8 @@ class EAD(Attack):
         self.rule = rule
         self.method = method
         self.targeted = bool(targeted)
+        self.abort_early = bool(abort_early)
+        self._set_batch_mode(batch_mode)
 
     @classmethod
     def from_profile(cls, model: Module, profile, **overrides) -> "EAD":
@@ -95,8 +106,8 @@ class EAD(Attack):
         Maps ``max_iterations`` / ``binary_search_steps`` /
         ``initial_const`` / ``ead_lr`` from an
         :class:`~repro.experiments.config.ExperimentProfile`; keyword
-        ``overrides`` (typically ``beta=``, ``kappa=``) win over profile
-        fields.
+        ``overrides`` (typically ``beta=``, ``kappa=``,
+        ``batch_mode=``) win over profile fields.
         """
         params = dict(
             binary_search_steps=profile.binary_search_steps,
@@ -107,10 +118,13 @@ class EAD(Attack):
         params.update(overrides)
         return cls(model, **params)
 
+    def _result_name(self, rule: str) -> str:
+        return f"ead_{rule}(beta={self.beta:g}, kappa={self.kappa:g})"
+
     # ------------------------------------------------------------------
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        """Craft adversarial examples, returning the configured rule's picks."""
-        return self.attack_both(x0, labels)[self.rule]
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
+        """Batch body: run once, return the configured rule's picks."""
+        return self._attack_both_prepared(x0, labels)[self.rule]
 
     def attack_both(self, x0: np.ndarray, labels: np.ndarray
                     ) -> Dict[str, AttackResult]:
@@ -118,15 +132,36 @@ class EAD(Attack):
 
         The optimization trajectory is identical for both decision rules;
         only the selection among successful iterates differs, so sharing
-        one run halves the experiment cost.
+        one run halves the experiment cost.  Batch-in/batch-out like
+        :meth:`attack`, including the ``N=0`` fast path.
         """
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+        x0, labels = self._prepare(x0, labels)
+        if x0.shape[0] == 0:
+            return {rule: AttackResult.empty(x0, labels,
+                                             name=self._result_name(rule))
+                    for rule in DECISION_RULES}
+        return self._attack_both_prepared(x0, labels)
+
+    def _attack_both_prepared(self, x0: np.ndarray, labels: np.ndarray
+                              ) -> Dict[str, AttackResult]:
+        """Dispatch a prepared, non-empty batch to the selected engine."""
+        if self._use_lanewise and x0.shape[0] > 1:
+            parts = self._lanewise(x0, labels, self._attack_both_batched)
+            return {
+                rule: concat_results([part[rule] for part in parts],
+                                     name=self._result_name(rule))
+                for rule in DECISION_RULES
+            }
+        return self._attack_both_batched(x0, labels)
+
+    def _attack_both_batched(self, x0: np.ndarray, labels: np.ndarray
+                             ) -> Dict[str, AttackResult]:
+        """The wide engine: one numpy dispatch per iteration for all lanes."""
         n = x0.shape[0]
 
-        lower = np.zeros(n, dtype=np.float64)
-        upper = np.full(n, self.const_upper, dtype=np.float64)
+        # Per-lane binary-search bracket, carried as wide arrays.
+        c_lo = np.zeros(n, dtype=np.float64)
+        c_hi = np.full(n, self.const_upper, dtype=np.float64)
         const = np.full(n, self.initial_const, dtype=np.float64)
 
         best = {
@@ -138,24 +173,37 @@ class EAD(Attack):
             for rule in DECISION_RULES
         }
         ever_success = np.zeros(n, dtype=bool)
+        iterations = np.zeros(n, dtype=np.int64)
+        converged = np.zeros(n, dtype=bool)
+        dispatches = 0
         iters = counter("attack/iterations")
 
         with span(f"attack/{self.name}", batch=n, beta=self.beta,
-                  kappa=self.kappa) as attack_sp:
+                  kappa=self.kappa, mode=self.batch_mode) as attack_sp:
             for step in range(self.binary_search_steps):
-                with span("attack/binary_search_step", step=step):
-                    x, y, step_success = self._optimize_step(
+                with span("attack/binary_search_step", step=step) as step_sp:
+                    lanes, step_success = self._optimize_step(
                         x0, labels, const, best, ever_success, iters)
+                    iterations += lanes.iterations
+                    dispatches += lanes.dispatches
+                    converged = ~lanes.active
+                    step_sp["frozen"] = n - lanes.count
 
                 found = step_success
-                upper[found] = np.minimum(upper[found], const[found])
-                lower[~found] = np.maximum(lower[~found], const[~found])
-                has_upper = upper < self.const_upper
-                midpoint = (lower + upper) / 2.0
+                c_hi[found] = np.minimum(c_hi[found], const[found])
+                c_lo[~found] = np.maximum(c_lo[~found], const[~found])
+                has_upper = c_hi < self.const_upper
+                midpoint = (c_lo + c_hi) / 2.0
                 const = np.where(has_upper, midpoint,
                                  np.where(found, const, const * 10.0))
                 const = np.minimum(const, self.const_upper)
             attack_sp["successes"] = int(ever_success.sum())
+            attack_sp["dispatches"] = dispatches
+            attack_sp["lane_iterations"] = int(iterations.sum())
+            counter("attack/dispatches").inc(dispatches)
+            lane_hist = histogram("attack/lane_iterations")
+            for count in iterations:
+                lane_hist.observe(float(count))
 
         log.debug("EAD beta=%g kappa=%g: %d/%d successful",
                   self.beta, self.kappa, int(ever_success.sum()), n)
@@ -164,69 +212,90 @@ class EAD(Attack):
             results[rule] = AttackResult.from_examples(
                 self.model, x0, best[rule]["adv"], ever_success, labels,
                 const=best[rule]["const"],
-                name=f"ead_{rule}(beta={self.beta:g}, kappa={self.kappa:g})")
+                name=self._result_name(rule),
+                iterations=iterations.copy(),
+                converged=converged.copy(),
+                final_const=const.copy())
         return results
 
     def _optimize_step(self, x0: np.ndarray, labels: np.ndarray,
                        const: np.ndarray, best: Dict[str, Dict[str, np.ndarray]],
                        ever_success: np.ndarray, iters):
-        """One binary-search step: a full ISTA/FISTA run at fixed ``const``.
+        """One binary-search step: a masked ISTA/FISTA run at fixed ``const``.
 
-        Mutates ``best`` and ``ever_success`` in place; returns the final
-        iterate, the slack variable, and this step's success mask.
+        All lanes advance together; with ``abort_early`` a lane whose
+        elastic-net objective plateaus is frozen (its mask clears) and
+        later dispatches compact to the surviving lanes.  Mutates
+        ``best`` and ``ever_success`` in place; returns the step's
+        :class:`~repro.attacks.batch.MaskedLanes` and success mask.
         """
         n = x0.shape[0]
+        lanes = MaskedLanes(n)
         x = x0.copy()
         y = x0.copy()   # FISTA slack variable (equals x for ISTA)
         step_success = np.zeros(n, dtype=bool)
+        prev_obj = np.full(n, np.inf, dtype=np.float64)
+        check_every = max(self.max_iterations // 10, 1)
+        const_f32 = const.astype(np.float32)
 
         for it in range(self.max_iterations):
-            iters.inc()
+            if not lanes.any_active():
+                break
+            sub = lanes.sub
+            pos = np.arange(n) if isinstance(sub, slice) else sub
+            n_active = pos.shape[0]
             lr_it = self.lr * np.sqrt(max(1.0 - it / self.max_iterations, 0.0))
 
+            x0_a, lab_a = x0[sub], labels[sub]
             f_vals, grad_f, _ = margin_loss_and_grad(
-                self.model, y, labels, self.kappa, targeted=self.targeted)
-            grad_g = (const[:, None, None, None].astype(np.float32) * grad_f
-                      + 2.0 * (y - x0))
-            z = y - lr_it * grad_g
-            x_new = shrink_threshold(z, x0, self.beta)
+                self.model, y[sub], lab_a, self.kappa, targeted=self.targeted)
+            grad_g = (const_f32[sub][:, None, None, None] * grad_f
+                      + 2.0 * (y[sub] - x0_a))
+            z = y[sub] - lr_it * grad_g
+            x_new = shrink_threshold(z, x0_a, self.beta)
 
             if self.method == "fista":
                 momentum = it / (it + 3.0)
-                y = x_new + momentum * (x_new - x)
+                y[sub] = x_new + momentum * (x_new - x[sub])
             else:
-                y = x_new
-            x = x_new
+                y[sub] = x_new
+            x[sub] = x_new
 
             # Evaluate the *iterate* (not the slack) for success/selection.
-            f_iter, _, _ = _margin_no_grad(
-                self.model, x_new, labels, self.kappa, self.targeted)
+            f_iter, _ = margin_only(
+                self.model, x_new, lab_a, self.kappa, self.targeted)
+            lanes.tick(dispatches=2)
+            iters.inc(n_active)
+
             succeeded = f_iter <= -self.kappa + 1e-6
-            if not succeeded.any():
-                continue
-            step_success |= succeeded
-            ever_success |= succeeded
+            check_abort = (self.abort_early
+                           and (it + 1) % check_every == 0)
+            if succeeded.any() or check_abort:
+                delta = (x_new - x0_a).astype(np.float64).reshape(n_active, -1)
+                l1 = np.abs(delta).sum(axis=1)
+                l2_sq = (delta ** 2).sum(axis=1)
 
-            delta = (x_new - x0).astype(np.float64).reshape(n, -1)
-            l1 = np.abs(delta).sum(axis=1)
-            l2_sq = (delta ** 2).sum(axis=1)
-            scores = {"l1": l1, "en": self.beta * l1 + l2_sq}
-            for rule in DECISION_RULES:
-                improved = succeeded & (scores[rule] < best[rule]["score"])
-                if improved.any():
-                    best[rule]["score"][improved] = scores[rule][improved]
-                    best[rule]["adv"][improved] = x_new[improved]
-                    best[rule]["const"][improved] = const[improved]
+            if succeeded.any():
+                hit = pos[succeeded]
+                step_success[hit] = True
+                ever_success[hit] = True
+                scores = {"l1": l1, "en": self.beta * l1 + l2_sq}
+                for rule in DECISION_RULES:
+                    improved = succeeded & (scores[rule] < best[rule]["score"][pos])
+                    if improved.any():
+                        upd = pos[improved]
+                        best[rule]["score"][upd] = scores[rule][improved]
+                        best[rule]["adv"][upd] = x_new[improved]
+                        best[rule]["const"][upd] = const[upd]
 
-        return x, y, step_success
+            if check_abort:
+                # Per-lane plateau test on the full elastic-net objective;
+                # stalled lanes freeze in place (bit-stable from here on).
+                obj = const[pos] * f_iter + l2_sq + self.beta * l1
+                stalled = obj > prev_obj[pos] * 0.9999
+                if stalled.any():
+                    lanes.freeze(pos[stalled])
+                keep = pos[~stalled]
+                prev_obj[keep] = obj[~stalled]
 
-
-def _margin_no_grad(model: Module, x: np.ndarray, labels: np.ndarray,
-                    kappa: float, targeted: bool):
-    """Hinge loss values without building a graph (success checks only)."""
-    from repro.attacks.gradients import attack_margin, logits_of
-
-    logits = logits_of(model, x)
-    margin = attack_margin(logits, labels, targeted)
-    f_vals = np.maximum(-margin, -kappa)
-    return f_vals, None, logits
+        return lanes, step_success

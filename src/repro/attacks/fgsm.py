@@ -20,16 +20,13 @@ class FGSM(Attack):
 
     name = "fgsm"
 
-    def __init__(self, model: Module, epsilon: float = 0.1):
+    def __init__(self, model: Module, *, epsilon: float = 0.1):
         super().__init__(model)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
         self.epsilon = float(epsilon)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         _, grad = cross_entropy_grad(self.model, x0, labels)
         x_adv = np.clip(x0 + self.epsilon * np.sign(grad), 0.0, 1.0).astype(np.float32)
         success = is_successful(logits_of(self.model, x_adv), labels, 0.0)
@@ -43,7 +40,7 @@ class IterativeFGSM(Attack):
 
     name = "ifgsm"
 
-    def __init__(self, model: Module, epsilon: float = 0.1,
+    def __init__(self, model: Module, *, epsilon: float = 0.1,
                  step_size: float = 0.02, steps: int = 10):
         super().__init__(model)
         if epsilon < 0 or step_size <= 0 or steps < 1:
@@ -52,10 +49,7 @@ class IterativeFGSM(Attack):
         self.step_size = float(step_size)
         self.steps = int(steps)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         lo = np.clip(x0 - self.epsilon, 0.0, 1.0)
         hi = np.clip(x0 + self.epsilon, 0.0, 1.0)
         x = x0.copy()

@@ -8,6 +8,7 @@ one backward pass with a hand-constructed upstream gradient on the logits
 
 from __future__ import annotations
 
+import contextlib
 from typing import Tuple
 
 import numpy as np
@@ -16,8 +17,34 @@ from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Module
 
 
+@contextlib.contextmanager
+def frozen_parameters(model: Module):
+    """Temporarily clear ``requires_grad`` on every model parameter.
+
+    Attacks differentiate w.r.t. the *input* only; with parameters
+    frozen, the graph builder never records the weight/bias branches, so
+    the backward pass skips all parameter-gradient work (a significant
+    share of each attack iteration).  Restores the flags on exit.
+
+    Model stand-ins without ``parameters()`` (test doubles, wrapped
+    callables) pass through untouched.
+    """
+    params = getattr(model, "parameters", lambda: [])()
+    saved = [p.requires_grad for p in params]
+    for p in params:
+        p.requires_grad = False
+    try:
+        yield
+    finally:
+        for p, flag in zip(params, saved):
+            p.requires_grad = flag
+
+
 def logits_of(model: Module, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
-    """Plain batched forward pass (no graph)."""
+    """Plain batched forward pass (no graph); empty batches skip the model."""
+    x = np.asarray(x)
+    if x.shape[0] == 0:
+        return np.zeros((0, 0), dtype=np.float32)
     outs = []
     with no_grad():
         for start in range(0, x.shape[0], batch_size):
@@ -49,6 +76,21 @@ def is_successful(logits: np.ndarray, labels: np.ndarray, kappa: float,
     return attack_margin(logits, labels, targeted) >= kappa - tol
 
 
+def margin_only(model: Module, x: np.ndarray, labels: np.ndarray,
+                kappa: float, targeted: bool = False
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Hinge loss values without building a graph (success checks only).
+
+    Returns ``(f_values (N,), logits (N,K))`` — the forward half of
+    :func:`margin_loss_and_grad` for the batched engines' per-iterate
+    success tests.
+    """
+    logits = logits_of(model, x)
+    margin = attack_margin(logits, labels, targeted)
+    f_values = np.maximum(-margin, -kappa)
+    return f_values, logits
+
+
 def margin_loss_and_grad(model: Module, x: np.ndarray, labels: np.ndarray,
                          kappa: float, targeted: bool = False
                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -64,7 +106,8 @@ def margin_loss_and_grad(model: Module, x: np.ndarray, labels: np.ndarray,
         attacks use.
     """
     xt = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
-    logits_t = model(xt)
+    with frozen_parameters(model):
+        logits_t = model(xt)
     z = logits_t.data
     n = z.shape[0]
     rows = np.arange(n)
@@ -104,7 +147,8 @@ def cross_entropy_grad(model: Module, x: np.ndarray, labels: np.ndarray
     Returns (loss_per_example, grad_x).
     """
     xt = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
-    logits_t = model(xt)
+    with frozen_parameters(model):
+        logits_t = model(xt)
     z = logits_t.data
     z_shift = z - z.max(axis=1, keepdims=True)
     log_probs = z_shift - np.log(np.exp(z_shift).sum(axis=1, keepdims=True))
@@ -128,7 +172,8 @@ def class_logit_grads(model: Module, x: np.ndarray) -> Tuple[np.ndarray, np.ndar
     backward passes over the retained graph.
     """
     xt = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
-    logits_t = model(xt)
+    with frozen_parameters(model):
+        logits_t = model(xt)
     z = logits_t.data
     k = z.shape[1]
     grads = np.zeros((k,) + xt.shape, dtype=xt.data.dtype)

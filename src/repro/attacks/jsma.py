@@ -27,7 +27,7 @@ class JSMA(Attack):
 
     name = "jsma"
 
-    def __init__(self, model: Module, theta: float = 1.0,
+    def __init__(self, model: Module, *, theta: float = 1.0,
                  max_fraction: float = 0.1):
         super().__init__(model)
         if not 0 < max_fraction <= 1:
@@ -37,10 +37,7 @@ class JSMA(Attack):
         self.theta = float(theta)        # per-step pixel increment
         self.max_fraction = float(max_fraction)  # budget: fraction of pixels
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         n = x0.shape[0]
         n_pixels = int(np.prod(x0.shape[1:]))
         budget = max(1, int(self.max_fraction * n_pixels))

@@ -33,7 +33,7 @@ class PGD(Attack):
 
     name = "pgd"
 
-    def __init__(self, model: Module, epsilon: float = 0.1,
+    def __init__(self, model: Module, *, epsilon: float = 0.1,
                  step_size: float = 0.02, steps: int = 20,
                  norm: str = "linf", random_start: bool = True,
                  seed: int = 0):
@@ -49,10 +49,7 @@ class PGD(Attack):
         self.random_start = bool(random_start)
         self.seed = int(seed)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         rng = rng_from_seed(self.seed)
 
         if self.random_start and self.epsilon > 0:
@@ -90,8 +87,9 @@ class MomentumFGSM(Attack):
 
     name = "mifgsm"
 
-    def __init__(self, model: Module, epsilon: float = 0.1, steps: int = 10,
-                 decay: float = 1.0, step_size: Optional[float] = None):
+    def __init__(self, model: Module, *, epsilon: float = 0.1,
+                 steps: int = 10, decay: float = 1.0,
+                 step_size: Optional[float] = None):
         super().__init__(model)
         if epsilon < 0 or steps < 1 or decay < 0:
             raise ValueError("invalid MI-FGSM parameters")
@@ -101,10 +99,7 @@ class MomentumFGSM(Attack):
         self.step_size = (float(step_size) if step_size is not None
                           else self.epsilon / self.steps)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         x = x0.copy()
         momentum = np.zeros_like(x0)
         lo = np.clip(x0 - self.epsilon, 0.0, 1.0)

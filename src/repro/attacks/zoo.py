@@ -77,10 +77,7 @@ class ZOO(Attack):
         l2_sq = ((x_flat - x0_flat) ** 2).sum(axis=1)
         return l2_sq + self.const * f
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         rng = rng_from_seed(self.seed)
         n = x0.shape[0]
         shape = x0.shape
@@ -150,8 +147,8 @@ class RandomNoise(Attack):
 
     name = "random_noise"
 
-    def __init__(self, model: Module, epsilon: float = 0.3, tries: int = 5,
-                 seed: int = 0):
+    def __init__(self, model: Module, *, epsilon: float = 0.3,
+                 tries: int = 5, seed: int = 0):
         super().__init__(model)
         if epsilon < 0 or tries < 1:
             raise ValueError("invalid RandomNoise parameters")
@@ -159,10 +156,7 @@ class RandomNoise(Attack):
         self.tries = int(tries)
         self.seed = int(seed)
 
-    def attack(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
-        self._validate_inputs(x0, labels)
-        x0 = np.asarray(x0, dtype=np.float32)
-        labels = np.asarray(labels, dtype=np.int64)
+    def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         rng = rng_from_seed(self.seed)
         n = x0.shape[0]
         best = x0.copy()

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.attacks.base import AttackResult
+from repro.attacks.batch import resolve_batch_mode
 from repro.attacks.carlini_wagner import CarliniWagnerL2
 from repro.attacks.deepfool import DeepFool
 from repro.attacks.ead import DECISION_RULES, EAD
@@ -37,6 +38,10 @@ log = get_logger(__name__)
 _RESULT_FIELDS = ("x_adv", "success", "y_true", "y_adv",
                   "l0", "l1", "l2", "linf", "const")
 
+#: Per-lane diagnostics (PR 6) — persisted when present, tolerated as
+#: missing so artifacts cached before the batch engine still load.
+_DIAG_FIELDS = ("iterations", "converged", "final_const")
+
 
 def _result_to_arrays(result: AttackResult) -> Dict[str, np.ndarray]:
     arrays = {}
@@ -45,10 +50,16 @@ def _result_to_arrays(result: AttackResult) -> Dict[str, np.ndarray]:
         if value is None:
             value = np.full(len(result), np.nan)
         arrays[field] = np.asarray(value)
+    for field in _DIAG_FIELDS:
+        value = getattr(result, field)
+        if value is not None:
+            arrays[field] = np.asarray(value)
     return arrays
 
 
 def _result_from_arrays(arrays: Dict[str, np.ndarray], name: str) -> AttackResult:
+    iterations = arrays.get("iterations")
+    converged = arrays.get("converged")
     return AttackResult(
         x_adv=arrays["x_adv"].astype(np.float32),
         success=arrays["success"].astype(bool),
@@ -57,6 +68,9 @@ def _result_from_arrays(arrays: Dict[str, np.ndarray], name: str) -> AttackResul
         l0=arrays["l0"], l1=arrays["l1"], l2=arrays["l2"], linf=arrays["linf"],
         const=arrays["const"],
         name=name,
+        iterations=None if iterations is None else iterations.astype(np.int64),
+        converged=None if converged is None else converged.astype(bool),
+        final_const=arrays.get("final_const"),
     )
 
 
@@ -65,13 +79,20 @@ class ExperimentContext:
 
     def __init__(self, dataset: str, profile: Optional[ExperimentProfile] = None,
                  cache: Optional[DiskCache] = None, seed: int = 0, *,
-                 jobs: int = 1, retry_policy=None, fault_plan=None):
+                 jobs: int = 1, retry_policy=None, fault_plan=None,
+                 batch_mode: str = "batched"):
         if dataset not in ("digits", "objects"):
             raise KeyError(f"dataset must be 'digits' or 'objects', got {dataset!r}")
         self.dataset = dataset
         self.profile = profile or current_profile()
         self.cache = cache if cache is not None else default_cache()
         self.seed = int(seed)
+        #: Engine mode handed to the optimization attacks
+        #: (:data:`repro.attacks.batch.BATCH_MODES`).  Like ``jobs``, an
+        #: execution hint: ``per_example`` is the slow reference engine
+        #: and produces equivalent results, so it is not part of the
+        #: attack cache key.
+        self.batch_mode = resolve_batch_mode(batch_mode)
         #: Worker processes the sweep helpers may fan attack cells out to
         #: (1 = serial).  An execution hint only: results are identical
         #: for any value.
@@ -197,7 +218,8 @@ class ExperimentContext:
         def run():
             x0, y0 = self.attack_seeds()
             attack = CarliniWagnerL2.from_profile(
-                self.classifier, self.profile, kappa=kappa)
+                self.classifier, self.profile, kappa=kappa,
+                batch_mode=self.batch_mode)
             return attack.attack(x0, y0)
 
         return self._cached_attack(self._cw_spec(kappa),
@@ -230,7 +252,8 @@ class ExperimentContext:
                          beta, kappa, self.dataset, self.profile.name)
                 x0, y0 = self.attack_seeds()
                 attack = EAD.from_profile(self.classifier, self.profile,
-                                          beta=beta, kappa=kappa)
+                                          beta=beta, kappa=kappa,
+                                          batch_mode=self.batch_mode)
                 both = attack.attack_both(x0, y0)
                 for rule in DECISION_RULES:
                     spec = self._ead_spec(beta, kappa, rule)

@@ -174,18 +174,23 @@ def _save_manifest(ctx: ExperimentContext, key: str, manifest: Dict) -> None:
 def _craft_cell(payload) -> Dict[str, Dict]:
     """Worker body: craft one attack cell against a pickled classifier.
 
+    Each cell is one *batched* attack run — the whole seed batch
+    advances through the masked batch engine in a single dispatch
+    stream per iteration (``batch_mode`` selects the engine; the
+    ``per_example`` reference mode exists for equivalence checks).
     Returns ``{slot: arrays}`` (slot ``"cw"`` or a decision rule) so the
     parent can publish under the context's cache keys; workers never
     touch the cache directly, which keeps cache-write ordering with the
     parent deterministic.
     """
-    classifier, profile, x0, y0, cell = payload
+    classifier, profile, x0, y0, cell, batch_mode = payload
     if cell["attack"] == "cw":
         attack = CarliniWagnerL2.from_profile(classifier, profile,
-                                              kappa=cell["kappa"])
+                                              kappa=cell["kappa"],
+                                              batch_mode=batch_mode)
         return {"cw": _result_to_arrays(attack.attack(x0, y0))}
     attack = EAD.from_profile(classifier, profile, beta=cell["beta"],
-                              kappa=cell["kappa"])
+                              kappa=cell["kappa"], batch_mode=batch_mode)
     both = attack.attack_both(x0, y0)
     return {rule: _result_to_arrays(both[rule]) for rule in DECISION_RULES}
 
@@ -261,11 +266,13 @@ def precompute_attacks(ctx: ExperimentContext, *,
         # worker-local state).
         classifier = ctx.classifier
         x0, y0 = ctx.attack_seeds()
+        batch_mode = getattr(ctx, "batch_mode", "batched")
         if fault_plan is not None:
             log.warning("sweep chaos mode: %s", fault_plan.describe())
-        log.info("precomputing %d attack cells on %s with %d workers",
-                 len(todo), ctx.dataset, jobs)
-        payloads = [(classifier, ctx.profile, x0, y0, cell) for cell in todo]
+        log.info("precomputing %d attack cells on %s with %d workers "
+                 "(%s engine)", len(todo), ctx.dataset, jobs, batch_mode)
+        payloads = [(classifier, ctx.profile, x0, y0, cell, batch_mode)
+                    for cell in todo]
 
         def publish(index: int, arrays_by_slot: Dict) -> None:
             """Publish one completed cell + checkpoint it, incrementally."""
@@ -310,7 +317,7 @@ def precompute_attacks(ctx: ExperimentContext, *,
             for cell in missing_cells(ctx, suspect, verify=True):
                 log.warning("healing unreadable cell %s", _cell_id(cell))
                 arrays_by_slot = _craft_cell(
-                    (classifier, ctx.profile, x0, y0, cell))
+                    (classifier, ctx.profile, x0, y0, cell, batch_mode))
                 keys = _cell_keys(ctx, cell)
                 for slot, arrays in arrays_by_slot.items():
                     ctx.cache.save("attacks", keys[slot], arrays,

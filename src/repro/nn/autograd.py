@@ -412,8 +412,9 @@ def minimum(a, b) -> Tensor:
 
 def relu(a) -> Tensor:
     a = as_tensor(a)
-    mask = (a.data > 0).astype(a.data.dtype)
-    return _make(a.data * mask, [(a, lambda g: g * mask)])
+    # Single-pass forward; the backward mask is recomputed lazily so
+    # forward-only passes never pay for it.
+    return _make(np.maximum(a.data, 0), [(a, lambda g: g * (a.data > 0))])
 
 
 def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:

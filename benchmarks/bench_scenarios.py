@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Benchmark the scenario subsystem: throughput and adaptive-attack gain.
+
+Runs a miniature threat-model grid (oblivious / graybox / BPDA /
+detector-aware EAD-L1 cells plus one corruption row) against a small
+calibrated MagNet pipeline and reports per-cell wall time, sweep
+throughput (cells/sec) and per-scenario attack success against the full
+defense.
+
+The acceptance record for the scenario subsystem lives here: the BPDA
+and detector-aware cells must achieve strictly higher attack success
+than the oblivious baseline on the same MagNet config, and the
+detector-aware objective must not be detected more often than BPDA's.
+
+* ``--quick`` — fewer seed examples (fast, for CI).
+* default — 16 seeds, closer to a real sweep cell.
+
+Results are written to ``BENCH_scenarios.json`` at the repo root.
+
+Usage:  PYTHONPATH=src python benchmarks/bench_scenarios.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Optimization budget of every adversarial cell.  Held fixed between
+#: quick and full mode so the recorded adaptive-gain acceptance result
+#: is comparable; ``--quick`` only trims the seed batch.
+ATTACK_PARAMS = dict(binary_search_steps=3, max_iterations=60,
+                     initial_const=1.0, lr=5e-2)
+
+#: Threat models benchmarked, weakest to strongest.
+THREAT_MODELS = ("oblivious", "graybox", "bpda", "detector_aware")
+
+
+def _setup(batch: int):
+    """Train the tiny defended pipeline and pick defended-correct seeds."""
+    import numpy as np
+
+    from repro.attacks import logits_of
+    from repro.datasets import load_digit_splits
+    from repro.defenses import (
+        JSDDetector,
+        MagNet,
+        ReconstructionDetector,
+        Reformer,
+    )
+    from repro.models import AutoencoderSpec, ClassifierSpec, ModelZoo
+    from repro.utils.cache import DiskCache
+
+    splits = load_digit_splits(n_train=700, n_val=150, n_test=300, seed=7)
+    with tempfile.TemporaryDirectory(prefix="bench_scenarios_") as tmp:
+        zoo = ModelZoo(splits, cache=DiskCache(tmp))
+        classifier = zoo.classifier(ClassifierSpec(dataset="digits", epochs=6))
+        autoencoder = zoo.autoencoder(
+            AutoencoderSpec(dataset="digits", kind="deep", width=3, epochs=25))
+
+    magnet = MagNet(
+        classifier,
+        [ReconstructionDetector(autoencoder, norm=1),
+         JSDDetector(autoencoder, classifier, temperature=10.0)],
+        Reformer(autoencoder))
+    magnet.calibrate(splits.val.x, fpr_total=0.1)
+
+    reformed = magnet.reformer.reform(splits.test.x)
+    preds = logits_of(magnet.classifier, reformed).argmax(1)
+    idx = np.flatnonzero(preds == splits.test.y)[:batch]
+    if idx.shape[0] < batch:
+        raise SystemExit(f"only {idx.shape[0]} defended-correct seeds "
+                         f"available, need {batch}")
+    return classifier, magnet, splits.test.x[idx], splits.test.y[idx]
+
+
+def _cells():
+    from repro.scenarios import Scenario
+
+    cells = [Scenario.create("digits", "default", tm, "ead_l1")
+             for tm in THREAT_MODELS]
+    cells.append(Scenario.create("digits", "default", "corruption",
+                                 "gaussian_noise", workload="corruption",
+                                 severity=3))
+    return cells
+
+
+def _run_cell(scenario, classifier, magnet, x0, y0):
+    from repro.scenarios import execute_scenario
+
+    params = None if scenario.workload == "corruption" else ATTACK_PARAMS
+    t0 = time.perf_counter()
+    outcome = execute_scenario(scenario, classifier=classifier, magnet=magnet,
+                               x0=x0, y0=y0, seed=3, attack_params=params)
+    wall_s = time.perf_counter() - t0
+    return outcome, wall_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer seed examples (fast, for CI)")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="seed batch size (default: 8 quick, 16 full)")
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "BENCH_scenarios.json"))
+    args = parser.parse_args(argv)
+
+    batch = args.batch or (8 if args.quick else 16)
+    print(f"[bench_scenarios] training defended pipeline, batch={batch}",
+          flush=True)
+    classifier, magnet, x0, y0 = _setup(batch)
+
+    scenarios = {}
+    total_wall = 0.0
+    for scenario in _cells():
+        print(f"[bench_scenarios] {scenario.scenario_id} ...", flush=True)
+        outcome, wall_s = _run_cell(scenario, classifier, magnet, x0, y0)
+        total_wall += wall_s
+        key = scenario.threat_model
+        scenarios[key] = {
+            "scenario": scenario.scenario_id,
+            "wall_s": round(wall_s, 3),
+            "attack_success_rate": round(outcome.attack_success_rate, 3),
+            "misclassification_rate": round(
+                outcome.misclassification_rate, 3),
+            "detection_rate": round(outcome.detection_rate, 3),
+            "detection_bypass_rate": round(outcome.detection_bypass_rate, 3),
+            "craft_success_rate": (None if outcome.craft_success_rate !=
+                                   outcome.craft_success_rate else
+                                   round(outcome.craft_success_rate, 3)),
+        }
+        print(f"[bench_scenarios]   {wall_s:.2f}s, "
+              f"asr={outcome.attack_success_rate:.3f}, "
+              f"bypass={outcome.detection_bypass_rate:.3f}", flush=True)
+
+    obl = scenarios["oblivious"]
+    bpda = scenarios["bpda"]
+    aware = scenarios["detector_aware"]
+    result = {
+        "benchmark": "scenario grid: oblivious vs adaptive threat models",
+        "mode": "quick" if args.quick else "full",
+        "batch": batch,
+        **ATTACK_PARAMS,
+        "cells": len(scenarios),
+        "total_wall_s": round(total_wall, 3),
+        "cells_per_s": round(len(scenarios) / max(total_wall, 1e-9), 4),
+        "scenarios": scenarios,
+        "adaptive_gain": {
+            "bpda_over_oblivious": round(
+                bpda["attack_success_rate"] - obl["attack_success_rate"], 3),
+            "detector_aware_over_oblivious": round(
+                aware["attack_success_rate"] - obl["attack_success_rate"], 3),
+        },
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+
+    failures = []
+    if bpda["attack_success_rate"] <= obl["attack_success_rate"]:
+        failures.append(
+            f"bpda asr {bpda['attack_success_rate']} not strictly above "
+            f"oblivious {obl['attack_success_rate']}")
+    if aware["attack_success_rate"] <= obl["attack_success_rate"]:
+        failures.append(
+            f"detector_aware asr {aware['attack_success_rate']} not "
+            f"strictly above oblivious {obl['attack_success_rate']}")
+    if aware["detection_rate"] > bpda["detection_rate"]:
+        failures.append(
+            f"detector_aware detection {aware['detection_rate']} above "
+            f"bpda {bpda['detection_rate']} — detector-aware objective "
+            "not suppressing detections")
+    for failure in failures:
+        print(f"[bench_scenarios] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

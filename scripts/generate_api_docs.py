@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.attacks",
     "repro.evaluation",
     "repro.experiments",
+    "repro.scenarios",
     "repro.runtime",
     "repro.obs",
     "repro.serving",

@@ -8,6 +8,16 @@ engine in :mod:`repro.attacks.batch`; single-example calls go through
 the deprecated :meth:`Attack.attack_one` shim.
 """
 
+from repro.attacks.adaptive import (
+    BPDAReformedModel,
+    DetectorAwareCW,
+    DetectorAwareEAD,
+    DetectorMarginPenalty,
+    bpda_model,
+    detector_aware_attack,
+    detector_score_graph,
+    straight_through,
+)
 from repro.attacks.base import (
     Attack,
     AttackResult,
@@ -44,10 +54,14 @@ __all__ = [
     "AttackResult",
     "AveragedModel",
     "BATCH_MODES",
+    "BPDAReformedModel",
     "BatchLoopMixin",
     "CarliniWagnerL2",
     "DECISION_RULES",
     "DeepFool",
+    "DetectorAwareCW",
+    "DetectorAwareEAD",
+    "DetectorMarginPenalty",
     "EAD",
     "FGSM",
     "IterativeFGSM",
@@ -59,12 +73,16 @@ __all__ = [
     "ReformedModel",
     "ZOO",
     "attack_margin",
+    "bpda_model",
     "class_logit_grads",
     "concat_results",
     "cross_entropy_grad",
+    "detector_aware_attack",
+    "detector_score_graph",
     "flat_norms",
     "frozen_parameters",
     "graybox_model",
+    "straight_through",
     "is_successful",
     "logits_of",
     "margin_loss_and_grad",

@@ -27,9 +27,11 @@ Two engine modes exist behind the same API (``batch_mode=``):
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
+
+from repro.attacks.gradients import margin_loss_and_grad, margin_only
 
 #: Engine modes accepted by the optimization attacks' ``batch_mode=``.
 BATCH_MODES = ("batched", "per_example")
@@ -128,6 +130,33 @@ class BatchLoopMixin:
 
     def _set_batch_mode(self, batch_mode: str) -> None:
         self.batch_mode = resolve_batch_mode(batch_mode)
+
+    # ------------------------------------------------------------------
+    # Attack-objective hooks
+    # ------------------------------------------------------------------
+    # The optimize loops never call the margin helpers directly; they go
+    # through these two hooks so adaptive variants (e.g. the
+    # detector-aware attacks in :mod:`repro.attacks.adaptive`) can fold
+    # extra differentiable terms into the objective — and into the
+    # success test — without re-implementing the masked engine.  Both
+    # assume the mixing class carries ``model`` / ``kappa`` /
+    # ``targeted``, which every optimization attack does.
+
+    def _attack_loss_and_grad(self, x: np.ndarray, labels: np.ndarray
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Attack loss f, its input gradient, and the logits (hook).
+
+        Default: the confidence-κ hinge on the logits (paper eqs.
+        (2)/(3)).  Overrides must keep the contract that ``f <= -kappa``
+        iff the example counts as successful for this objective.
+        """
+        return margin_loss_and_grad(self.model, x, labels, self.kappa,
+                                    targeted=self.targeted)
+
+    def _attack_loss(self, x: np.ndarray, labels: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Loss values only, no graph (per-iterate success tests; hook)."""
+        return margin_only(self.model, x, labels, self.kappa, self.targeted)
 
     @property
     def _use_lanewise(self) -> bool:

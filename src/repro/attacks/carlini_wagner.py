@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackResult, concat_results
 from repro.attacks.batch import BatchLoopMixin, MaskedLanes
-from repro.attacks.gradients import margin_loss_and_grad
 from repro.nn.layers import Module
 from repro.obs import counter, histogram, span
 from repro.utils.logging import get_logger
@@ -192,8 +191,7 @@ class CarliniWagnerL2(BatchLoopMixin, Attack):
             tanh_w = np.tanh(w[sub])
             x = ((tanh_w + 1.0) * 0.5).astype(np.float32)
             x0_a = x0[sub]
-            f_vals, grad_f, _ = margin_loss_and_grad(
-                self.model, x, labels[sub], self.kappa, targeted=self.targeted)
+            f_vals, grad_f, _ = self._attack_loss_and_grad(x, labels[sub])
             lanes.tick(dispatches=1)
             iters.inc(n_active)
 

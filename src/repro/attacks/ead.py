@@ -37,7 +37,6 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackResult, concat_results
 from repro.attacks.batch import BatchLoopMixin, MaskedLanes
-from repro.attacks.gradients import margin_loss_and_grad, margin_only
 from repro.nn.layers import Module
 from repro.obs import counter, histogram, span
 from repro.utils.logging import get_logger
@@ -247,8 +246,7 @@ class EAD(BatchLoopMixin, Attack):
             lr_it = self.lr * np.sqrt(max(1.0 - it / self.max_iterations, 0.0))
 
             x0_a, lab_a = x0[sub], labels[sub]
-            f_vals, grad_f, _ = margin_loss_and_grad(
-                self.model, y[sub], lab_a, self.kappa, targeted=self.targeted)
+            f_vals, grad_f, _ = self._attack_loss_and_grad(y[sub], lab_a)
             grad_g = (const_f32[sub][:, None, None, None] * grad_f
                       + 2.0 * (y[sub] - x0_a))
             z = y[sub] - lr_it * grad_g
@@ -262,8 +260,7 @@ class EAD(BatchLoopMixin, Attack):
             x[sub] = x_new
 
             # Evaluate the *iterate* (not the slack) for success/selection.
-            f_iter, _ = margin_only(
-                self.model, x_new, lab_a, self.kappa, self.targeted)
+            f_iter, _ = self._attack_loss(x_new, lab_a)
             lanes.tick(dispatches=2)
             iters.inc(n_active)
 

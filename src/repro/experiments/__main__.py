@@ -6,9 +6,21 @@ Usage::
     python -m repro.experiments run table1             # run one reproduction
     python -m repro.experiments run all --jobs 4       # everything, 4 workers
     python -m repro.experiments run fig2 --profile smoke --seed 1
+    python -m repro.experiments scenarios list         # threat-model grid
+    python -m repro.experiments scenarios run --threat-model bpda --resume
     python -m repro.experiments timings                # per-stage wall-clock
     python -m repro.experiments trace                  # span-tree report
     python -m repro.experiments serve --port 8080      # online inference
+
+``scenarios`` drives the :mod:`repro.scenarios` registry — the
+threat-model × attack × defense grid around the defended MagNet
+pipeline (oblivious / transfer / gray-box / BPDA / detector-aware,
+plus non-adversarial corruption rows).  ``scenarios list`` enumerates
+the registry (axis filters: ``--dataset``, ``--variant``,
+``--threat-model``, ``--attack``, ``--workload``); ``scenarios run``
+executes the selected cells through the checkpointed parallel sweep
+runner and prints the per-cell table plus the adaptive-vs-oblivious
+gain summary.
 
 ``serve`` starts the micro-batching HTTP inference service over the
 defended pipeline (``repro.serving``): concurrent ``POST /predict``
@@ -66,7 +78,7 @@ from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
 
-_COMMANDS = ("run", "list", "timings", "trace", "serve")
+_COMMANDS = ("run", "list", "timings", "trace", "serve", "scenarios")
 
 _DEFAULT_TELEMETRY_NAME = "telemetry.jsonl"
 
@@ -149,6 +161,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show experiment ids",
                    description="List every experiment id with a description.")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="enumerate or run the threat-model scenario grid",
+        description="Drive the repro.scenarios registry: the threat-model "
+                    "× attack × defense grid against the defended MagNet "
+                    "pipeline.")
+    scen_sub = scenarios.add_subparsers(dest="scenario_command")
+
+    def _axis_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", action="append", metavar="NAME",
+                       help="restrict to a dataset (repeatable)")
+        p.add_argument("--variant", action="append", metavar="NAME",
+                       help="restrict to a MagNet defense variant "
+                            "(repeatable)")
+        p.add_argument("--threat-model", action="append", metavar="NAME",
+                       help="restrict to a threat model (oblivious, "
+                            "transfer, graybox, bpda, detector_aware, "
+                            "corruption; repeatable)")
+        p.add_argument("--attack", action="append", metavar="NAME",
+                       help="restrict to an attack family or corruption "
+                            "(repeatable)")
+        p.add_argument("--workload", action="append",
+                       metavar="NAME",
+                       help="restrict to a workload (adversarial or "
+                            "corruption; repeatable)")
+
+    scen_list = scen_sub.add_parser(
+        "list", help="enumerate registered scenarios",
+        description="List scenario ids matching the axis filters, plus an "
+                    "axes summary.")
+    _axis_flags(scen_list)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="run the selected scenario cells",
+        description="Execute the selected cells through the checkpointed "
+                    "parallel sweep runner and print the per-cell report.")
+    _axis_flags(scen_run)
+    scen_run.add_argument("--profile", choices=sorted(PROFILES),
+                          help="scale profile (default: quick)")
+    scen_run.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                          help="worker processes (1 = serial, 0 = one per "
+                               "core; default 1)")
+    scen_run.add_argument("--resume", action="store_true",
+                          help="continue an interrupted sweep from its "
+                               "checkpoint manifest (load-verify cached "
+                               "cells, recompute missing/corrupt ones)")
+    scen_run.add_argument("--timeout", type=float, default=None, metavar="S",
+                          help="per-cell timeout in seconds (default: none)")
+    scen_run.add_argument("--retries", type=int, default=None, metavar="N",
+                          help="retry budget per cell (default 2)")
+    scen_run.add_argument("--cache-dir", metavar="DIR",
+                          help="artifact cache root (default: .repro_cache)")
+    scen_run.add_argument("--seed", type=int, default=0,
+                          help="root sweep seed (default 0)")
+    scen_run.add_argument("--telemetry", metavar="PATH",
+                          help="JSONL event log (default: "
+                               "<cache-dir>/telemetry.jsonl; 'off' "
+                               "disables)")
 
     serve = sub.add_parser(
         "serve", help="run the online MagNet inference service over HTTP",
@@ -351,6 +421,97 @@ def _cmd_list() -> int:
     return 0
 
 
+def _selected_scenarios(args: argparse.Namespace):
+    """Registry scenarios matching the CLI axis filters."""
+    from repro.scenarios import default_registry
+
+    def axis(values):
+        return tuple(values) if values else None
+
+    registry = default_registry()
+    return registry, registry.select(
+        dataset=axis(args.dataset),
+        defense_variant=axis(args.variant),
+        threat_model=axis(args.threat_model),
+        attack=axis(args.attack),
+        workload=axis(args.workload))
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    registry, selected = _selected_scenarios(args)
+    for scenario in selected:
+        print(scenario.scenario_id)
+    print()
+    print(f"{len(selected)} of {len(registry)} scenarios selected; axes:")
+    for axis, values in registry.axes().items():
+        print(f"  {axis:<16} {', '.join(values)}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.experiments.context import ExperimentContext
+    from repro.scenarios import (
+        adaptive_gain,
+        outcomes_table,
+        render_table,
+        run_scenarios,
+    )
+    from repro.scenarios.runner import SCENARIO_RETRY_POLICY
+
+    registry, selected = _selected_scenarios(args)
+    if not selected:
+        print("no scenarios match the given filters")
+        return 1
+
+    profile = _resolve_profile(args.profile)
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    configure_observability(_telemetry_path(args.telemetry, cache_dir))
+
+    policy = None
+    if args.timeout is not None or args.retries is not None:
+        policy = RetryPolicy(
+            timeout_s=args.timeout,
+            retries=(SCENARIO_RETRY_POLICY.retries if args.retries is None
+                     else args.retries),
+            backoff_s=SCENARIO_RETRY_POLICY.backoff_s)
+
+    cache = DiskCache(cache_dir)
+    cells = registry.expand(args.seed, scenarios=selected)
+    contexts = {
+        dataset: ExperimentContext(dataset, profile=profile, cache=cache,
+                                   seed=args.seed)
+        for dataset in sorted({c.scenario.dataset for c in cells})
+    }
+    log.info("running %d scenario cells (%s profile, %d dataset(s))",
+             len(cells), profile.name, len(contexts))
+    outcomes = run_scenarios(cells, contexts, jobs=args.jobs,
+                             resume=args.resume, policy=policy)
+
+    print(render_table(outcomes_table(outcomes)))
+    gains = adaptive_gain(outcomes)
+    if gains:
+        print()
+        print("adaptive gain over the oblivious baseline:")
+        print(render_table(gains, columns=(
+            "dataset", "defense_variant", "attack", "threat_model",
+            "baseline_asr", "adaptive_asr", "gain")))
+    missing = len(cells) - len(outcomes)
+    if missing:
+        print()
+        print(f"warning: {missing} cell(s) failed; rerun with --resume")
+        return 1
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        return _cmd_scenarios_list(args)
+    if args.scenario_command == "run":
+        return _cmd_scenarios_run(args)
+    print("usage: python -m repro.experiments scenarios {list,run} [...]")
+    return 2
+
+
 def _cmd_timings(args: argparse.Namespace) -> int:
     cache_dir = _resolve_cache_dir(args.cache_dir)
     path = _telemetry_path(args.telemetry, cache_dir)
@@ -384,6 +545,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     print(__doc__)
     return 0
 

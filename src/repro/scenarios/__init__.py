@@ -1,0 +1,61 @@
+"""Scenario registry: threat model × attack × defense × workload.
+
+The paper evaluates MagNet in a single setting — the oblivious threat
+model, where examples are crafted against the undefended classifier.
+This package turns that one setting into an *axis*: a declarative
+registry enumerates :class:`Scenario` cells over threat models
+(oblivious / transfer / gray-box / BPDA / detector-aware), attack
+families (EAD-L1, EAD-EN, C&W-L2), :mod:`repro.defenses.variants`
+MagNet configurations, datasets, and non-adversarial corruption
+workloads; the runner dispatches every cell through the
+:mod:`repro.runtime` executor with checkpoint/resume and scores it with
+the :mod:`repro.evaluation` protocol.
+
+One CLI call (``repro-experiments scenarios run``) therefore produces
+the oblivious-vs-adaptive attack-success comparison that frames the
+whole reproduction: the paper's L1 result holds in its threat model,
+and collapses under the adaptive attacks of
+:mod:`repro.attacks.adaptive`.
+"""
+
+from repro.scenarios.registry import (
+    ATTACK_FAMILIES,
+    THREAT_MODELS,
+    WORKLOADS,
+    Scenario,
+    ScenarioRegistry,
+    SweepCell,
+    default_registry,
+)
+from repro.scenarios.runner import (
+    ScenarioOutcome,
+    execute_scenario,
+    load_outcomes,
+    run_scenarios,
+    scenario_cell_key,
+)
+from repro.scenarios.report import (
+    adaptive_gain,
+    outcomes_table,
+    render_table,
+    success_by_threat_model,
+)
+
+__all__ = [
+    "ATTACK_FAMILIES",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioRegistry",
+    "SweepCell",
+    "THREAT_MODELS",
+    "WORKLOADS",
+    "adaptive_gain",
+    "default_registry",
+    "execute_scenario",
+    "load_outcomes",
+    "outcomes_table",
+    "render_table",
+    "run_scenarios",
+    "scenario_cell_key",
+    "success_by_threat_model",
+]

@@ -1,0 +1,274 @@
+"""Declarative scenario registry.
+
+A :class:`Scenario` is one evaluation cell: a threat model, an attack
+(or corruption) inside it, a :mod:`repro.defenses.variants` MagNet
+configuration, and a dataset.  The registry collects scenarios from
+eager :meth:`~ScenarioRegistry.add` calls and lazy
+:meth:`~ScenarioRegistry.generator` functions, enumerates them with
+axis filters, and expands them into seed-stable sweep cells: a cell's
+seed depends only on the root seed and the scenario's id, never on
+registration order or on which subset of the registry is selected — so
+a filtered run and a full run agree bitwise on their shared cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.datasets.corruptions import CORRUPTIONS
+from repro.utils.cache import stable_hash
+
+#: How much the attacker knows, orderered weakest to strongest; plus the
+#: non-adversarial corruption workload as its own row.
+THREAT_MODELS = ("oblivious", "transfer", "graybox", "bpda",
+                 "detector_aware", "corruption")
+
+#: Attack families available to the adversarial threat models.
+ATTACK_FAMILIES = ("ead_l1", "ead_en", "cw")
+
+WORKLOADS = ("adversarial", "corruption")
+
+_DATASETS = ("digits", "objects")
+
+ParamValue = float  # scenario params are numeric knobs (kappa, severity, ...)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Scenario:
+    """One evaluation cell of the threat-model × attack × defense grid.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs (hashable,
+    so scenarios can live in sets/dict keys); use
+    :meth:`Scenario.create` to pass them as keyword arguments.  For
+    ``workload="corruption"`` the ``attack`` field names the corruption
+    and ``params`` carries its ``severity``.
+    """
+
+    dataset: str
+    defense_variant: str
+    threat_model: str
+    attack: str
+    workload: str = "adversarial"
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self):
+        if self.dataset not in _DATASETS:
+            raise ValueError(
+                f"dataset must be one of {_DATASETS}, got {self.dataset!r}")
+        if self.threat_model not in THREAT_MODELS:
+            raise ValueError(
+                f"threat_model must be one of {THREAT_MODELS}, "
+                f"got {self.threat_model!r}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"workload must be one of {WORKLOADS}, got {self.workload!r}")
+        if (self.workload == "corruption") != (self.threat_model == "corruption"):
+            raise ValueError(
+                "corruption workload and corruption threat model imply each "
+                f"other; got workload={self.workload!r}, "
+                f"threat_model={self.threat_model!r}")
+        if self.workload == "corruption":
+            if self.attack not in CORRUPTIONS:
+                raise ValueError(
+                    f"unknown corruption {self.attack!r}; "
+                    f"available: {sorted(CORRUPTIONS)}")
+        elif self.attack not in ATTACK_FAMILIES:
+            raise ValueError(
+                f"attack must be one of {ATTACK_FAMILIES}, got {self.attack!r}")
+
+    @classmethod
+    def create(cls, dataset: str, defense_variant: str, threat_model: str,
+               attack: str, workload: str = "adversarial",
+               **params: ParamValue) -> "Scenario":
+        """Build a scenario with params as keyword arguments."""
+        return cls(dataset=dataset, defense_variant=defense_variant,
+                   threat_model=threat_model, attack=attack,
+                   workload=workload,
+                   params=tuple(sorted(params.items())))
+
+    @property
+    def params_dict(self) -> Dict[str, ParamValue]:
+        return dict(self.params)
+
+    @property
+    def scenario_id(self) -> str:
+        """Canonical id: every axis plus the sorted params.
+
+        Doubles as the human-readable row key in manifests and reports,
+        e.g. ``digits/jsd/detector_aware/ead_l1;kappa=1``.
+        """
+        base = (f"{self.dataset}/{self.defense_variant}/"
+                f"{self.threat_model}/{self.attack}")
+        if not self.params:
+            return base
+        parts = ",".join(f"{k}={v:g}" for k, v in self.params)
+        return f"{base};{parts}"
+
+    def __str__(self) -> str:
+        return self.scenario_id
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SweepCell:
+    """A scenario bound to its derived per-cell seed (ready to run)."""
+
+    scenario: Scenario
+    seed: int
+
+
+def _derive_seed(root_seed: int, scenario: Scenario) -> int:
+    """Per-cell seed from (root seed, scenario id) only.
+
+    Hash-derived rather than positional so the seed survives registry
+    growth, reordering and axis filtering — the invariant behind the
+    bitwise-reproducible ``--resume`` contract.
+    """
+    digest = stable_hash({"root": int(root_seed),
+                          "scenario": scenario.scenario_id})
+    return int(digest, 16) % (2 ** 31)
+
+
+class ScenarioRegistry:
+    """A collection of scenarios with filterable enumeration.
+
+    Scenarios arrive eagerly via :meth:`add` or lazily via
+    :meth:`generator`-decorated functions (materialized once, on first
+    enumeration).  Ids must be unique: registering the same id twice is
+    idempotent for an identical scenario and an error otherwise.
+    """
+
+    def __init__(self):
+        self._scenarios: Dict[str, Scenario] = {}
+        self._generators: List[Callable[[], Iterable[Scenario]]] = []
+        self._pending = 0
+
+    def add(self, scenario: Scenario) -> Scenario:
+        sid = scenario.scenario_id
+        existing = self._scenarios.get(sid)
+        if existing is not None and existing != scenario:
+            raise ValueError(f"scenario id collision for {sid!r}")
+        self._scenarios[sid] = scenario
+        return scenario
+
+    def generator(self, fn: Callable[[], Iterable[Scenario]]
+                  ) -> Callable[[], Iterable[Scenario]]:
+        """Register a function yielding scenarios (evaluated lazily)."""
+        self._generators.append(fn)
+        self._pending += 1
+        return fn
+
+    def _materialize(self) -> None:
+        while self._pending:
+            fn = self._generators[len(self._generators) - self._pending]
+            self._pending -= 1
+            for scenario in fn():
+                self.add(scenario)
+
+    def __len__(self) -> int:
+        self._materialize()
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.list())
+
+    def list(self) -> List[Scenario]:
+        """All scenarios, sorted by id (registration order is irrelevant)."""
+        self._materialize()
+        return [self._scenarios[sid] for sid in sorted(self._scenarios)]
+
+    def get(self, scenario_id: str) -> Scenario:
+        self._materialize()
+        try:
+            return self._scenarios[scenario_id]
+        except KeyError:
+            raise KeyError(f"no scenario registered as {scenario_id!r}") from None
+
+    def select(self, *, dataset: Optional[object] = None,
+               defense_variant: Optional[object] = None,
+               threat_model: Optional[object] = None,
+               attack: Optional[object] = None,
+               workload: Optional[object] = None) -> List[Scenario]:
+        """Scenarios matching every given axis filter.
+
+        Each filter accepts a single value or an iterable of allowed
+        values; omitted axes match everything.
+        """
+        filters = {"dataset": dataset, "defense_variant": defense_variant,
+                   "threat_model": threat_model, "attack": attack,
+                   "workload": workload}
+
+        def allowed(axis: str, value: str) -> bool:
+            wanted = filters[axis]
+            if wanted is None:
+                return True
+            if isinstance(wanted, str):
+                return value == wanted
+            return value in set(wanted)
+
+        return [s for s in self.list()
+                if all(allowed(axis, getattr(s, axis)) for axis in filters)]
+
+    def expand(self, root_seed: int = 0, scenarios:
+               Optional[Iterable[Scenario]] = None) -> List[SweepCell]:
+        """Bind scenarios (default: all) to seed-stable sweep cells."""
+        pool = self.list() if scenarios is None else sorted(
+            scenarios, key=lambda s: s.scenario_id)
+        return [SweepCell(scenario=s, seed=_derive_seed(root_seed, s))
+                for s in pool]
+
+    def axes(self) -> Dict[str, List[str]]:
+        """Distinct values present per axis (for ``scenarios list``)."""
+        out: Dict[str, List[str]] = {}
+        for axis in ("dataset", "defense_variant", "threat_model",
+                     "attack", "workload"):
+            out[axis] = sorted({getattr(s, axis) for s in self.list()})
+        return out
+
+
+# ----------------------------------------------------------------------
+# The standard registry
+# ----------------------------------------------------------------------
+#: Adversarial threat models of the standard grid (weakest → strongest).
+_ADVERSARIAL_MODELS = ("oblivious", "transfer", "graybox", "bpda",
+                       "detector_aware")
+
+#: Attack families enumerated per threat model: the paper's L1 attack
+#: and the C&W-L2 baseline it is compared against.
+_STANDARD_FAMILIES = ("ead_l1", "cw")
+
+#: Corruption severities sampled for the non-adversarial rows.
+_CORRUPTION_SEVERITIES = (1, 3, 5)
+
+
+def default_registry() -> ScenarioRegistry:
+    """The standard grid: 30 adversarial cells + 18 corruption rows.
+
+    * digits × {default, jsd} × five threat models × {EAD-L1, C&W};
+    * objects × {default} × five threat models × {EAD-L1, C&W};
+    * digits × {default} × every corruption × severities 1/3/5.
+
+    Built fresh per call so callers can extend their copy without
+    mutating a module-global.
+    """
+    registry = ScenarioRegistry()
+
+    @registry.generator
+    def adversarial() -> Iterator[Scenario]:
+        grids = (("digits", ("default", "jsd")),
+                 ("objects", ("default",)))
+        for dataset, variants in grids:
+            for variant in variants:
+                for model in _ADVERSARIAL_MODELS:
+                    for family in _STANDARD_FAMILIES:
+                        yield Scenario.create(dataset, variant, model, family)
+
+    @registry.generator
+    def corruptions() -> Iterator[Scenario]:
+        for name in sorted(CORRUPTIONS):
+            for severity in _CORRUPTION_SEVERITIES:
+                yield Scenario.create("digits", "default", "corruption",
+                                      name, workload="corruption",
+                                      severity=severity)
+
+    return registry

@@ -1,0 +1,108 @@
+"""Aggregate scenario outcomes into comparison tables.
+
+The headline artifact is the oblivious-vs-adaptive comparison: the
+paper's threat model next to transfer / gray-box / BPDA /
+detector-aware columns for the same attack family and defense variant,
+plus the non-adversarial corruption rows as context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.scenarios.runner import ScenarioOutcome
+
+#: Column order of the per-cell report table.
+TABLE_COLUMNS = ("scenario", "threat_model", "attack", "asr",
+                 "misclassified", "bypass", "craft", "l1", "l2")
+
+
+def outcomes_table(outcomes: Mapping[str, ScenarioOutcome]) -> List[Dict]:
+    """Flat per-cell rows (sorted by scenario id) for tables/JSON."""
+    rows = []
+    for sid in sorted(outcomes):
+        o = outcomes[sid]
+        rows.append({
+            "scenario": sid,
+            "dataset": o.dataset,
+            "defense_variant": o.defense_variant,
+            "threat_model": o.threat_model,
+            "attack": o.attack,
+            "workload": o.workload,
+            "asr": o.attack_success_rate,
+            "misclassified": o.misclassification_rate,
+            "bypass": o.detection_bypass_rate,
+            "craft": o.craft_success_rate,
+            "l1": o.mean_l1,
+            "l2": o.mean_l2,
+        })
+    return rows
+
+
+def success_by_threat_model(outcomes: Mapping[str, ScenarioOutcome]
+                            ) -> Dict[str, float]:
+    """Mean full-defense ASR per threat model (adversarial cells only)."""
+    buckets: Dict[str, List[float]] = {}
+    for o in outcomes.values():
+        if o.workload != "adversarial":
+            continue
+        buckets.setdefault(o.threat_model, []).append(o.attack_success_rate)
+    return {tm: sum(vals) / len(vals) for tm, vals in sorted(buckets.items())}
+
+
+def adaptive_gain(outcomes: Mapping[str, ScenarioOutcome],
+                  baseline: str = "oblivious",
+                  adaptive: Sequence[str] = ("bpda", "detector_aware")
+                  ) -> List[Dict]:
+    """ASR gain of each adaptive threat model over the oblivious baseline.
+
+    Rows are grouped by (dataset, defense variant, attack family); a
+    group appears only when both the baseline and at least one adaptive
+    cell were run.
+    """
+    by_group: Dict[tuple, Dict[str, ScenarioOutcome]] = {}
+    for o in outcomes.values():
+        if o.workload != "adversarial":
+            continue
+        key = (o.dataset, o.defense_variant, o.attack)
+        by_group.setdefault(key, {})[o.threat_model] = o
+
+    rows = []
+    for (dataset, variant, attack), models in sorted(by_group.items()):
+        base = models.get(baseline)
+        if base is None:
+            continue
+        for tm in adaptive:
+            cell = models.get(tm)
+            if cell is None:
+                continue
+            rows.append({
+                "dataset": dataset,
+                "defense_variant": variant,
+                "attack": attack,
+                "threat_model": tm,
+                "baseline_asr": base.attack_success_rate,
+                "adaptive_asr": cell.attack_success_rate,
+                "gain": cell.attack_success_rate - base.attack_success_rate,
+            })
+    return rows
+
+
+def render_table(rows: Iterable[Mapping], columns: Sequence[str] = TABLE_COLUMNS
+                 ) -> str:
+    """Fixed-width text table of selected columns (CLI output)."""
+    rows = list(rows)
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return "nan" if value != value else f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max([len(col)] + [len(line[i]) for line in cells])
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = ["  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+            for line in cells]
+    return "\n".join([header, rule] + body)

@@ -7,6 +7,8 @@ the optimization attacks expose per-lane diagnostics wired into the
 ``attack/iterations`` metric.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -103,6 +105,21 @@ class TestSingleExampleFastPath:
                                        int(tiny_splits.test.y[0]))
         assert len(result) == 1
         assert result.x_adv.shape == (1, 1, 28, 28)
+
+    def test_attack_one_warning_points_at_caller(self, tiny_classifier,
+                                                 tiny_splits):
+        """The shim warns with ``stacklevel=2``: the reported location is
+        the call site, not ``repro/attacks/base.py`` — so downstream
+        users see *their* file in the deprecation notice."""
+        attack = FGSM(tiny_classifier, epsilon=0.1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            attack.attack_one(tiny_splits.test.x[0],
+                              int(tiny_splits.test.y[0]))
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
 
     def test_attack_one_accepts_chw_and_nchw(self, tiny_classifier,
                                              tiny_splits):

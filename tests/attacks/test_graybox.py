@@ -7,6 +7,8 @@ from repro.attacks import CarliniWagnerL2, ReformedModel, graybox_model, logits_
 from repro.attacks.graybox import AveragedModel
 from repro.defenses import MagNet, ReconstructionDetector, Reformer
 from repro.nn import Tensor
+from repro.nn.gradcheck import check_gradients
+from repro.nn.layers import Dense, Sequential, Sigmoid, Tanh
 
 
 @pytest.fixture(scope="module")
@@ -63,6 +65,41 @@ class TestAveragedModel:
         with pytest.raises(ValueError):
             AveragedModel(tiny_autoencoder, tiny_classifier,
                           weight_reformed=1.5)
+
+
+class TestGrayboxGradients:
+    """Finite-difference checks of the surrogate models' input gradients.
+
+    Uses tiny smooth Dense+Tanh stand-ins rather than the session
+    fixtures: central differences need smooth ops (no ReLU kinks) and
+    few enough elements to stay fast.
+    """
+
+    def _models(self):
+        rng = np.random.default_rng(5)
+        autoencoder = Sequential(Dense(6, 5, rng=rng), Tanh(),
+                                 Dense(5, 6, rng=rng), Sigmoid())
+        classifier = Sequential(Dense(6, 4, rng=rng), Tanh(),
+                                Dense(4, 3, rng=rng))
+        return autoencoder, classifier
+
+    def _x(self):
+        return np.random.default_rng(11).uniform(0.2, 0.8, size=(3, 6))
+
+    def test_reformed_model_gradcheck(self):
+        autoencoder, classifier = self._models()
+        model = ReformedModel(autoencoder, classifier)
+        check_gradients(model, self._x())
+
+    @pytest.mark.parametrize("weight", [0.0, 0.5, 1.0])
+    def test_averaged_model_gradcheck(self, weight):
+        """Both blend extremes and the midpoint have exact input VJPs —
+        at 0.0 no gradient may leak through the autoencoder branch, at
+        1.0 none through the raw branch."""
+        autoencoder, classifier = self._models()
+        model = AveragedModel(autoencoder, classifier,
+                              weight_reformed=weight)
+        check_gradients(model, self._x())
 
 
 class TestGrayboxFactory:

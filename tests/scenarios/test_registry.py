@@ -1,0 +1,166 @@
+"""Tests for the declarative scenario registry."""
+
+import pytest
+
+from repro.datasets.corruptions import CORRUPTIONS
+from repro.scenarios import (
+    Scenario,
+    ScenarioRegistry,
+    SweepCell,
+    THREAT_MODELS,
+    default_registry,
+)
+
+
+class TestScenario:
+    def test_id_scheme(self):
+        s = Scenario.create("digits", "jsd", "detector_aware", "ead_l1",
+                            kappa=1.0)
+        assert s.scenario_id == "digits/jsd/detector_aware/ead_l1;kappa=1"
+        assert str(s) == s.scenario_id
+        assert s.params_dict == {"kappa": 1.0}
+
+    def test_id_without_params(self):
+        s = Scenario.create("digits", "default", "oblivious", "cw")
+        assert s.scenario_id == "digits/default/oblivious/cw"
+
+    def test_params_sorted_and_hashable(self):
+        a = Scenario.create("digits", "default", "bpda", "cw",
+                            kappa=1.0, beta=0.1)
+        b = Scenario.create("digits", "default", "bpda", "cw",
+                            beta=0.1, kappa=1.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario.create("imagenet", "default", "oblivious", "cw")
+        with pytest.raises(ValueError):
+            Scenario.create("digits", "default", "whitebox", "cw")
+        with pytest.raises(ValueError):
+            Scenario.create("digits", "default", "oblivious", "pgd")
+        # Corruption workload and threat model must agree.
+        with pytest.raises(ValueError):
+            Scenario.create("digits", "default", "oblivious",
+                            "gaussian_noise", workload="corruption")
+        with pytest.raises(ValueError):
+            Scenario.create("digits", "default", "corruption",
+                            "gaussian_noise")
+        with pytest.raises(ValueError):
+            Scenario.create("digits", "default", "corruption",
+                            "not_a_corruption", workload="corruption")
+
+
+class TestRegistry:
+    def _scenario(self, attack="cw", threat="oblivious"):
+        return Scenario.create("digits", "default", threat, attack)
+
+    def test_add_and_get(self):
+        reg = ScenarioRegistry()
+        s = reg.add(self._scenario())
+        assert reg.get(s.scenario_id) is s
+        with pytest.raises(KeyError):
+            reg.get("digits/default/bpda/cw")
+
+    def test_add_idempotent_but_collision_rejected(self):
+        reg = ScenarioRegistry()
+        reg.add(self._scenario())
+        reg.add(self._scenario())  # identical: fine
+        assert len(reg) == 1
+
+    def test_generator_lazy_and_materialized_once(self):
+        reg = ScenarioRegistry()
+        calls = []
+
+        @reg.generator
+        def gen():
+            calls.append(1)
+            yield Scenario.create("digits", "default", "bpda", "cw")
+
+        assert calls == []          # nothing ran yet
+        assert len(reg) == 1
+        assert len(reg.list()) == 1
+        assert calls == [1]         # ran exactly once
+
+    def test_list_sorted_by_id(self):
+        reg = ScenarioRegistry()
+        reg.add(self._scenario(threat="transfer"))
+        reg.add(self._scenario(threat="bpda"))
+        ids = [s.scenario_id for s in reg.list()]
+        assert ids == sorted(ids)
+
+    def test_select_scalar_and_iterable(self):
+        reg = default_registry()
+        digits = reg.select(dataset="digits")
+        assert digits and all(s.dataset == "digits" for s in digits)
+        adaptive = reg.select(threat_model=("bpda", "detector_aware"))
+        assert adaptive
+        assert {s.threat_model for s in adaptive} == {"bpda",
+                                                      "detector_aware"}
+        nothing = reg.select(dataset="objects", workload="corruption")
+        assert nothing == []
+
+    def test_iteration(self):
+        reg = default_registry()
+        assert list(reg) == reg.list()
+
+
+class TestExpansion:
+    def test_cells_cover_registry(self):
+        reg = default_registry()
+        cells = reg.expand(root_seed=0)
+        assert len(cells) == len(reg)
+        assert all(isinstance(c, SweepCell) for c in cells)
+
+    def test_seed_stability_under_filtering(self):
+        """A cell's seed must not depend on which subset is expanded."""
+        reg = default_registry()
+        full = {c.scenario.scenario_id: c.seed for c in reg.expand(7)}
+        subset = reg.expand(7, scenarios=reg.select(threat_model="bpda"))
+        assert subset
+        for cell in subset:
+            assert cell.seed == full[cell.scenario.scenario_id]
+
+    def test_seed_stability_under_registration_order(self):
+        a, b = ScenarioRegistry(), ScenarioRegistry()
+        s1 = Scenario.create("digits", "default", "bpda", "cw")
+        s2 = Scenario.create("digits", "default", "oblivious", "ead_l1")
+        a.add(s1), a.add(s2)
+        b.add(s2), b.add(s1)
+        assert a.expand(3) == b.expand(3)
+
+    def test_root_seed_changes_cell_seeds(self):
+        reg = default_registry()
+        seeds0 = [c.seed for c in reg.expand(0)]
+        seeds1 = [c.seed for c in reg.expand(1)]
+        assert seeds0 != seeds1
+
+
+class TestDefaultRegistry:
+    def test_at_least_24_distinct_cells(self):
+        reg = default_registry()
+        ids = {s.scenario_id for s in reg.list()}
+        assert len(ids) >= 24
+
+    def test_covers_every_adversarial_threat_model(self):
+        reg = default_registry()
+        present = {s.threat_model for s in reg.list()}
+        assert present == set(THREAT_MODELS)
+
+    def test_corruption_rows_present(self):
+        reg = default_registry()
+        rows = reg.select(workload="corruption")
+        assert {s.attack for s in rows} == set(CORRUPTIONS)
+        severities = {s.params_dict["severity"] for s in rows}
+        assert severities == {1, 3, 5}
+
+    def test_fresh_copy_per_call(self):
+        a, b = default_registry(), default_registry()
+        a.add(Scenario.create("digits", "wide", "bpda", "cw"))
+        assert len(a) == len(b) + 1
+
+    def test_axes_summary(self):
+        axes = default_registry().axes()
+        assert axes["dataset"] == ["digits", "objects"]
+        assert "detector_aware" in axes["threat_model"]
+        assert "adversarial" in axes["workload"]

@@ -332,3 +332,64 @@ class TestServeCLI:
         with pytest.raises(ValueError):
             ServingConfig(request_timeout_s=0)
         assert ServingConfig(max_wait_ms=0).max_wait_s == 0.0
+
+
+class TestScenariosCLI:
+    """The scenarios subcommand: enumeration and run-flag parsing."""
+
+    def _parser(self):
+        from repro.experiments.__main__ import build_parser
+
+        return build_parser()
+
+    def test_scenarios_list_enumerates_registry(self, capsys):
+        assert cli_main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "digits/default/oblivious/ead_l1" in out
+        assert "digits/jsd/detector_aware/cw" in out
+        assert "gaussian_noise" in out  # corruption rows present
+        assert "48 of 48 scenarios selected" in out
+
+    def test_scenarios_list_axis_filters(self, capsys):
+        assert cli_main(["scenarios", "list",
+                         "--threat-model", "bpda",
+                         "--dataset", "digits"]) == 0
+        out = capsys.readouterr().out
+        ids = [line for line in out.splitlines() if "/" in line]
+        assert ids
+        assert all(line.startswith("digits/") and "/bpda/" in line
+                   for line in ids)
+
+    def test_scenarios_list_repeatable_filters(self, capsys):
+        assert cli_main(["scenarios", "list",
+                         "--threat-model", "oblivious",
+                         "--threat-model", "detector_aware"]) == 0
+        out = capsys.readouterr().out
+        assert "/oblivious/" in out and "/detector_aware/" in out
+        assert "/bpda/" not in out
+
+    def test_scenarios_run_flags_parse(self):
+        args = self._parser().parse_args(
+            ["scenarios", "run", "--threat-model", "bpda",
+             "--profile", "smoke", "--jobs", "2", "--resume",
+             "--timeout", "60", "--retries", "1",
+             "--cache-dir", "/tmp/cache", "--seed", "3"])
+        assert args.command == "scenarios"
+        assert args.scenario_command == "run"
+        assert args.threat_model == ["bpda"]
+        assert args.profile == "smoke"
+        assert args.jobs == 2
+        assert args.resume is True
+        assert args.timeout == 60.0
+        assert args.retries == 1
+        assert args.seed == 3
+
+    def test_scenarios_run_no_match_fails_cleanly(self, capsys):
+        assert cli_main(["scenarios", "run",
+                         "--dataset", "objects",
+                         "--workload", "corruption"]) == 1
+        assert "no scenarios match" in capsys.readouterr().out
+
+    def test_scenarios_without_subcommand_shows_usage(self, capsys):
+        assert cli_main(["scenarios"]) == 2
+        assert "scenarios {list,run}" in capsys.readouterr().out

@@ -46,6 +46,14 @@ runs deterministic chaos against the runtime itself.  The bare form
 ``python -m repro.experiments table1`` still works as an alias for
 ``run table1``.
 
+``run`` and ``scenarios run`` also expose the storage/scheduling layer
+(``repro.runtime.store``): ``--store-shards N`` sets the shard fan-out
+of the content-addressed artifact store, ``--store-max-bytes SIZE``
+(plain bytes or ``512M``/``2G``-style suffixes) bounds it with LRU
+eviction, and ``--scheduler {static,work_stealing}`` picks the
+executor's dispatch strategy — work stealing keeps workers dense when
+high-κ cells straggle, with identical published artifacts.
+
 The ``REPRO_PROFILE`` / ``REPRO_CACHE_DIR`` environment variables remain
 supported as fallbacks for scripts that predate these flags, but are
 deprecated — prefer the explicit flags.
@@ -113,6 +121,44 @@ def _fault_plan_arg(value: str) -> FaultPlan:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3, "t": 1024 ** 4}
+
+
+def _bytes_arg(value: str) -> int:
+    """argparse type for --store-max-bytes: bytes, with K/M/G/T suffixes."""
+    text = value.strip().lower().rstrip("b")
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        amount = int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a size like 1048576, 512M or 2G, got {value!r}")
+    if amount <= 0:
+        raise argparse.ArgumentTypeError(
+            f"--store-max-bytes must be positive, got {value!r}")
+    return amount
+
+
+def _store_flags(p: argparse.ArgumentParser) -> None:
+    """Artifact-store and scheduler flags shared by run/scenarios run."""
+    p.add_argument("--store-shards", type=int, default=256, metavar="N",
+                   help="shard fan-out of the content-addressed artifact "
+                        "store (default 256)")
+    p.add_argument("--store-max-bytes", type=_bytes_arg, default=None,
+                   metavar="SIZE",
+                   help="bound stored artifact bytes with LRU eviction; "
+                        "accepts K/M/G/T suffixes (default: unbounded)")
+    p.add_argument("--scheduler", choices=("static", "work_stealing"),
+                   default="static",
+                   help="sweep dispatch strategy: static pre-chunking or "
+                        "a work-stealing deque (identical results; "
+                        "stealing keeps workers dense under skewed cell "
+                        "costs)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -158,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="PATH",
                      help="JSONL event log (default: "
                           "<cache-dir>/telemetry.jsonl; 'off' disables)")
+    _store_flags(run)
 
     sub.add_parser("list", help="show experiment ids",
                    description="List every experiment id with a description.")
@@ -211,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-cell timeout in seconds (default: none)")
     scen_run.add_argument("--retries", type=int, default=None, metavar="N",
                           help="retry budget per cell (default 2)")
+    scen_run.add_argument("--inject-faults", type=_fault_plan_arg,
+                          default=None, metavar="SPEC",
+                          help="chaos mode: deterministic fault injection "
+                               "(same spec syntax as 'run')")
     scen_run.add_argument("--cache-dir", metavar="DIR",
                           help="artifact cache root (default: .repro_cache)")
     scen_run.add_argument("--seed", type=int, default=0,
@@ -219,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSONL event log (default: "
                                "<cache-dir>/telemetry.jsonl; 'off' "
                                "disables)")
+    _store_flags(scen_run)
 
     serve = sub.add_parser(
         "serve", help="run the online MagNet inference service over HTTP",
@@ -343,14 +395,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.inject_faults is not None:
         log.warning("chaos mode enabled: %s", args.inject_faults.describe())
 
-    cache = DiskCache(cache_dir)
+    cache = DiskCache(cache_dir, shards=args.store_shards,
+                      max_bytes=args.store_max_bytes)
     configure_observability(_telemetry_path(args.telemetry, cache_dir))
     for exp_id in exp_ids:
         report = run_experiment(exp_id, profile=profile, cache=cache,
                                 seed=args.seed, jobs=args.jobs,
                                 resume=args.resume,
                                 retry_policy=retry_policy,
-                                fault_plan=args.inject_faults)
+                                fault_plan=args.inject_faults,
+                                scheduler=args.scheduler)
         print(report)
         print()
     return 0
@@ -475,17 +529,23 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                      else args.retries),
             backoff_s=SCENARIO_RETRY_POLICY.backoff_s)
 
-    cache = DiskCache(cache_dir)
+    cache = DiskCache(cache_dir, shards=args.store_shards,
+                      max_bytes=args.store_max_bytes)
     cells = registry.expand(args.seed, scenarios=selected)
     contexts = {
         dataset: ExperimentContext(dataset, profile=profile, cache=cache,
-                                   seed=args.seed)
+                                   seed=args.seed,
+                                   scheduler=args.scheduler)
         for dataset in sorted({c.scenario.dataset for c in cells})
     }
     log.info("running %d scenario cells (%s profile, %d dataset(s))",
              len(cells), profile.name, len(contexts))
+    if args.inject_faults is not None:
+        log.warning("chaos mode enabled: %s", args.inject_faults.describe())
     outcomes = run_scenarios(cells, contexts, jobs=args.jobs,
-                             resume=args.resume, policy=policy)
+                             resume=args.resume, policy=policy,
+                             fault_plan=args.inject_faults,
+                             scheduler=args.scheduler)
 
     print(render_table(outcomes_table(outcomes)))
     gains = adaptive_gain(outcomes)

@@ -80,7 +80,7 @@ class ExperimentContext:
     def __init__(self, dataset: str, profile: Optional[ExperimentProfile] = None,
                  cache: Optional[DiskCache] = None, seed: int = 0, *,
                  jobs: int = 1, retry_policy=None, fault_plan=None,
-                 batch_mode: str = "batched"):
+                 batch_mode: str = "batched", scheduler: str = "static"):
         if dataset not in ("digits", "objects"):
             raise KeyError(f"dataset must be 'digits' or 'objects', got {dataset!r}")
         self.dataset = dataset
@@ -105,6 +105,10 @@ class ExperimentContext:
         #: sweep publishes bitwise-identical artifacts.
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
+        #: Executor dispatch strategy for sweeps (``"static"`` or
+        #: ``"work_stealing"``).  Another pure execution hint: stealing
+        #: moves cells between workers, never changes their seeds.
+        self.scheduler = scheduler
         self._splits: Optional[DataSplits] = None
         self._zoo: Optional[ModelZoo] = None
         self._classifier: Optional[Module] = None

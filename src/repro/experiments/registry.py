@@ -51,14 +51,15 @@ _contexts: Dict[Tuple[str, str, int], ExperimentContext] = {}
 def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
                 cache: Optional[DiskCache] = None,
                 seed: int = 0, *, jobs: int = 1,
-                retry_policy=None, fault_plan=None) -> ExperimentContext:
+                retry_policy=None, fault_plan=None,
+                scheduler: str = "static") -> ExperimentContext:
     """Memoized ExperimentContext for (dataset, profile, seed).
 
-    ``jobs``, ``retry_policy`` and ``fault_plan`` are execution hints,
-    not part of the memo key: passing different values updates the
-    existing context's fan-out/fault-tolerance behavior without
-    invalidating its cached data/models (results are identical for any
-    setting — see :mod:`repro.runtime`).
+    ``jobs``, ``retry_policy``, ``fault_plan`` and ``scheduler`` are
+    execution hints, not part of the memo key: passing different values
+    updates the existing context's fan-out/fault-tolerance/scheduling
+    behavior without invalidating its cached data/models (results are
+    identical for any setting — see :mod:`repro.runtime`).
     """
     profile = profile or current_profile()
     key = (dataset, profile.name, seed)
@@ -66,11 +67,13 @@ def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
         _contexts[key] = ExperimentContext(dataset, profile=profile,
                                            cache=cache, seed=seed, jobs=jobs,
                                            retry_policy=retry_policy,
-                                           fault_plan=fault_plan)
+                                           fault_plan=fault_plan,
+                                           scheduler=scheduler)
     else:
         _contexts[key].jobs = int(jobs)
         _contexts[key].retry_policy = retry_policy
         _contexts[key].fault_plan = fault_plan
+        _contexts[key].scheduler = scheduler
     return _contexts[key]
 
 
@@ -82,7 +85,8 @@ def describe_experiments() -> Dict[str, str]:
 def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
                    cache: Optional[DiskCache] = None,
                    seed: int = 0, *, jobs: int = 1, resume: bool = False,
-                   retry_policy=None, fault_plan=None) -> ExperimentReport:
+                   retry_policy=None, fault_plan=None,
+                   scheduler: str = "static") -> ExperimentReport:
     """Run one table/figure reproduction and return its report.
 
     ``jobs`` (keyword-only) sets the parallel fan-out: with ``jobs > 1``
@@ -93,9 +97,10 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
 
     ``resume=True`` continues an interrupted sweep from its checkpoint
     manifest, recomputing only missing/corrupt/previously-failed cells.
-    ``retry_policy`` overrides the sweep's fault-tolerance defaults and
-    ``fault_plan`` injects deterministic chaos (``--inject-faults``);
-    see :mod:`repro.runtime.faults`.
+    ``retry_policy`` overrides the sweep's fault-tolerance defaults,
+    ``fault_plan`` injects deterministic chaos (``--inject-faults``),
+    and ``scheduler`` picks the dispatch strategy (``--scheduler``);
+    see :mod:`repro.runtime`.
     """
     if exp_id not in _SPEC:
         raise KeyError(
@@ -103,14 +108,15 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
     fn, datasets, _desc = _SPEC[exp_id]
     contexts = [get_context(ds, profile=profile, cache=cache, seed=seed,
                             jobs=jobs, retry_policy=retry_policy,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan, scheduler=scheduler)
                 for ds in datasets]
     with span(f"experiment/{exp_id}", jobs=jobs):
         if (jobs is not None and jobs != 1) or resume:
             from repro.experiments.sweeps import precompute_attacks
 
             for ctx in contexts:
-                precompute_attacks(ctx, jobs=jobs, resume=resume)
+                precompute_attacks(ctx, jobs=jobs, resume=resume,
+                                   scheduler=scheduler)
         return fn(*contexts)
 
 

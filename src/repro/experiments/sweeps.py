@@ -202,13 +202,14 @@ def precompute_attacks(ctx: ExperimentContext, *,
                        jobs: Optional[int] = None,
                        resume: bool = False,
                        policy: Optional[RetryPolicy] = None,
-                       fault_plan: Optional[FaultPlan] = None
+                       fault_plan: Optional[FaultPlan] = None,
+                       scheduler: Optional[str] = None
                        ) -> Dict[str, int]:
     """Craft every uncached cell of a sweep, fanning out across ``jobs``.
 
     After this returns, the serial accessors (``ctx.cw``/``ctx.ead``)
     are pure cache hits for the covered grid.  Returns a summary dict
-    (``computed``/``cached``/``jobs``/``failed``/``healed``).
+    (``computed``/``cached``/``jobs``/``failed``/``healed``/``steals``).
 
     The sweep is fault-tolerant and resumable:
 
@@ -228,17 +229,24 @@ def precompute_attacks(ctx: ExperimentContext, *,
       transient faults, corrupted cache reads) for testing; because
       retries reuse per-cell seeds and attacks are deterministic, a
       faulted run that completes is bitwise-identical to a clean one.
+    * ``scheduler`` (default: the context's ``scheduler`` hint, else
+      ``"static"``) selects the executor's dispatch strategy;
+      ``"work_stealing"`` keeps workers dense when high-κ cells
+      straggle.  Either way the published artifacts are identical.
     """
     jobs = resolve_jobs(ctx.jobs if jobs is None else jobs)
     if policy is None:
         policy = getattr(ctx, "retry_policy", None) or SWEEP_RETRY_POLICY
     if fault_plan is None:
         fault_plan = getattr(ctx, "fault_plan", None)
+    if scheduler is None:
+        scheduler = getattr(ctx, "scheduler", None) or "static"
     cells = attack_grid(ctx, kappas=kappas, betas=betas,
                         include_cw=include_cw)
     todo = missing_cells(ctx, cells, verify=resume)
     summary = {"computed": len(todo), "cached": len(cells) - len(todo),
-               "jobs": jobs, "failed": 0, "healed": 0}
+               "jobs": jobs, "failed": 0, "healed": 0,
+               "scheduler": scheduler, "steals": 0}
     if not todo:
         return summary
 
@@ -260,7 +268,8 @@ def precompute_attacks(ctx: ExperimentContext, *,
     _save_manifest(ctx, ckpt_key, manifest)
 
     with span("sweep/precompute", dataset=ctx.dataset,
-              cells=len(todo), jobs=jobs, resume=resume or None) as evt:
+              cells=len(todo), jobs=jobs, resume=resume or None,
+              scheduler=scheduler) as evt:
         # Materialize shared inputs once, in the parent, so workers do
         # not redundantly train/select (and so results cannot depend on
         # worker-local state).
@@ -274,12 +283,21 @@ def precompute_attacks(ctx: ExperimentContext, *,
         payloads = [(classifier, ctx.profile, x0, y0, cell, batch_mode)
                     for cell in todo]
 
+        pinned: List[str] = []
+
         def publish(index: int, arrays_by_slot: Dict) -> None:
-            """Publish one completed cell + checkpoint it, incrementally."""
+            """Publish one completed cell + checkpoint it, incrementally.
+
+            Published keys are pinned until the sweep finishes: the
+            checkpoint manifest references them, so a size-capped store
+            must not LRU-evict them out from under the resume contract.
+            """
             cell = todo[index]
             keys = _cell_keys(ctx, cell)
             paths = []
             for slot, arrays in arrays_by_slot.items():
+                ctx.cache.pin("attacks", keys[slot])
+                pinned.append(keys[slot])
                 paths.append(ctx.cache.save(
                     "attacks", keys[slot], arrays,
                     meta={"cell": cell, "slot": slot}))
@@ -291,8 +309,15 @@ def precompute_attacks(ctx: ExperimentContext, *,
             _save_manifest(ctx, ckpt_key, manifest)
 
         executor = ParallelExecutor(jobs, chunk_size=1, policy=policy,
-                                    fault_plan=fault_plan, on_error="record")
-        outputs = executor.map(_craft_cell, payloads, on_result=publish)
+                                    fault_plan=fault_plan, on_error="record",
+                                    scheduler=scheduler)
+        try:
+            outputs = executor.map(_craft_cell, payloads, on_result=publish)
+        finally:
+            for key in pinned:
+                ctx.cache.unpin("attacks", key)
+        if executor.last_schedule is not None:
+            summary["steals"] = executor.last_schedule.steals
 
         for cell, output in zip(todo, outputs):
             if isinstance(output, ItemFailure):

@@ -17,6 +17,15 @@ shared machinery:
   crashes, hangs, transient exceptions, corrupted cache reads) keyed by
   item index, used by the chaos tests and the ``--inject-faults`` CLI
   flag.
+* :class:`ShardedStore` — the content-addressed, sharded artifact store
+  behind :class:`repro.utils.cache.DiskCache`: blobs at
+  ``shards/<shard>/<hash>.npz``, cross-cell dedup, size-bounded LRU
+  eviction with checkpoint pinning, corrupt-blob quarantine, a
+  per-shard resumable integrity scrub, and transparent migration of
+  flat-layout caches.  The executor's ``scheduler="work_stealing"``
+  mode (with :class:`SchedulerStats` busy/wall reporting) pairs with it
+  to keep large sweeps dense: idle workers steal half of the largest
+  remaining run instead of idling behind a straggler.
 * :class:`RunTelemetry` / :func:`telemetry` — the *deprecated*
   string-keyed telemetry API, now a shim over :mod:`repro.obs` (spans,
   metrics, profiling).  New code should use
@@ -29,10 +38,18 @@ shared machinery:
 
 from repro.runtime.executor import (
     MAX_JOBS,
+    SCHEDULERS,
     ParallelExecutor,
+    SchedulerStats,
     default_chunk_size,
     parallel_map,
     resolve_jobs,
+)
+from repro.runtime.store import (
+    CacheStats,
+    ShardedStore,
+    StoreEntry,
+    content_hash,
 )
 from repro.runtime.faults import (
     FaultPlan,
@@ -54,6 +71,7 @@ from repro.runtime.telemetry import (
 )
 
 __all__ = [
+    "CacheStats",
     "FaultPlan",
     "InjectedCrash",
     "InjectedFault",
@@ -63,8 +81,13 @@ __all__ = [
     "ParallelExecutor",
     "RetryPolicy",
     "RunTelemetry",
+    "SCHEDULERS",
+    "SchedulerStats",
+    "ShardedStore",
+    "StoreEntry",
     "aggregate_events",
     "configure_telemetry",
+    "content_hash",
     "corrupt_cache_entry",
     "default_chunk_size",
     "load_events",

@@ -25,12 +25,25 @@ Two execution paths share that contract:
   an :class:`~repro.runtime.faults.ItemFailure` record at its position
   (``on_error="record"``) or a raised error (``on_error="raise"``) —
   rather than an experiment-wide abort.
+
+Both paths accept ``scheduler="work_stealing"``: instead of carving the
+items into fixed chunks up front (which lets one straggler — a high-κ
+EAD cell taking 10× its neighbours — serialize the tail of a sweep),
+the parent keeps one deque of contiguous item runs per worker slot and
+leases small batches; a slot that drains its deque *steals half of the
+largest remaining run* from the back of the busiest deque.  Stealing
+only changes which worker computes an item, never its seed or payload,
+so the bitwise-identity contract is untouched.  Scheduler behaviour is
+observable: ``scheduler/steals`` and ``scheduler/leases`` counters, a
+``scheduler/worker_busy_s`` histogram, and a per-map
+:class:`SchedulerStats` (per-worker busy/wall efficiency) on
+``ParallelExecutor.last_schedule``.
 """
 
 from __future__ import annotations
 
 import contextlib
-import math
+import dataclasses
 import os
 import pickle
 import signal
@@ -43,6 +56,7 @@ from repro.obs import (
     counter,
     current_trace_context,
     event,
+    histogram,
     span,
 )
 from repro.runtime.faults import (
@@ -83,11 +97,72 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+#: Schedulers accepted by :class:`ParallelExecutor` / :func:`parallel_map`.
+SCHEDULERS = ("static", "work_stealing")
+
+
 def default_chunk_size(n_items: int, jobs: int) -> int:
-    """Chunk so each worker sees ~4 chunks (load balance vs IPC cost)."""
+    """Chunk so each worker sees ~4 chunks (load balance vs IPC cost).
+
+    Always returns ≥ 1, including the ``n_items < jobs`` regime (where a
+    naive ``n_items // (jobs * 4)`` yields 0 → a crashed pool) and huge
+    item counts (integer ceiling division avoids the float rounding of
+    ``math.ceil(n / d)``, which can be off by one above 2**53).
+    """
+    n_items = int(n_items)
+    jobs = int(jobs)
     if n_items <= 0 or jobs <= 0:
         return 1
-    return max(1, math.ceil(n_items / (jobs * 4)))
+    return max(1, -(-n_items // (jobs * 4)))
+
+
+@dataclasses.dataclass
+class SchedulerStats:
+    """How one :meth:`ParallelExecutor.map` call spent its workers.
+
+    ``busy_s`` maps a worker *slot* (a scheduling lane with one lease in
+    flight at a time — the pool assigns OS processes to leases) to the
+    summed in-worker execution time of its leases.  Efficiency is
+    busy/wall per slot: ~1.0 means the slot never waited on the
+    scheduler; a static-chunk straggler shows up as every other slot's
+    efficiency collapsing while one stays at 1.0.
+    """
+
+    scheduler: str
+    workers: int
+    items: int
+    leases: int = 0
+    steals: int = 0
+    wall_s: float = 0.0
+    busy_s: Dict[int, float] = dataclasses.field(default_factory=dict)
+
+    def worker_efficiency(self) -> Dict[int, float]:
+        """Per-slot busy/wall ratio (empty if busy time wasn't measured)."""
+        if self.wall_s <= 0.0:
+            return {}
+        return {slot: busy / self.wall_s
+                for slot, busy in sorted(self.busy_s.items())}
+
+    @property
+    def mean_efficiency(self) -> float:
+        eff = self.worker_efficiency()
+        return sum(eff.values()) / len(eff) if eff else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "workers": self.workers,
+            "items": self.items,
+            "leases": self.leases,
+            "steals": self.steals,
+            "wall_s": round(self.wall_s, 6),
+            "busy_s": {str(k): round(v, 6)
+                       for k, v in sorted(self.busy_s.items())},
+            "worker_efficiency": {str(k): round(v, 4)
+                                  for k, v in
+                                  self.worker_efficiency().items()},
+            "mean_efficiency": round(self.mean_efficiency, 4),
+        }
 
 
 def _call(fn: Callable, item: Any, seed: Optional[int]) -> Any:
@@ -165,6 +240,18 @@ def _invoke_chunk(payloads) -> List:
             in payloads]
 
 
+def _invoke_lease(payloads) -> tuple:
+    """Worker body of the work-stealing path: a chunk plus its busy time.
+
+    Busy time is measured *inside* the worker, so it excludes pickling,
+    queueing and scheduler latency — exactly the numerator of the
+    busy/wall efficiency the benchmark reports.
+    """
+    t0 = time.perf_counter()
+    outcomes = _invoke_chunk(payloads)
+    return (time.perf_counter() - t0, outcomes)
+
+
 class ParallelExecutor:
     """Order-preserving map over a process pool, with a serial fallback.
 
@@ -188,6 +275,12 @@ class ParallelExecutor:
             item failure; ``"record"`` returns an
             :class:`~repro.runtime.faults.ItemFailure` at the item's
             position and keeps going.
+        scheduler: ``"static"`` (default) pre-chunks the items;
+            ``"work_stealing"`` leases small batches from per-slot
+            deques and lets idle slots steal half of the largest
+            remaining run, so stragglers don't serialize the sweep.
+            Results are identical either way (same seeds, same
+            payloads); only worker assignment changes.
     """
 
     def __init__(self, jobs: Optional[int] = None, *,
@@ -196,10 +289,14 @@ class ParallelExecutor:
                  mp_context: Optional[str] = None,
                  policy: Optional[RetryPolicy] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 on_error: str = "raise"):
+                 on_error: str = "raise",
+                 scheduler: str = "static"):
         if on_error not in ("raise", "record"):
             raise ValueError(
                 f"on_error must be 'raise' or 'record', got {on_error!r}")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {SCHEDULERS}, "
+                             f"got {scheduler!r}")
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = chunk_size
         self.seed = seed
@@ -207,6 +304,9 @@ class ParallelExecutor:
         self.policy = policy
         self.fault_plan = fault_plan
         self.on_error = on_error
+        self.scheduler = scheduler
+        #: :class:`SchedulerStats` of the most recent :meth:`map` call.
+        self.last_schedule: Optional[SchedulerStats] = None
 
     def _start_method(self) -> str:
         if self.mp_context is not None:
@@ -219,7 +319,8 @@ class ParallelExecutor:
     @property
     def _resilient(self) -> bool:
         return (self.policy is not None or self.fault_plan is not None
-                or self.on_error == "record")
+                or self.on_error == "record"
+                or self.scheduler == "work_stealing")
 
     def map(self, fn: Callable, items: Iterable[Any],
             on_result: Optional[Callable[[int, Any], None]] = None
@@ -238,30 +339,51 @@ class ParallelExecutor:
         else:
             seeds = [None] * n
         jobs = min(self.jobs, n)
-        with span("runtime/map", items=n, jobs=jobs) as sp:
+        label = "serial" if jobs <= 1 else self.scheduler
+        sched = SchedulerStats(scheduler=label, workers=max(1, jobs), items=n)
+        self.last_schedule = sched
+        t0 = time.perf_counter()
+        with span("runtime/map", items=n, jobs=jobs, scheduler=label) as sp:
             # The map span is the parent of every item's spans, whether
             # the item runs in this process or in a pool worker (the
             # context rides along in each payload).
             trace_ctx = current_trace_context()
-            if self._resilient:
-                return self._map_resilient(fn, items, seeds, jobs, trace_ctx,
-                                           on_result)
-            if jobs <= 1:
-                return self._map_serial_fast(fn, items, seeds, on_result)
-
-            payloads = [(fn, item, s, trace_ctx)
-                        for item, s in zip(items, seeds)]
-            chunk = self.chunk_size or default_chunk_size(n, jobs)
-            sp["chunk"] = chunk
             try:
-                return self._pool_map(payloads, jobs, chunk, on_result)
-            except Exception as exc:
-                if not _is_fallback_error(exc):
-                    raise
-                log.warning("process pool unavailable (%s: %s) — running "
-                            "%d items serially", type(exc).__name__, exc, n)
-                sp["fallback"] = "serial"
-                return self._map_serial_fast(fn, items, seeds, on_result)
+                if self._resilient:
+                    return self._map_resilient(fn, items, seeds, jobs,
+                                               trace_ctx, on_result)
+                if jobs <= 1:
+                    return self._map_serial_fast(fn, items, seeds, on_result)
+
+                payloads = [(fn, item, s, trace_ctx)
+                            for item, s in zip(items, seeds)]
+                chunk = self.chunk_size or default_chunk_size(n, jobs)
+                sp["chunk"] = chunk
+                try:
+                    return self._pool_map(payloads, jobs, chunk, on_result)
+                except Exception as exc:
+                    if not _is_fallback_error(exc):
+                        raise
+                    log.warning("process pool unavailable (%s: %s) — "
+                                "running %d items serially",
+                                type(exc).__name__, exc, n)
+                    sp["fallback"] = "serial"
+                    return self._map_serial_fast(fn, items, seeds, on_result)
+            finally:
+                # Scheduler accounting rides on the map span (a separate
+                # event would add a child to the trace tree and change
+                # its signature between serial and parallel runs).
+                sched.wall_s = time.perf_counter() - t0
+                if not sched.busy_s and jobs <= 1:
+                    # The serial paths run in the parent: busy == wall.
+                    sched.busy_s[0] = sched.wall_s
+                busy_hist = histogram("scheduler/worker_busy_s")
+                for busy in sched.busy_s.values():
+                    busy_hist.observe(busy)
+                if sched.steals:
+                    sp["steals"] = sched.steals
+                if sched.busy_s:
+                    sp["mean_efficiency"] = round(sched.mean_efficiency, 4)
 
     @staticmethod
     def _map_serial_fast(fn, items, seeds, on_result) -> List[Any]:
@@ -295,7 +417,14 @@ class ParallelExecutor:
     def _map_resilient(self, fn, items, seeds, jobs: int,
                        trace_ctx: Optional[TraceContext],
                        on_result) -> List[Any]:
-        policy = self.policy or RetryPolicy()
+        if self.policy is not None:
+            policy = self.policy
+        elif self.fault_plan is not None or self.on_error == "record":
+            policy = RetryPolicy()
+        else:
+            # Pure work-stealing (no supervision requested): keep the
+            # fast path's raise-on-first-error semantics — no retries.
+            policy = RetryPolicy(retries=0)
         n = len(items)
         results: List[Any] = [None] * n
         done = [False] * n
@@ -307,10 +436,12 @@ class ParallelExecutor:
             self._drain_serial(fn, items, seeds, pending, attempts, results,
                                done, errors, policy, trace_ctx, on_result)
         else:
+            drain = (self._drain_stealing
+                     if self.scheduler == "work_stealing"
+                     else self._drain_pool)
             try:
-                self._drain_pool(fn, items, seeds, jobs, pending, attempts,
-                                 results, done, errors, policy, trace_ctx,
-                                 on_result)
+                drain(fn, items, seeds, jobs, pending, attempts,
+                      results, done, errors, policy, trace_ctx, on_result)
             except Exception as exc:
                 if not _is_fallback_error(exc):
                     raise
@@ -443,6 +574,144 @@ class ParallelExecutor:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
 
+    def _drain_stealing(self, fn, items, seeds, jobs, pending, attempts,
+                        results, done, errors, policy, trace_ctx,
+                        on_result) -> None:
+        """Work-stealing drain: per-slot deques of contiguous runs.
+
+        The parent owns ``jobs`` deques, each seeded with a contiguous
+        run of the pending indices, and keeps exactly one lease (a small
+        batch of ``chunk_size`` items, default 1) in flight per slot.  A
+        slot whose deque drains steals **half of the largest remaining
+        deque, from the back** — the classic steal-half heuristic:
+        taking from the back preserves the victim's cache-friendly
+        front-to-back progress, and halving keeps the thief busy long
+        enough that steals stay rare (O(workers · log(items/chunk))).
+
+        Faults follow :meth:`_drain_pool`'s contract: a
+        ``BrokenProcessPool`` counts one crash attempt against the
+        in-flight lease's items, the pool is rebuilt, and three broken
+        rounds in a row finish the remainder serially.
+        """
+        import concurrent.futures
+        import multiprocessing
+        from collections import deque
+        from concurrent.futures.process import BrokenProcessPool
+
+        ctx = multiprocessing.get_context(self._start_method())
+        lease_size = self.chunk_size or 1
+        sched = self.last_schedule
+        steals = counter("scheduler/steals")
+        leases = counter("scheduler/leases")
+        pool = None
+        broken_rounds = 0
+        round_items = sorted(pending)
+        try:
+            while round_items:
+                workers = min(jobs, len(round_items))
+                if pool is None:
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers, mp_context=ctx)
+                time.sleep(max((policy.delay(attempts[i])
+                                for i in round_items), default=0.0))
+                # Contiguous runs, one per slot, mirroring how static
+                # chunking would have carved the index space.
+                deques: List[deque] = []
+                base, extra = divmod(len(round_items), workers)
+                cursor = 0
+                for slot in range(workers):
+                    take = base + (1 if slot < extra else 0)
+                    deques.append(deque(round_items[cursor:cursor + take]))
+                    cursor += take
+
+                def next_lease(slot: int) -> List[int]:
+                    own = deques[slot]
+                    if not own:
+                        victim = max(range(workers),
+                                     key=lambda j: len(deques[j]))
+                        loot = deques[victim]
+                        if not loot:
+                            return []
+                        grabbed = [loot.pop()
+                                   for _ in range(max(1, len(loot) // 2))]
+                        grabbed.reverse()
+                        own.extend(grabbed)
+                        steals.inc()
+                        if sched is not None:
+                            sched.steals += 1
+                    return [own.popleft()
+                            for _ in range(min(lease_size, len(own)))]
+
+                def submit(slot: int, lease: List[int]) -> None:
+                    payloads = [(fn, items[i], seeds[i], i, attempts[i],
+                                 policy.timeout_s, self.fault_plan, trace_ctx)
+                                for i in lease]
+                    inflight[pool.submit(_invoke_lease, payloads)] = (slot,
+                                                                      lease)
+                    leases.inc()
+                    if sched is not None:
+                        sched.leases += 1
+
+                inflight: Dict[Any, tuple] = {}
+                retry_queue: List[int] = []
+                round_broken = False
+                for slot in range(workers):
+                    lease = next_lease(slot)
+                    if lease:
+                        submit(slot, lease)
+                while inflight:
+                    finished, _ = concurrent.futures.wait(
+                        inflight, return_when=concurrent.futures.
+                        FIRST_COMPLETED)
+                    for fut in finished:
+                        slot, lease = inflight.pop(fut)
+                        try:
+                            busy_s, outcomes = fut.result()
+                        except BrokenProcessPool as exc:
+                            round_broken = True
+                            log.warning("worker crashed; re-dispatching "
+                                        "lease of %d items %s", len(lease),
+                                        lease)
+                            for i in lease:
+                                self._handle_outcome(
+                                    (i, "crash", exc), attempts, results,
+                                    done, errors, policy, on_result,
+                                    retry_queue)
+                            continue
+                        if sched is not None:
+                            sched.busy_s[slot] = (sched.busy_s.get(slot, 0.0)
+                                                  + busy_s)
+                        for outcome in outcomes:
+                            self._handle_outcome(outcome, attempts, results,
+                                                 done, errors, policy,
+                                                 on_result, retry_queue)
+                        if not round_broken:
+                            lease = next_lease(slot)
+                            if lease:
+                                submit(slot, lease)
+                # Items still sitting in deques after a broken round were
+                # never attempted; carry them into the next round as-is.
+                leftover = [i for dq in deques for i in dq]
+                if round_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    broken_rounds += 1
+                    if broken_rounds >= 3 and (retry_queue or leftover):
+                        remainder = sorted(retry_queue + leftover)
+                        log.warning("%d consecutive broken rounds — "
+                                    "finishing %d items serially",
+                                    broken_rounds, len(remainder))
+                        self._drain_serial(fn, items, seeds, remainder,
+                                           attempts, results, done, errors,
+                                           policy, trace_ctx, on_result)
+                        retry_queue, leftover = [], []
+                else:
+                    broken_rounds = 0
+                round_items = sorted(retry_queue + leftover)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
 
 def _is_fallback_error(exc: BaseException) -> bool:
     """Errors that mean "the pool can't do this", not "the work failed"."""
@@ -467,10 +736,12 @@ def parallel_map(fn: Callable, items: Iterable[Any], *,
                  policy: Optional[RetryPolicy] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  on_error: str = "raise",
+                 scheduler: str = "static",
                  on_result: Optional[Callable[[int, Any], None]] = None
                  ) -> List[Any]:
     """One-shot :meth:`ParallelExecutor.map` (see class for semantics)."""
     executor = ParallelExecutor(jobs, chunk_size=chunk_size, seed=seed,
                                 mp_context=mp_context, policy=policy,
-                                fault_plan=fault_plan, on_error=on_error)
+                                fault_plan=fault_plan, on_error=on_error,
+                                scheduler=scheduler)
     return executor.map(fn, items, on_result=on_result)

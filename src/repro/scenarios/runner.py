@@ -41,7 +41,7 @@ from repro.models.classifiers import ScaledLogits
 from repro.nn.layers import Module
 from repro.obs import counter, event, span
 from repro.runtime.executor import ParallelExecutor, resolve_jobs
-from repro.runtime.faults import ItemFailure, RetryPolicy
+from repro.runtime.faults import FaultPlan, ItemFailure, RetryPolicy
 from repro.scenarios.registry import Scenario, SweepCell
 from repro.utils.cache import stable_hash
 from repro.utils.logging import get_logger
@@ -315,7 +315,9 @@ def _checkpoint_key(cells: Sequence[SweepCell],
 def run_scenarios(cells: Sequence[SweepCell],
                   contexts: Mapping[str, ExperimentContext], *,
                   jobs: Optional[int] = None, resume: bool = False,
-                  policy: Optional[RetryPolicy] = None
+                  policy: Optional[RetryPolicy] = None,
+                  fault_plan: Optional[FaultPlan] = None,
+                  scheduler: str = "static"
                   ) -> Dict[str, ScenarioOutcome]:
     """Run every cell, fanning uncached ones out across ``jobs`` workers.
 
@@ -324,8 +326,12 @@ def run_scenarios(cells: Sequence[SweepCell],
     are published as JSON outcome documents and checkpointed in an
     atomically-rewritten manifest; ``resume=True`` load-verifies cached
     outcomes (a corrupt document counts as missing) so interrupted
-    sweeps restart from the last completed cell.  Returns every
-    requested cell's outcome, keyed by scenario id.
+    sweeps restart from the last completed cell.  ``fault_plan``
+    injects deterministic chaos into the workers (``--inject-faults``),
+    and ``scheduler`` selects the executor dispatch strategy
+    (``"work_stealing"`` keeps workers dense when cell costs are
+    skewed; the outcome documents are byte-identical either way).
+    Returns every requested cell's outcome, keyed by scenario id.
     """
     cells = sorted(cells, key=lambda c: (c.scenario.scenario_id, c.seed))
     for cell in cells:
@@ -339,7 +345,7 @@ def run_scenarios(cells: Sequence[SweepCell],
 
     ckpt_ctx = contexts[cells[0].scenario.dataset] if cells else None
     with span("scenario/sweep", cells=len(cells), todo=len(todo),
-              jobs=jobs, resume=resume or None) as evt:
+              jobs=jobs, resume=resume or None, scheduler=scheduler) as evt:
         if todo:
             ckpt_key = _checkpoint_key(cells, contexts)
             manifest = None
@@ -402,8 +408,12 @@ def run_scenarios(cells: Sequence[SweepCell],
                 save_manifest()
 
             executor = ParallelExecutor(jobs, chunk_size=1, policy=policy,
-                                        on_error="record")
+                                        fault_plan=fault_plan,
+                                        on_error="record",
+                                        scheduler=scheduler)
             outputs = executor.map(_run_cell, payloads, on_result=publish)
+            if executor.last_schedule is not None:
+                evt["steals"] = executor.last_schedule.steals or None
             for cell, output in zip(todo, outputs):
                 if isinstance(output, ItemFailure):
                     sid = cell.scenario.scenario_id

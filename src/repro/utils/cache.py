@@ -6,33 +6,50 @@ this cache.  Keys are derived from :func:`stable_hash`, which canonicalizes
 nested dict/list/tuple/scalar configs into JSON and hashes with SHA-256, so
 the same logical config always maps to the same file across processes.
 
+Since PR 8 the array store is backed by
+:class:`repro.runtime.store.ShardedStore`: artifacts are content-addressed
+(``shards/<shard>/<hash>.npz``), identical payloads are deduplicated
+across cells, total size can be bounded by LRU eviction, and a flat
+pre-sharding cache directory is read through and migrated in place.
+:class:`DiskCache` remains the public API — a thin facade — and small
+JSON documents (checkpoint manifests, scenario outcomes) keep the
+original flat ``<root>/<namespace>/<key>.json`` layout, so existing
+checkpoints remain valid.
+
 The store is safe for concurrent writers (the parallel runtime fans
 attack cells out across processes that share one cache root): every
 write lands in a uniquely-named temp file in the destination directory,
 is fsync'd, and is published with an atomic ``os.replace``.  Readers
 treat any unreadable entry — e.g. a truncated ``.npz`` left by a crash
 of an older, non-atomic writer — as a miss: the stale file is discarded
-and the artifact is recomputed and rewritten instead of poisoning the
-run.  Per-instance :class:`CacheStats` counters expose hit/miss/byte
-traffic for telemetry and debugging.
+(sharded blobs are quarantined for post-mortem) and the artifact is
+recomputed and rewritten instead of poisoning the run.  Per-instance
+:class:`CacheStats` counters expose hit/miss/byte traffic for telemetry
+and debugging.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
 from repro.obs import counter
+from repro.runtime.store import (
+    CacheStats,
+    ShardedStore,
+    atomic_write as _atomic_write,
+    _fsync_dir,
+)
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
+
+__all__ = ["CacheStats", "DiskCache", "default_cache", "stable_hash"]
 
 
 def _canonicalize(obj: Any) -> Any:
@@ -67,117 +84,81 @@ def stable_hash(config: Any, length: int = 16) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
 
 
-@dataclasses.dataclass
-class CacheStats:
-    """Traffic counters for one :class:`DiskCache` instance."""
-
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-    stale_discards: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def as_dict(self) -> Dict[str, Any]:
-        data = dataclasses.asdict(self)
-        data["hit_rate"] = round(self.hit_rate, 4)
-        return data
-
-    def reset(self) -> None:
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
-
-    def __str__(self) -> str:
-        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
-                f"writes={self.writes}, stale={self.stale_discards}, "
-                f"read={self.bytes_read}B, written={self.bytes_written}B)")
-
-
-def _fsync_dir(directory: Path) -> None:
-    """fsync a directory so a just-renamed entry survives a power loss.
-
-    ``os.replace`` makes the rename atomic against concurrent readers,
-    but the *directory entry* itself is only durable once the directory
-    inode reaches disk — without this, a kill at the wrong moment can
-    roll a checkpoint manifest back to its previous (or no) version.
-    Best-effort: platforms that cannot fsync a directory are skipped.
-    """
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def _atomic_write(path: Path, write_fn: Callable[[Any], None],
-                  suffix: str) -> int:
-    """Write via unique temp file + fsync + rename + dir fsync; returns
-    bytes written.
-
-    Unique temp names make concurrent writers of the same key safe: each
-    publishes a complete file and the last ``os.replace`` wins.  The file
-    fsync closes the crash window where a rename could outlive its data;
-    the directory fsync makes the rename itself durable.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=suffix)
-    try:
-        # mkstemp creates 0600; restore the umask-default perms a plain
-        # open() would have given the destination file.
-        umask = os.umask(0)
-        os.umask(umask)
-        os.fchmod(fd, 0o666 & ~umask)
-        with os.fdopen(fd, "wb") as fh:
-            write_fn(fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        size = os.path.getsize(tmp)
-        os.replace(tmp, path)
-        _fsync_dir(path.parent)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-    return size
-
-
 class DiskCache:
-    """A content-addressed npz store for numpy-array payloads.
+    """Array/JSON artifact cache: the public facade over the sharded store.
 
-    Each entry is a dict of ndarrays (plus a JSON metadata sidecar) stored
-    as ``<root>/<namespace>/<key>.npz``.  Writes are atomic and readers
-    self-heal: unreadable entries are discarded and surface as misses
-    (see the module docstring for the concurrency contract).
+    Each array entry is a dict of ndarrays (plus a JSON metadata sidecar)
+    addressed by ``(namespace, key)``; with the default ``"sharded"``
+    backend the bytes live in a content-addressed
+    :class:`~repro.runtime.store.ShardedStore` (dedup, LRU eviction,
+    quarantine), while ``backend="flat"`` keeps the original
+    ``<root>/<namespace>/<key>.npz`` layout.  Writes are atomic and
+    readers self-heal: unreadable entries are discarded and surface as
+    misses (see the module docstring for the concurrency contract).
+
+    Args:
+        root: cache directory (default ``$REPRO_CACHE_DIR`` or
+            ``.repro_cache``).
+        backend: ``"sharded"`` (default) or ``"flat"``.
+        shards: shard fan-out for the sharded backend.
+        max_bytes: optional stored-bytes cap enforced by LRU eviction
+            (sharded backend only).
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(self, root: Optional[os.PathLike] = None, *,
+                 backend: str = "sharded", shards: int = 256,
+                 max_bytes: Optional[int] = None):
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        if backend not in ("sharded", "flat"):
+            raise ValueError(f"unknown cache backend: {backend!r} "
+                             "(expected 'sharded' or 'flat')")
         self.root = Path(root)
+        self.backend = backend
         self.stats = CacheStats()
+        self._store: Optional[ShardedStore] = None
+        if backend == "sharded":
+            self._store = ShardedStore(self.root, shards=shards,
+                                       max_bytes=max_bytes, stats=self.stats)
+        elif max_bytes is not None:
+            raise ValueError("max_bytes requires the sharded backend")
         self._hits = counter("cache/hits")
         self._misses = counter("cache/misses")
         self._writes = counter("cache/writes")
 
+    @property
+    def store(self) -> Optional[ShardedStore]:
+        """The sharded backend (None on the flat backend)."""
+        return self._store
+
     def _path(self, namespace: str, key: str) -> Path:
+        """On-disk artifact path for a key.
+
+        On the sharded backend this resolves an existing entry to its
+        content-addressed blob; an unknown key maps to the legacy flat
+        location (where a pre-sharding writer would have put it), which
+        keeps corruption-injection tooling meaningful on both layouts.
+        """
+        if self._store is not None:
+            return self._store.artifact_path(namespace, key)
         return self.root / namespace / f"{key}.npz"
 
     def contains(self, namespace: str, key: str) -> bool:
+        if self._store is not None:
+            return self._store.contains(namespace, key)
         return self._path(namespace, key).exists()
 
     def save(self, namespace: str, key: str, arrays: Dict[str, np.ndarray],
              meta: Optional[Dict[str, Any]] = None) -> Path:
-        """Atomically store a dict of arrays under (namespace, key)."""
+        """Atomically store a dict of arrays under (namespace, key).
+
+        Returns the path of the stored artifact (the content-addressed
+        blob on the sharded backend).
+        """
+        if self._store is not None:
+            path = self._store.put(namespace, key, arrays, meta=meta)
+            self._writes.inc()
+            return path
         path = self._path(namespace, key)
         written = _atomic_write(path, lambda fh: np.savez(fh, **arrays),
                                 suffix=".npz.tmp")
@@ -192,8 +173,8 @@ class DiskCache:
         return path
 
     def _discard_stale(self, namespace: str, key: str, reason: str) -> None:
-        """Remove an unreadable entry (and its sidecar) so it is rewritten."""
-        path = self._path(namespace, key)
+        """Remove an unreadable flat entry (and sidecar) so it is rewritten."""
+        path = self.root / namespace / f"{key}.npz"
         log.warning("discarding unreadable cache entry %s/%s: %s",
                     namespace, key, reason)
         self.stats.stale_discards += 1
@@ -207,9 +188,17 @@ class DiskCache:
         """Load a dict of arrays; raises KeyError if absent or unreadable.
 
         A truncated or corrupt file (e.g. from an interrupted legacy
-        writer or a torn copy) is deleted and reported as a miss rather
-        than crashing the run.
+        writer or a torn copy) is discarded — quarantined on the sharded
+        backend — and reported as a miss rather than crashing the run.
         """
+        if self._store is not None:
+            try:
+                arrays = self._store.get(namespace, key)
+            except KeyError:
+                self._misses.inc()
+                raise
+            self._hits.inc()
+            return arrays
         path = self._path(namespace, key)
         if not path.exists():
             self.stats.misses += 1
@@ -242,7 +231,9 @@ class DiskCache:
         Same crash-safety contract as :meth:`save`: the document is
         published whole or not at all, so a checkpoint manifest can be
         rewritten after every completed sweep cell without a kill window
-        ever leaving a torn file behind.
+        ever leaving a torn file behind.  JSON documents always use the
+        flat layout — they are tiny, human-inspectable, and existing
+        checkpoints must stay valid across the backend switch.
         """
         path = self._json_path(namespace, key)
         blob = json.dumps(obj, indent=2, sort_keys=True,
@@ -286,6 +277,8 @@ class DiskCache:
         return obj
 
     def load_meta(self, namespace: str, key: str) -> Dict[str, Any]:
+        if self._store is not None:
+            return self._store.get_meta(namespace, key)
         path = self._path(namespace, key).with_suffix(".json")
         if not path.exists():
             raise KeyError(f"cache meta miss: {namespace}/{key}")
@@ -311,8 +304,26 @@ class DiskCache:
         self.save(namespace, key, arrays, meta=meta)
         return arrays
 
+    # ------------------------------------------------------------------
+    # Eviction pinning (no-op on the flat backend)
+    # ------------------------------------------------------------------
+    def pin(self, namespace: str, key: str) -> None:
+        """Protect an entry from LRU eviction while a sweep checkpoint
+        still references it."""
+        if self._store is not None:
+            self._store.pin(namespace, key)
+
+    def unpin(self, namespace: str, key: str) -> None:
+        if self._store is not None:
+            self._store.unpin(namespace, key)
+
     def clear(self, namespace: Optional[str] = None) -> int:
         """Delete cached entries; returns the number of files removed."""
+        if self._store is not None and namespace is not None:
+            removed = self._store.clear(namespace)
+            # JSON documents live outside the store but share the
+            # namespace directory sweep above, so nothing extra to do.
+            return removed
         base = self.root / namespace if namespace else self.root
         if not base.exists():
             return 0
@@ -321,6 +332,8 @@ class DiskCache:
             if path.is_file():
                 path.unlink()
                 removed += 1
+        if self._store is not None:
+            self._store.unpin_all()
         return removed
 
 

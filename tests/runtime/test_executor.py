@@ -1,14 +1,18 @@
 """Unit tests for the process-pool executor."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.runtime.executor import (
+    SCHEDULERS,
     ParallelExecutor,
     default_chunk_size,
     parallel_map,
     resolve_jobs,
 )
+from repro.runtime.faults import ItemFailure
 
 
 def _square(x):
@@ -48,6 +52,26 @@ class TestChunkSize:
     def test_degenerate_inputs(self):
         assert default_chunk_size(0, 4) == 1
         assert default_chunk_size(10, 0) == 1
+
+    @pytest.mark.parametrize("n_items,jobs", [
+        (1, 8), (2, 16), (7, 8), (8, 8),       # fewer items than slots
+        (9, 8), (31, 8), (33, 8),              # just over slot counts
+        (1, 1), (10_000, 1), (10_000, 64),     # extremes
+        (1_000_000, 3),
+    ])
+    def test_grid_always_at_least_one(self, n_items, jobs):
+        """Regression for the n_items < jobs edge case: the chunk size
+        must stay >= 1 for every grid point, never 0."""
+        chunk = default_chunk_size(n_items, jobs)
+        assert chunk >= 1
+        assert isinstance(chunk, int)
+        if n_items and jobs:
+            # Never so large that a single chunk starves other workers
+            # (ceil keeps at most ~4 chunks per worker).
+            assert chunk <= max(1, -(-n_items // jobs))
+
+    def test_float_inputs_coerced(self):
+        assert default_chunk_size(64.0, 4.0) == 4
 
 
 class TestSerialPath:
@@ -123,3 +147,73 @@ class TestSerialFallback:
         first = ex.map(_noisy, [0.0] * 3)
         second = ex.map(_noisy, [0.0] * 3)
         assert first == second
+
+
+def _slow_square(x):
+    # Heterogeneous cost: item 0 is a straggler, so a static split
+    # leaves idle slots for work-stealing to fill.
+    if x == 0:
+        time.sleep(0.05)
+    return x * x
+
+
+class TestWorkStealing:
+    def test_invalid_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(2, scheduler="mystery")
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], jobs=2, scheduler="mystery")
+
+    def test_results_identical_to_serial_and_static(self):
+        """Stealing only moves work between slots; per-item-index seeding
+        makes the three dispatch strategies bitwise interchangeable."""
+        items = [0.0] * 17
+        serial = parallel_map(_noisy, items, jobs=1, seed=42)
+        static = parallel_map(_noisy, items, jobs=4, seed=42)
+        stolen = parallel_map(_noisy, items, jobs=4, seed=42,
+                              scheduler="work_stealing")
+        assert stolen == serial == static
+
+    def test_schedule_stats_populated(self):
+        ex = ParallelExecutor(4, scheduler="work_stealing")
+        out = ex.map(_square, list(range(23)))
+        assert out == [x * x for x in range(23)]
+        sched = ex.last_schedule
+        assert sched is not None
+        assert sched.scheduler == "work_stealing"
+        assert sched.items == 23
+        assert sched.leases >= 23 / max(1, ex.chunk_size or 1) - 1
+        assert sched.steals >= 0
+        assert sched.wall_s > 0
+        assert all(b >= 0 for b in sched.busy_s.values())
+        eff = sched.worker_efficiency()
+        assert all(0 <= e <= 1.5 for e in eff.values())
+
+    def test_serial_map_records_full_efficiency(self):
+        ex = ParallelExecutor(1)
+        ex.map(_square, [1, 2, 3])
+        sched = ex.last_schedule
+        assert sched.scheduler == "serial"
+        assert sched.busy_s == {0: sched.wall_s}
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2,
+                         scheduler="work_stealing")
+
+    def test_on_error_record_collects_failures(self):
+        out = parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2,
+                           scheduler="work_stealing", on_error="record")
+        assert out[0] == 1 and out[1] == 2 and out[3] == 4
+        assert isinstance(out[2], ItemFailure)
+        assert out[2].kind == "error"
+
+    def test_straggler_profile_matches_serial(self):
+        items = list(range(12))
+        expected = [x * x for x in items]
+        stolen = parallel_map(_slow_square, items, jobs=3,
+                              scheduler="work_stealing")
+        assert stolen == expected
+
+    def test_schedulers_tuple_exported(self):
+        assert SCHEDULERS == ("static", "work_stealing")

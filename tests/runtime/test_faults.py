@@ -437,3 +437,46 @@ class TestSweepResume:
         manifest = sweeps.load_checkpoint(
             ctx, sweeps.sweep_checkpoint_key(ctx, cells))
         assert manifest["status"] == "complete"
+
+
+class TestWorkStealingChaos:
+    """ISSUE 8: chaos injected into stolen-work sweeps must not change a
+    bit relative to the clean serial baseline."""
+
+    def test_stolen_faulted_equals_serial_clean(self):
+        items = list(range(10))
+        clean = parallel_map(_seeded_draw, items, jobs=1, seed=77)
+        plan = FaultPlan(transients={1: 1, 5: 2})
+        chaotic = parallel_map(_seeded_draw, items, jobs=3, seed=77,
+                               scheduler="work_stealing", fault_plan=plan,
+                               policy=RetryPolicy(retries=3, backoff_s=0.0))
+        for a, b in zip(clean, chaotic):
+            assert a.tobytes() == b.tobytes()
+
+    def test_stolen_crash_redispatch_recovers(self):
+        """A worker crash under work-stealing is re-leased and retried."""
+        plan = FaultPlan(crashes={2: 1})
+        out = parallel_map(_double, [1, 2, 3, 4, 5], jobs=2,
+                           scheduler="work_stealing", fault_plan=plan,
+                           policy=RetryPolicy(retries=2, backoff_s=0.01))
+        assert out == [2, 4, 6, 8, 10]
+
+    def test_stolen_chaos_sweep_bitwise_identical(self, sweep_ctx,
+                                                  baseline_hashes):
+        """Transients + corruption under the stealing scheduler still
+        reproduce the serial sweep's artifacts exactly."""
+        from repro.experiments import sweeps
+
+        ctx = sweep_ctx
+        assert ctx.cache.clear("attacks") > 0
+        plan = FaultPlan(transients={0: 1}, corrupts={1: 1})
+        summary = sweeps.precompute_attacks(ctx, kappas=SWEEP_KAPPAS,
+                                            betas=SWEEP_BETAS, jobs=2,
+                                            policy=SWEEP_POLICY,
+                                            fault_plan=plan,
+                                            scheduler="work_stealing")
+        assert summary["scheduler"] == "work_stealing"
+        assert summary["computed"] == 2
+        assert summary["failed"] == 0
+        assert summary["healed"] >= 1
+        assert _grid_hashes(ctx) == baseline_hashes

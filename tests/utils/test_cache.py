@@ -217,9 +217,8 @@ class TestConcurrentWriters:
         np.testing.assert_array_equal(cache.load("ns", "shared")["v"],
                                       payload["v"])
         assert "writer" in cache.load_meta("ns", "shared")
-        # no temp droppings left behind
-        leftovers = [p for p in (tmp_path / "ns").iterdir()
-                     if p.suffix == ".tmp"]
+        # no temp droppings left behind anywhere in the cache tree
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
         assert leftovers == []
 
     def test_threaded_distinct_keys(self, tmp_path):

@@ -1,0 +1,306 @@
+"""Property and invariant tests for the content-addressed sharded store.
+
+The hypothesis suites drive :class:`ShardedStore` through randomized
+operation sequences and assert the two contracts the sweep machinery
+leans on:
+
+* every manifest entry resolves to a readable artifact, and stored
+  bytes never exceed the configured cap (absent pins);
+* LRU eviction never drops a pinned entry, no matter the pressure.
+
+The example-based tests cover the flat-layout migration path (read
+through + upgrade in place), corrupt-blob quarantine accounting, and
+the per-shard resumable integrity scrub.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.store import (
+    CacheStats,
+    ShardedStore,
+    atomic_write,
+    content_hash,
+)
+from repro.utils.cache import DiskCache
+
+pytestmark = pytest.mark.tier1
+
+# A small pool of distinct payloads; sizes differ so eviction pressure
+# varies, and index 0 == index 1 content-wise to exercise dedup.
+_PAYLOADS = [
+    {"x": np.arange(64, dtype=np.float64)},
+    {"x": np.arange(64, dtype=np.float64)},
+    {"x": np.ones((32, 8), dtype=np.float32), "y": np.arange(5)},
+    {"x": np.zeros(512, dtype=np.float64)},
+    {"a": np.full(256, 7, dtype=np.int64)},
+]
+_KEYS = [f"k{i}" for i in range(6)]
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, len(_KEYS) - 1),
+                  st.integers(0, len(_PAYLOADS) - 1)),
+        st.tuples(st.just("get"), st.integers(0, len(_KEYS) - 1)),
+        st.tuples(st.just("delete"), st.integers(0, len(_KEYS) - 1)),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def _blob_bytes(store):
+    return sum(p.stat().st_size
+               for p in store.shards_dir.glob("*/*.npz") if p.is_file())
+
+
+class TestStoreInvariants:
+    """Randomized sequences preserve the manifest/cap contract."""
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=_ops, cap_kib=st.integers(2, 12))
+    def test_entries_resolve_and_bytes_bounded(self, ops, cap_kib):
+        """Every manifest entry resolves to a readable artifact and
+        total stored bytes stay <= the cap (the ISSUE 8 store invariant)."""
+        with tempfile.TemporaryDirectory() as root:
+            cap = cap_kib * 1024
+            store = ShardedStore(root, shards=8, max_bytes=cap)
+            model = {}
+            for op in ops:
+                if op[0] == "put":
+                    _, ki, pi = op
+                    store.put("ns", _KEYS[ki], _PAYLOADS[pi])
+                    model[_KEYS[ki]] = pi
+                elif op[0] == "get":
+                    try:
+                        store.get("ns", _KEYS[op[1]])
+                    except KeyError:
+                        pass
+                else:
+                    store.delete("ns", _KEYS[op[1]])
+                    model.pop(_KEYS[op[1]], None)
+
+            assert store.total_bytes() <= cap
+            for entry in store.entries():
+                arrays = store.get(entry.namespace, entry.key)
+                want = _PAYLOADS[model[entry.key]]
+                assert sorted(arrays) == sorted(want)
+                for name in want:
+                    np.testing.assert_array_equal(arrays[name], want[name])
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=_ops, pinned=st.sets(st.integers(0, len(_KEYS) - 1),
+                                    min_size=1, max_size=3))
+    def test_eviction_never_drops_pinned(self, ops, pinned):
+        """Pinned entries survive arbitrary eviction pressure."""
+        with tempfile.TemporaryDirectory() as root:
+            # Cap far below the pinned payloads' footprint: every put
+            # triggers eviction, so only the pin check protects them.
+            store = ShardedStore(root, shards=8, max_bytes=1024)
+            protected = {}
+            for ki in sorted(pinned):
+                payload = _PAYLOADS[ki % len(_PAYLOADS)]
+                # Pin before put: put itself triggers eviction, and the
+                # pin contract must already hold during that pass.
+                store.pin("pinned", _KEYS[ki])
+                store.put("pinned", _KEYS[ki], payload)
+                protected[_KEYS[ki]] = payload
+            for op in ops:
+                if op[0] == "put":
+                    store.put("ns", _KEYS[op[1]], _PAYLOADS[op[2]])
+                elif op[0] == "get":
+                    try:
+                        store.get("ns", _KEYS[op[1]])
+                    except KeyError:
+                        pass
+                else:
+                    store.delete("ns", _KEYS[op[1]])
+
+            for key, payload in protected.items():
+                arrays = store.get("pinned", key)
+                for name in payload:
+                    np.testing.assert_array_equal(arrays[name], payload[name])
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(keys=st.sets(st.integers(0, len(_KEYS) - 1), min_size=2))
+    def test_dedup_shares_one_blob(self, keys):
+        """Identical payloads under distinct keys share a single blob."""
+        with tempfile.TemporaryDirectory() as root:
+            store = ShardedStore(root, shards=8)
+            payload = {"x": np.arange(100, dtype=np.float64)}
+            for ki in sorted(keys):
+                store.put("ns", _KEYS[ki], payload)
+            blobs = list(store.shards_dir.glob("*/*.npz"))
+            assert len(blobs) == 1
+            assert store.stats.dedup_hits == len(keys) - 1
+            report = store.dedup_report()
+            assert report["entries"] == len(keys)
+            assert report["unique_blobs"] == 1
+            assert report["saved_pct"] > 0
+
+
+class TestContentHash:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=32))
+    def test_deterministic_and_content_sensitive(self, values):
+        a = {"x": np.array(values, dtype=np.int64)}
+        b = {"x": np.array(values, dtype=np.int64)}
+        assert content_hash(a) == content_hash(b)
+        mutated = {"x": np.array(values, dtype=np.int64)}
+        mutated["x"][0] += 1
+        assert content_hash(a) != content_hash(mutated)
+
+    def test_name_and_dtype_matter(self):
+        x = np.arange(8, dtype=np.int64)
+        assert content_hash({"x": x}) != content_hash({"y": x})
+        assert (content_hash({"x": x})
+                != content_hash({"x": x.astype(np.float64)}))
+
+
+class TestMigration:
+    """Flat-layout caches are read through and upgraded in place."""
+
+    def _build_flat(self, root: Path, n: int = 3):
+        flat = DiskCache(root, backend="flat")
+        payloads = {}
+        for i in range(n):
+            arrays = {"x": np.arange(10, dtype=np.float64) + i}
+            flat.save("attacks", f"cell{i}", arrays, meta={"cell": i})
+            payloads[f"cell{i}"] = arrays
+        return payloads
+
+    def test_read_through_upgrades_in_place(self, tmp_path):
+        payloads = self._build_flat(tmp_path)
+        cache = DiskCache(tmp_path)          # sharded default
+        arrays = cache.load("attacks", "cell1")
+        np.testing.assert_array_equal(arrays["x"], payloads["cell1"]["x"])
+        # The flat blob is gone, the sharded entry + blob exist.
+        assert not (tmp_path / "attacks" / "cell1.npz").exists()
+        assert cache.store.contains("attacks", "cell1")
+        assert cache.stats.migrated == 1
+        assert cache.stats.hits == 1
+        # Meta migrated into the store alongside the blob.
+        assert cache.load_meta("attacks", "cell1")["cell"] == 1
+        # Second read comes from the sharded layout.
+        again = cache.load("attacks", "cell1")
+        np.testing.assert_array_equal(again["x"], payloads["cell1"]["x"])
+        assert cache.stats.migrated == 1
+
+    def test_migrate_flat_bulk(self, tmp_path):
+        payloads = self._build_flat(tmp_path, n=4)
+        store = ShardedStore(tmp_path, shards=8)
+        assert store.migrate_flat() == 4
+        assert store.stats.migrated == 4
+        for key, arrays in payloads.items():
+            got = store.get("attacks", key)
+            np.testing.assert_array_equal(got["x"], arrays["x"])
+            assert not (tmp_path / "attacks" / f"{key}.npz").exists()
+
+    def test_unreadable_legacy_discarded(self, tmp_path):
+        self._build_flat(tmp_path, n=1)
+        (tmp_path / "attacks" / "cell0.npz").write_bytes(b"torn write")
+        cache = DiskCache(tmp_path)
+        with pytest.raises(KeyError):
+            cache.load("attacks", "cell0")
+        assert cache.stats.stale_discards == 1
+        assert not (tmp_path / "attacks" / "cell0.npz").exists()
+
+
+class TestQuarantine:
+    def test_corrupt_blob_quarantined_with_stats(self, tmp_path):
+        store = ShardedStore(tmp_path, shards=8)
+        blob = store.put("ns", "k", {"x": np.arange(16)})
+        blob.write_bytes(b"\x00corrupt")
+        with pytest.raises(KeyError):
+            store.get("ns", "k")
+        assert store.stats.quarantined == 1
+        assert store.stats.stale_discards == 1
+        assert store.stats.misses == 1
+        quarantined = list(store.quarantine_dir.glob("*.npz"))
+        assert [p.name for p in quarantined] == [blob.name]
+        assert not blob.exists()
+        assert store.entries() == []
+        # The key recomputes cleanly afterwards.
+        store.put("ns", "k", {"x": np.arange(16)})
+        assert sorted(store.get("ns", "k")) == ["x"]
+
+    def test_verify_scrub_resume_skips_clean_shards(self, tmp_path):
+        store = ShardedStore(tmp_path, shards=4)
+        for i in range(8):
+            store.put("ns", f"k{i}", {"x": np.arange(8) + i})
+        report = store.verify()
+        assert report["checked"] == 8
+        assert report["quarantined"] == 0
+        state = json.loads(store.scrub_path.read_text())
+        assert state["status"] == "complete"
+        assert all(s["status"] == "clean" for s in state["shards"].values())
+        # Resume skips every already-clean shard.
+        resumed = store.verify(resume=True)
+        assert resumed["checked"] == 0
+        assert resumed["skipped"] == 8
+
+    def test_verify_heals_corruption_and_dangling(self, tmp_path):
+        store = ShardedStore(tmp_path, shards=4)
+        blobs = [store.put("ns", f"k{i}", {"x": np.arange(8) + i})
+                 for i in range(4)]
+        blobs[0].write_bytes(b"bad")
+        blobs[1].unlink()
+        report = store.verify()
+        assert report["quarantined"] == 1
+        assert report["dangling"] == 1
+        # Healed: the two damaged keys are gone, the rest still load.
+        assert not store.contains("ns", "k0")
+        assert not store.contains("ns", "k1")
+        assert sorted(store.get("ns", "k2")) == ["x"]
+
+
+class TestAtomicWrite:
+    def test_returns_bytes_and_publishes_whole(self, tmp_path):
+        target = tmp_path / "deep" / "doc.json"
+        n = atomic_write(target, lambda fh: fh.write(b'{"ok": 1}'),
+                         suffix=".tmp")
+        assert n == 9
+        assert json.loads(target.read_text()) == {"ok": 1}
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_failure_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "doc.json"
+
+        def boom(fh):
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(target, boom, suffix=".tmp")
+        assert not target.exists()
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestConfig:
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, max_bytes=-1)
+
+    def test_flat_backend_rejects_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, backend="flat", max_bytes=1024)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, backend="mystery")
+
+    def test_stats_reset_covers_new_counters(self):
+        stats = CacheStats(hits=2, dedup_hits=3, evictions=4,
+                           quarantined=5, migrated=6)
+        stats.reset()
+        assert stats.as_dict()["dedup_hits"] == 0
+        assert stats.evictions == stats.quarantined == stats.migrated == 0

@@ -301,7 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission bound: reject (HTTP 429) beyond this "
                             "queue depth (default 256)")
     serve.add_argument("--workers", type=int, default=1, metavar="N",
-                       help="worker threads draining the queue (default 1)")
+                       help="worker threads draining the queue; with "
+                            "--models these are OS-process cluster workers "
+                            "(default 1)")
+    serve.add_argument("--models", metavar="V1,V2,...",
+                       help="comma-separated MagNet variants to route by "
+                            "the /predict 'model' field (starts the "
+                            "multi-process cluster; overrides --variant)")
+    serve.add_argument("--adaptive-wait", action="store_true",
+                       help="AIMD-tune each tenant's max_wait_ms from its "
+                            "live queue-depth gauge (bounds: "
+                            "[--min-wait-ms, --max-wait-ms])")
+    serve.add_argument("--min-wait-ms", type=float, default=0.25,
+                       metavar="MS",
+                       help="adaptive-wait lower bound (default 0.25)")
     serve.add_argument("--max-requests", type=int, default=None, metavar="N",
                        help="exit after serving N requests (smoke/testing; "
                             "default: run until interrupted)")
@@ -418,6 +431,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache_dir = _resolve_cache_dir(args.cache_dir)
     configure_observability(_telemetry_path(args.telemetry, cache_dir))
 
+    if args.models:
+        return _serve_cluster(args, profile, cache_dir)
+
     ctx = ExperimentContext(args.dataset, profile=profile,
                             cache=DiskCache(cache_dir), seed=args.seed)
     log.info("loading %s/%s models (%s profile) ...", args.dataset,
@@ -426,7 +442,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServingConfig(max_batch=args.max_batch,
                            max_wait_ms=args.max_wait_ms,
                            max_queue=args.max_queue,
-                           workers=args.workers)
+                           workers=args.workers,
+                           adaptive_wait=args.adaptive_wait,
+                           min_wait_ms=args.min_wait_ms)
 
     with InferenceService(magnet, config) as service:
         server, _ = serve_in_thread(service, args.host, args.port)
@@ -445,6 +463,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     break
                 if not service.healthy():
                     log.error("service became unhealthy, exiting")
+                    return 1
+        except KeyboardInterrupt:
+            print("interrupted, draining ...", flush=True)
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace, profile, cache_dir) -> int:
+    """``serve --models v1,v2``: the multi-process multi-tenant cluster."""
+    from repro.experiments.context import ExperimentContext, build_served_magnet
+    from repro.serving import (
+        ClusterConfig,
+        ClusterService,
+        ModelSpec,
+        ServingConfig,
+        serve_in_thread,
+    )
+
+    variants = [v.strip() for v in args.models.split(",") if v.strip()]
+    if not variants:
+        log.error("--models needs at least one variant")
+        return 2
+    # Warm the cache in-process first so every worker loads (never
+    # re-trains) bitwise-identical weights.
+    ctx = ExperimentContext(args.dataset, profile=profile,
+                            cache=DiskCache(cache_dir), seed=args.seed)
+    input_shape = tuple(ctx.splits.test.x.shape[1:])
+    tenant_config = ServingConfig(max_batch=args.max_batch,
+                                  max_wait_ms=args.max_wait_ms,
+                                  max_queue=args.max_queue,
+                                  adaptive_wait=args.adaptive_wait,
+                                  min_wait_ms=args.min_wait_ms)
+    specs = []
+    for variant in variants:
+        log.info("warming %s/%s models (%s profile) ...", args.dataset,
+                 variant, profile.name)
+        ctx.magnet(variant, ae_loss=args.ae_loss)
+        specs.append(ModelSpec(
+            model_id=variant, builder=build_served_magnet,
+            builder_kwargs={"dataset": args.dataset, "variant": variant,
+                            "ae_loss": args.ae_loss,
+                            "profile": profile.name,
+                            "cache_dir": str(cache_dir),
+                            "seed": args.seed},
+            input_shape=input_shape, config=tenant_config))
+
+    cluster_config = ClusterConfig(workers=args.workers)
+    with ClusterService(specs, cluster_config) as cluster:
+        cluster.wait_ready(timeout=600.0)
+        server, _ = serve_in_thread(cluster, args.host, args.port)
+        host, port = server.server_address[:2]
+        print(f"serving {args.dataset} x {variants} on http://{host}:{port} "
+              f"({cluster_config.workers} workers, max_batch="
+              f"{tenant_config.max_batch}, adaptive_wait="
+              f"{tenant_config.adaptive_wait})", flush=True)
+        try:
+            while True:
+                time.sleep(0.2)
+                snap = cluster.stats_snapshot()
+                if (args.max_requests is not None
+                        and snap["requests"]["completed"]
+                        >= args.max_requests):
+                    log.info("served %d requests (--max-requests), exiting",
+                             snap["requests"]["completed"])
+                    break
+                if not cluster.healthy():
+                    log.error("cluster became unhealthy, exiting")
                     return 1
         except KeyboardInterrupt:
             print("interrupted, draining ...", flush=True)

@@ -25,9 +25,9 @@ from repro.datasets.base import DataSplits
 from repro.defenses.magnet import MagNet
 from repro.defenses.variants import build_magnet
 from repro.evaluation.protocol import select_attack_seeds
-from repro.experiments.config import ExperimentProfile, current_profile
+from repro.experiments.config import PROFILES, ExperimentProfile, current_profile
 from repro.models.classifiers import ScaledLogits
-from repro.models.zoo import ClassifierSpec, ModelZoo
+from repro.models.zoo import ClassifierSpec, ModelZoo, register_model_builder
 from repro.nn.layers import Module
 from repro.obs import span
 from repro.utils.cache import DiskCache, default_cache, stable_hash
@@ -305,3 +305,27 @@ class ExperimentContext:
                             max_iterations=max_iterations).attack(x0, y0)
 
         return self._cached_attack(spec, "deepfool", run)
+
+
+# ----------------------------------------------------------------------
+# Serving integration: a picklable zoo-backed MagNet builder
+# ----------------------------------------------------------------------
+def build_served_magnet(dataset: str, variant: str = "default",
+                        ae_loss: str = "mse", profile: str = "quick",
+                        cache_dir: Optional[str] = None,
+                        seed: int = 0) -> MagNet:
+    """Build one calibrated zoo MagNet variant for a serving worker.
+
+    Module-level and keyword-driven so a
+    :class:`~repro.serving.router.ModelSpec` can carry it (or its
+    catalog name ``"zoo-magnet"``) into spawn-started worker processes.
+    With a warm cache directory this loads weights instead of training,
+    so every worker reconstructs bitwise-identical models.
+    """
+    profile_obj = PROFILES[profile] if isinstance(profile, str) else profile
+    cache = DiskCache(cache_dir) if cache_dir else None
+    ctx = ExperimentContext(dataset, profile_obj, cache=cache, seed=seed)
+    return ctx.magnet(variant, ae_loss=ae_loss)
+
+
+register_model_builder("zoo-magnet", build_served_magnet)

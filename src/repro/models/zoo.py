@@ -185,3 +185,57 @@ def _dataset_of(splits: DataSplits) -> str:
     if "object" in name:
         return "objects"
     raise ValueError(f"cannot infer dataset kind from splits name {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Model-builder catalog (spawn-safe serving workers)
+# ----------------------------------------------------------------------
+#: Registered builder callables, keyed by catalog name.  A serving
+#: :class:`~repro.serving.router.ModelSpec` may name a builder here
+#: instead of embedding a callable, so only the *name* and its kwargs
+#: cross a process boundary — the worker resolves and calls the builder
+#: locally (training/loading from its own cache as needed).
+_MODEL_BUILDERS: Dict[str, object] = {}
+
+
+def register_model_builder(name: str, builder, replace: bool = False) -> None:
+    """Register ``builder`` under ``name`` for by-name worker resolution.
+
+    ``builder`` must be a module-level callable returning a ready (e.g.
+    calibrated-MagNet) model; it is looked up again inside each worker
+    process, so it must be importable there.
+    """
+    if not callable(builder):
+        raise TypeError(f"builder for {name!r} must be callable")
+    if name in _MODEL_BUILDERS and not replace:
+        raise ValueError(f"model builder {name!r} already registered")
+    _MODEL_BUILDERS[name] = builder
+
+
+def resolve_model_builder(name: str):
+    """Look up a registered builder, importing known provider modules.
+
+    Providers register at import time; a fresh worker process has not
+    imported them yet, so resolution lazily pulls in the standard ones
+    (kept as function-local imports to avoid circular imports — both
+    providers import :mod:`repro.models.zoo` themselves).
+    """
+    if name not in _MODEL_BUILDERS:
+        import importlib
+        for provider in ("repro.serving.smoke", "repro.experiments.context"):
+            try:
+                importlib.import_module(provider)
+            except Exception:  # pragma: no cover - provider deps missing
+                continue
+            if name in _MODEL_BUILDERS:
+                break
+    try:
+        return _MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model builder {name!r}; registered: "
+            f"{sorted(_MODEL_BUILDERS)}") from None
+
+
+def registered_model_builders() -> Tuple[str, ...]:
+    return tuple(sorted(_MODEL_BUILDERS))

@@ -49,6 +49,7 @@ from repro.obs.report import (
     build_span_tree,
     load_events,
     render_fault_summary,
+    render_store_summary,
     render_timings,
     render_trace,
     span_events,
@@ -104,6 +105,7 @@ __all__ = [
     "profiled",
     "record_span",
     "render_fault_summary",
+    "render_store_summary",
     "render_timings",
     "render_trace",
     "span",

@@ -145,6 +145,32 @@ def render_fault_summary(events: Iterable[Dict[str, Any]]) -> Optional[str]:
             f"failed cells={counts['sweep/cell_failed']}")
 
 
+def render_store_summary(events: Iterable[Dict[str, Any]]) -> Optional[str]:
+    """One-line artifact-store eviction summary, or None if none ran.
+
+    Folds the ``store/evict`` events emitted by
+    :meth:`~repro.runtime.store.ShardedStore.evict` (entry and byte
+    counts) and flags any ``store/over_cap`` events — a cap that could
+    not be met without dropping pinned checkpoints.
+    """
+    passes = evicted = reclaimed = over_cap = 0
+    for e in events:
+        stage = e.get("stage")
+        if stage == "store/evict":
+            passes += 1
+            evicted += int(e.get("evicted") or 0)
+            reclaimed += int(e.get("bytes_reclaimed") or 0)
+        elif stage == "store/over_cap":
+            over_cap += 1
+    if not passes and not over_cap:
+        return None
+    line = (f"store evictions: {evicted} entries in {passes} pass(es), "
+            f"{reclaimed / 1e6:.2f} MB reclaimed")
+    if over_cap:
+        line += f"; {over_cap} over-cap pass(es) held back by pinned entries"
+    return line
+
+
 def render_timings(events: Iterable[Dict[str, Any]]) -> str:
     """Per-stage wall-clock table (sorted by total time, descending).
 
@@ -172,6 +198,9 @@ def render_timings(events: Iterable[Dict[str, Any]]) -> str:
     faults = render_fault_summary(events)
     if faults:
         lines.append(faults)
+    store = render_store_summary(events)
+    if store:
+        lines.append(store)
     skipped = int(getattr(events, "skipped", 0) or 0)
     if skipped:
         lines.append(f"{skipped} corrupt line(s) skipped "

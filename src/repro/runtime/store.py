@@ -52,7 +52,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.obs import counter
+from repro.obs import counter, event
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -82,6 +82,7 @@ class CacheStats:
     # Sharded-backend extras (all zero on the flat backend).
     dedup_hits: int = 0
     evictions: int = 0
+    bytes_reclaimed: int = 0
     quarantined: int = 0
     migrated: int = 0
 
@@ -230,6 +231,7 @@ class ShardedStore:
         self._lock = threading.Lock()
         self._dedup = counter("store/dedup_hits")
         self._evicted = counter("store/evictions")
+        self._reclaimed = counter("store/bytes_reclaimed")
         self._quarantined = counter("store/quarantined")
         self._migrated = counter("store/migrated")
 
@@ -491,6 +493,7 @@ class ShardedStore:
         cap = self.max_bytes if max_bytes is None else int(max_bytes)
         if cap is None:
             return 0
+        started = time.monotonic()
         with self._lock:
             total = self.total_bytes()
             if total <= cap:
@@ -500,6 +503,7 @@ class ShardedStore:
             for e in entries:
                 refs[e.content_hash] = refs.get(e.content_hash, 0) + 1
             evicted = 0
+            reclaimed = 0
             for e in entries:              # oldest-read first
                 if total <= cap:
                     break
@@ -510,7 +514,9 @@ class ShardedStore:
                 if refs[e.content_hash] <= 0:
                     blob = self.blob_path(e.content_hash)
                     if blob.is_file():
-                        total -= blob.stat().st_size
+                        freed = blob.stat().st_size
+                        total -= freed
+                        reclaimed += freed
                         blob.unlink()
                     sidecar = blob.with_suffix(".json")
                     if sidecar.is_file():
@@ -518,10 +524,19 @@ class ShardedStore:
                 evicted += 1
                 self.stats.evictions += 1
                 self._evicted.inc()
+            self.stats.bytes_reclaimed += reclaimed
+            if reclaimed:
+                self._reclaimed.inc(reclaimed)
+            if evicted:
+                event("store/evict",
+                      duration_s=time.monotonic() - started,
+                      evicted=evicted, bytes_reclaimed=reclaimed)
             if total > cap:
                 log.warning(
                     "store over cap after eviction (%d > %d bytes): "
                     "%d pinned entries held", total, cap, len(self._pins))
+                event("store/over_cap", over_bytes=total - cap,
+                      pinned=len(self._pins))
             return evicted
 
     def _remove_entry(self, entry: StoreEntry, *, drop_blob: bool) -> int:

@@ -233,30 +233,36 @@ class ScenarioRegistry:
 _ADVERSARIAL_MODELS = ("oblivious", "transfer", "graybox", "bpda",
                        "detector_aware")
 
-#: Attack families enumerated per threat model: the paper's L1 attack
-#: and the C&W-L2 baseline it is compared against.
-_STANDARD_FAMILIES = ("ead_l1", "cw")
+#: Attack families enumerated per threat model: the paper's L1 attack,
+#: its elastic-net (L1+L2) sibling, and the C&W-L2 baseline they are
+#: compared against.
+_STANDARD_FAMILIES = ("ead_l1", "ead_en", "cw")
 
 #: Corruption severities sampled for the non-adversarial rows.
 _CORRUPTION_SEVERITIES = (1, 3, 5)
 
 
 def default_registry() -> ScenarioRegistry:
-    """The standard grid: 30 adversarial cells + 18 corruption rows.
+    """The standard grid: 90 adversarial cells + 18 corruption rows.
 
-    * digits × {default, jsd} × five threat models × {EAD-L1, C&W};
-    * objects × {default} × five threat models × {EAD-L1, C&W};
+    * digits × {default, jsd, wide, wide_jsd} × five threat models ×
+      {EAD-L1, EAD-EN, C&W};
+    * objects × {default, wide} × five threat models ×
+      {EAD-L1, EAD-EN, C&W};
     * digits × {default} × every corruption × severities 1/3/5.
 
-    Built fresh per call so callers can extend their copy without
-    mutating a module-global.
+    The defense axes mirror :data:`repro.defenses.variants.MNIST_VARIANTS`
+    and :data:`~repro.defenses.variants.CIFAR_VARIANTS` — every zoo
+    variant a served model can route to has a scenario row.  Built fresh
+    per call so callers can extend their copy without mutating a
+    module-global.
     """
     registry = ScenarioRegistry()
 
     @registry.generator
     def adversarial() -> Iterator[Scenario]:
-        grids = (("digits", ("default", "jsd")),
-                 ("objects", ("default",)))
+        grids = (("digits", ("default", "jsd", "wide", "wide_jsd")),
+                 ("objects", ("default", "wide")))
         for dataset, variants in grids:
             for variant in variants:
                 for model in _ADVERSARIAL_MODELS:

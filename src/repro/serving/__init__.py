@@ -9,11 +9,17 @@ whichever first) and served through one batched
 queueing and explicit load shedding instead of unbounded latency.
 
 * :class:`MicroBatcher` — the request queue + flush scheduler.
-* :class:`InferenceService` — worker pool + per-request verdicts.
+* :class:`InferenceService` — in-process worker pool + verdicts.
+* :class:`ClusterService` — multi-process, multi-tenant serving over
+  shared-memory rings (:mod:`repro.serving.cluster`), with
+  :class:`ModelRouter` routing (``model=`` field), tiered load-shedding
+  and AIMD adaptive batching (:mod:`repro.serving.policy`).
 * :class:`Client` — in-process frontend for tests and benchmarks.
 * :func:`build_http_server` / :func:`serve_in_thread` — stdlib JSON
-  HTTP frontend (``/predict``, ``/healthz``, ``/stats``).
-* ``python -m repro.experiments serve`` — CLI entry point.
+  HTTP frontend (``/predict``, ``/healthz``, ``/models``, ``/stats``).
+* ``python -m repro.experiments serve`` — CLI entry point
+  (``--models`` routes several variants; ``--workers`` scales
+  processes; ``--adaptive-wait`` turns on the AIMD policy).
 """
 
 from repro.serving.batcher import (
@@ -23,24 +29,44 @@ from repro.serving.batcher import (
     ServingClosedError,
 )
 from repro.serving.client import Client
-from repro.serving.config import ServingConfig
+from repro.serving.cluster import ClusterService
+from repro.serving.config import ClusterConfig, ServingConfig
 from repro.serving.http import (
     ServingHTTPServer,
     build_http_server,
     serve_in_thread,
 )
+from repro.serving.policy import (
+    PRIORITY_TIERS,
+    AdaptiveWaitController,
+    ShedError,
+    TieredAdmission,
+)
+from repro.serving.ring import HeartbeatBoard, SlotRing
+from repro.serving.router import ModelRouter, ModelSpec, UnknownModelError
 from repro.serving.service import InferenceService, ServiceStats, Verdict
 
 __all__ = [
+    "AdaptiveWaitController",
     "Client",
+    "ClusterConfig",
+    "ClusterService",
+    "HeartbeatBoard",
     "InferenceService",
     "MicroBatcher",
+    "ModelRouter",
+    "ModelSpec",
+    "PRIORITY_TIERS",
     "QueueFullError",
     "Request",
     "ServiceStats",
     "ServingClosedError",
     "ServingConfig",
     "ServingHTTPServer",
+    "ShedError",
+    "SlotRing",
+    "TieredAdmission",
+    "UnknownModelError",
     "Verdict",
     "build_http_server",
     "serve_in_thread",

@@ -60,7 +60,8 @@ class MicroBatcher:
 
     def __init__(self, max_batch: int = 32, max_wait_ms: float = 5.0,
                  max_queue: int = 256,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 name: Optional[str] = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
@@ -70,6 +71,9 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.max_queue = int(max_queue)
+        #: Tenant name for multi-model serving; suffixes the queue-depth
+        #: gauge so each tenant's depth is observable on its own.
+        self.name = name
         self._clock = clock
         self._queue: collections.deque = collections.deque()
         self._cond = threading.Condition()
@@ -77,7 +81,8 @@ class MicroBatcher:
         #: Total requests accepted / rejected since construction.
         self.submitted = 0
         self.rejected = 0
-        self._depth_gauge = gauge("serve/queue_depth")
+        suffix = f"_{name}" if name else ""
+        self._depth_gauge = gauge(f"serve/queue_depth{suffix}")
         self._batch_sizes = histogram("serve/batch_size",
                                       buckets=BATCH_SIZE_BUCKETS)
         self._rejected_counter = counter("serve/rejected")
@@ -116,6 +121,18 @@ class MicroBatcher:
             self._submitted_counter.inc()
             self._depth_gauge.set(len(self._queue))
             self._cond.notify()
+
+    def set_max_wait_ms(self, wait_ms: float) -> None:
+        """Retune the flush deadline (adaptive batching policy hook).
+
+        Thread-safe; wakes blocked consumers so a shorter wait takes
+        effect on the batch currently being aged, not just the next one.
+        """
+        if wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {wait_ms}")
+        with self._cond:
+            self.max_wait_s = float(wait_ms) / 1000.0
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Consumer side

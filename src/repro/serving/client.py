@@ -1,10 +1,12 @@
 """In-process client for the serving layer (tests and benchmarks).
 
 The :class:`Client` talks to an :class:`~repro.serving.service.InferenceService`
-directly — same process, no HTTP — which makes it the right frontend for
-closed-loop load generation and for tests that assert on exact verdicts.
-It intentionally mirrors the HTTP surface: ``predict`` ≙ ``POST
-/predict``, ``stats`` ≙ ``GET /stats``, ``healthy`` ≙ ``GET /healthz``.
+or :class:`~repro.serving.cluster.ClusterService` directly — same
+process, no HTTP — which makes it the right frontend for closed-loop
+load generation and for tests that assert on exact verdicts.  It
+intentionally mirrors the HTTP surface: ``predict`` ≙ ``POST
+/predict``, ``stats`` ≙ ``GET /stats``, ``healthy`` ≙ ``GET /healthz``,
+``models`` ≙ ``GET /models``.
 """
 
 from __future__ import annotations
@@ -13,19 +15,30 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.serving.service import InferenceService, Verdict
+from repro.serving.service import Verdict
 
 
 class Client:
-    """Thin in-process frontend over a running :class:`InferenceService`."""
+    """Thin in-process frontend over a running serving backend."""
 
-    def __init__(self, service: InferenceService):
+    def __init__(self, service: Any):
         self.service = service
 
-    def predict(self, x: np.ndarray, timeout: Optional[float] = None
-                ) -> Verdict:
-        """One example in, one verdict out (blocks until served)."""
-        return self.service.predict(x, timeout=timeout)
+    def predict(self, x: np.ndarray, timeout: Optional[float] = None,
+                model: Optional[str] = None,
+                priority: Optional[str] = None) -> Verdict:
+        """One example in, one verdict out (blocks until served).
+
+        ``model``/``priority`` route and tier the request on cluster
+        backends; on a single-model service they must stay ``None``.
+        """
+        if model is None and priority is None:
+            return self.service.predict(x, timeout=timeout)
+        if not getattr(self.service, "supports_routing", False):
+            raise ValueError("single-model service: model/priority "
+                             "fields not supported")
+        return self.service.predict(x, timeout=timeout, model=model,
+                                    priority=priority)
 
     def predict_many(self, xs: Sequence[np.ndarray],
                      timeout: Optional[float] = None) -> List[Verdict]:
@@ -37,3 +50,9 @@ class Client:
 
     def healthy(self) -> bool:
         return self.service.healthy()
+
+    def models(self) -> List[str]:
+        """Routed model ids (empty for a single-model service)."""
+        if getattr(self.service, "supports_routing", False):
+            return self.service.model_ids()
+        return []

@@ -14,12 +14,18 @@ bound.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 
 @dataclasses.dataclass(frozen=True)
 class ServingConfig:
-    """Knobs for :class:`~repro.serving.service.InferenceService`."""
+    """Knobs for :class:`~repro.serving.service.InferenceService`.
+
+    In cluster mode (:class:`~repro.serving.cluster.ClusterService`) one
+    ``ServingConfig`` describes a single *tenant* (one routed model): its
+    batching knobs, queue bound, shed thresholds, and adaptive-wait
+    bounds are all per-tenant.
+    """
 
     #: Flush a batch once this many requests are waiting.
     max_batch: int = 32
@@ -37,6 +43,15 @@ class ServingConfig:
     #: Server-side cap on how long one HTTP /predict call may wait for
     #: its verdict before answering 504.
     request_timeout_s: float = 30.0
+    #: Tiered load-shedding thresholds as fractions of ``max_queue``,
+    #: one per priority tier (interactive, standard, background).  A
+    #: tier's requests shed once queue depth reaches its fraction.
+    shed_thresholds: Tuple[float, float, float] = (1.0, 0.7, 0.45)
+    #: Enable AIMD tuning of ``max_wait_ms`` from the live queue-depth
+    #: gauge; the configured ``max_wait_ms`` becomes the upper bound.
+    adaptive_wait: bool = False
+    #: Lower bound the adaptive policy may shrink the wait to.
+    min_wait_ms: float = 0.25
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -54,10 +69,100 @@ class ServingConfig:
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive, got "
                              f"{self.request_timeout_s}")
+        if len(self.shed_thresholds) != 3:
+            raise ValueError("shed_thresholds needs one fraction per tier "
+                             f"(3), got {self.shed_thresholds!r}")
+        for frac in self.shed_thresholds:
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(
+                    f"shed thresholds must be in (0, 1], got {frac}")
+        if self.min_wait_ms < 0:
+            raise ValueError(
+                f"min_wait_ms must be >= 0, got {self.min_wait_ms}")
+        if self.adaptive_wait and self.min_wait_ms > self.max_wait_ms:
+            raise ValueError(
+                f"min_wait_ms={self.min_wait_ms} exceeds "
+                f"max_wait_ms={self.max_wait_ms}")
 
     @property
     def max_wait_s(self) -> float:
         return self.max_wait_ms / 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Process-level knobs for :class:`~repro.serving.cluster.ClusterService`.
+
+    Per-tenant knobs (batching, queues, shedding) live on each tenant's
+    :class:`ServingConfig`; this dataclass only holds what is shared by
+    the whole worker fleet: transport geometry, supervision timing, and
+    shutdown behaviour.
+    """
+
+    #: OS-process model workers (each hosts every routed model).
+    workers: int = 2
+    #: Slots per shared-memory ring (request and response each).
+    ring_slots: int = 8
+    #: Payload bytes per ring slot; ``None`` sizes automatically from
+    #: the routed models' declared input shapes and batch bounds.
+    slot_bytes: Optional[int] = None
+    #: A worker whose heartbeat is older than this is declared hung and
+    #: restarted (its in-flight batches are re-dispatched).
+    heartbeat_timeout_s: float = 10.0
+    #: Supervisor poll interval.
+    supervise_interval_s: float = 0.1
+    #: Dispatcher/collector idle poll interval.
+    poll_interval_s: float = 0.001
+    #: Adaptive-wait controller tick interval (when any tenant opts in).
+    policy_interval_s: float = 0.05
+    #: In-flight batch bound per worker; ``None`` defaults to
+    #: ``ring_slots``.  The dispatcher stops pulling new batches once
+    #: every live worker is at the bound, so overload backs up in the
+    #: tenant queues where tiered admission can see (and shed) it
+    #: instead of draining invisibly into the pickle-fallback pipe.
+    max_inflight_per_worker: Optional[int] = None
+    #: Graceful-stop budget: drain queued + in-flight work this long
+    #: before failing what remains.
+    drain_timeout_s: float = 30.0
+    #: Times one batch may be re-dispatched after worker crashes before
+    #: its requests fail (guards against a poison batch crash-looping
+    #: the fleet).
+    max_redispatch: int = 2
+    #: Server-side cap for one HTTP /predict wait (504 past this).
+    request_timeout_s: float = 30.0
+    #: multiprocessing start method; ``None`` picks ``fork`` where
+    #: available (model weights inherited copy-on-write) else ``spawn``
+    #: (model specs re-built in the child from picklable builders).
+    start_method: Optional[str] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.ring_slots < 1:
+            raise ValueError(
+                f"ring_slots must be >= 1, got {self.ring_slots}")
+        if self.slot_bytes is not None and self.slot_bytes < 1:
+            raise ValueError(
+                f"slot_bytes must be >= 1, got {self.slot_bytes}")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive, got "
+                             f"{self.heartbeat_timeout_s}")
+        if (self.max_inflight_per_worker is not None
+                and self.max_inflight_per_worker < 1):
+            raise ValueError("max_inflight_per_worker must be >= 1, got "
+                             f"{self.max_inflight_per_worker}")
+        if self.max_redispatch < 0:
+            raise ValueError(
+                f"max_redispatch must be >= 0, got {self.max_redispatch}")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive, got "
+                             f"{self.request_timeout_s}")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}")
 
     def as_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

@@ -7,15 +7,25 @@ connections coalesce into batches server-side with no client changes.
 
 Endpoints:
 
-* ``POST /predict`` — body ``{"x": <nested list>, "id": "..."?}``;
-  answers the verdict as JSON.  ``400`` malformed body/shape, ``429``
-  queue full (load shed; retry later), ``503`` service stopped, ``504``
-  verdict timed out.
+* ``POST /predict`` — body ``{"x": <nested list>, "id": "..."?,
+  "model": "..."?, "priority": "..."?}``; answers the verdict as JSON.
+  ``model`` routes to a tenant when the backend is a
+  :class:`~repro.serving.cluster.ClusterService` (``404`` unknown id;
+  ``400`` on a single-model server), ``priority`` picks the shedding
+  tier.  ``400`` malformed body/shape, ``429`` queue full or tier shed
+  (load shed; retry later), ``503`` service stopped, ``504`` verdict
+  timed out.
 * ``GET /healthz`` — ``{"status": "ok"}`` (``503`` once stopped).
+* ``GET /models`` — routed model ids + default (cluster backends).
 * ``GET /stats`` — counters, batch stats, p50/p95/p99 latencies, config.
 * ``GET /metrics`` — Prometheus text exposition of the process-wide
   :mod:`repro.obs` metrics registry (``serve/*``, ``cache/*``, ...)
   plus the service's latency percentiles and queue depth as gauges.
+
+The server is backend-agnostic: anything exposing ``submit`` /
+``healthy`` / ``uptime_s`` / ``request_timeout_s`` / ``stats_snapshot``
+/ ``metrics_gauges`` works (both ``InferenceService`` and
+``ClusterService`` do).
 """
 
 from __future__ import annotations
@@ -30,7 +40,8 @@ import numpy as np
 
 from repro.obs import metrics_registry
 from repro.serving.batcher import QueueFullError, ServingClosedError
-from repro.serving.service import InferenceService
+from repro.serving.policy import ShedError
+from repro.serving.router import UnknownModelError
 from repro.utils.logging import get_logger
 
 log = get_logger(__name__)
@@ -41,23 +52,23 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one :class:`InferenceService`."""
+    """HTTP server bound to one serving backend (service or cluster)."""
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], service: InferenceService):
+    def __init__(self, address: Tuple[str, int], service: Any):
         super().__init__(address, _ServingHandler)
         self.service = service
 
 
-def build_http_server(service: InferenceService, host: str = "127.0.0.1",
+def build_http_server(service: Any, host: str = "127.0.0.1",
                       port: int = 0) -> ServingHTTPServer:
     """Bind the JSON frontend; ``port=0`` picks an ephemeral port."""
     return ServingHTTPServer((host, port), service)
 
 
-def serve_in_thread(service: InferenceService, host: str = "127.0.0.1",
+def serve_in_thread(service: Any, host: str = "127.0.0.1",
                     port: int = 0) -> Tuple[ServingHTTPServer, threading.Thread]:
     """Start a server on a daemon thread; returns (server, thread).
 
@@ -103,22 +114,23 @@ class _ServingHandler(BaseHTTPRequestHandler):
                 self._send_json(503, {"status": "stopped"})
         elif self.path == "/stats":
             self._send_json(200, service.stats_snapshot())
+        elif self.path == "/models":
+            if getattr(service, "supports_routing", False):
+                self._send_json(200, {
+                    "models": sorted(service.model_ids()),
+                    "default_model": service.router.default_model})
+            else:
+                self._send_json(404, {"error": "single-model server: "
+                                               "no routed models"})
         elif self.path == "/metrics":
             self._send_metrics(service)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
-    def _send_metrics(self, service: InferenceService) -> None:
+    def _send_metrics(self, service: Any) -> None:
         """Prometheus text exposition: registry + serving percentiles."""
-        snap = service.stats_snapshot()
-        extra = {"serve/uptime_seconds": snap["uptime_s"],
-                 "serve/healthy": 1.0 if snap["healthy"] else 0.0,
-                 "serve/queue_depth_now": snap["queue_depth"]}
-        for window, pcts in snap["latency_ms"].items():
-            for pct, value in pcts.items():
-                extra[f"serve/latency_{window}_ms_{pct}"] = value
         body = metrics_registry().render_prometheus(
-            extra_gauges=extra).encode("utf-8")
+            extra_gauges=service.metrics_gauges()).encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type",
                          "text/plain; version=0.0.4; charset=utf-8")
@@ -152,9 +164,32 @@ class _ServingHandler(BaseHTTPRequestHandler):
         if request_id is not None and not isinstance(request_id, str):
             self._send_json(400, {"error": "id must be a string"})
             return
+        model = payload.get("model")
+        priority = payload.get("priority")
+        for field, value in (("model", model), ("priority", priority)):
+            if value is not None and not isinstance(value, str):
+                self._send_json(400, {"error": f"{field} must be a string"})
+                return
+        routed = getattr(service, "supports_routing", False)
+        if (model is not None or priority is not None) and not routed:
+            self._send_json(400, {"error": "single-model server: model/"
+                                           "priority fields not supported"})
+            return
+        kwargs: Dict[str, Any] = {"request_id": request_id}
+        if routed:
+            kwargs["model"] = model
+            kwargs["priority"] = priority
         try:
-            future = service.submit(x, request_id=request_id)
-            verdict = future.result(service.config.request_timeout_s)
+            future = service.submit(x, **kwargs)
+            verdict = future.result(service.request_timeout_s)
+        except UnknownModelError as exc:
+            self._send_json(404, {"error": str(exc),
+                                  "models": sorted(exc.known)})
+            return
+        except ShedError as exc:
+            self._send_json(429, {"error": str(exc), "shed_tier": exc.tier},
+                            retry_after=True)
+            return
         except QueueFullError:
             self._send_json(429, {"error": "queue full, retry later"},
                             retry_after=True)

@@ -1,0 +1,166 @@
+"""Serving policies: tiered load-shedding and AIMD adaptive batching.
+
+Two policies sit between admission and the micro-batcher:
+
+* :class:`TieredAdmission` — requests carry a priority tier
+  (``interactive`` > ``standard`` > ``background``); each tier admits
+  only while the tenant's queue depth is below its own threshold
+  (a fraction of ``max_queue``).  Under overload the background tier
+  sheds first, then standard, and interactive traffic keeps the full
+  queue — graceful degradation instead of FIFO collapse.  Sheds are
+  counted per tier in :mod:`repro.obs` (``serve/shed``,
+  ``serve/shed_<tier>``) so the benchmark and ``/metrics`` can report
+  them.
+
+* :class:`AdaptiveWaitController` — AIMD tuning of the batcher's
+  ``max_wait_ms`` from the live per-tenant queue-depth gauge.  A deep
+  queue means arrivals outpace flushes: *additive increase* of the wait
+  grows batches (more throughput per dispatch).  An idle queue means
+  the wait is pure added latency: *multiplicative decrease* snaps back
+  toward the latency floor.  The wait is clamped to the tenant's
+  configured ``[min_wait_ms, max_wait_ms]`` bounds, and each adjustment
+  exports a ``serve/wait_ms_<tenant>`` gauge.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.obs import counter, gauge
+from repro.serving.batcher import MicroBatcher
+
+#: Priority tiers, highest first.  The default tier for untagged
+#: requests is ``standard``.
+PRIORITY_TIERS: Tuple[str, ...] = ("interactive", "standard", "background")
+DEFAULT_TIER = "standard"
+
+#: Default admission thresholds as fractions of ``max_queue``, aligned
+#: with PRIORITY_TIERS: interactive may fill the whole queue, standard
+#: sheds at 70% depth, background at 45%.
+DEFAULT_SHED_THRESHOLDS: Tuple[float, ...] = (1.0, 0.7, 0.45)
+
+
+class ShedError(RuntimeError):
+    """Admission shed a request: its tier's queue threshold is exceeded.
+
+    Maps to HTTP 429 like :class:`~repro.serving.batcher.QueueFullError`
+    (which remains the hard full-queue bound) but identifies the tier so
+    clients and the benchmark can distinguish priority sheds from hard
+    rejections.
+    """
+
+    def __init__(self, tier: str, depth: int, limit: int,
+                 tenant: Optional[str] = None):
+        self.tier = tier
+        self.depth = depth
+        self.limit = limit
+        self.tenant = tenant
+        where = f" (model={tenant})" if tenant else ""
+        super().__init__(
+            f"shed {tier} request{where}: queue depth {depth} >= "
+            f"tier limit {limit}")
+
+
+def normalize_tier(priority: Optional[str]) -> str:
+    """Map a request's ``priority`` field to a tier; default standard."""
+    if priority is None:
+        return DEFAULT_TIER
+    tier = str(priority).lower()
+    if tier not in PRIORITY_TIERS:
+        raise ValueError(
+            f"unknown priority {priority!r}; expected one of "
+            f"{PRIORITY_TIERS}")
+    return tier
+
+
+class TieredAdmission:
+    """Per-tier queue-depth thresholds over one tenant's queue."""
+
+    def __init__(self, max_queue: int,
+                 thresholds: Sequence[float] = DEFAULT_SHED_THRESHOLDS,
+                 tenant: Optional[str] = None):
+        if len(thresholds) != len(PRIORITY_TIERS):
+            raise ValueError(
+                f"need {len(PRIORITY_TIERS)} thresholds (one per tier in "
+                f"{PRIORITY_TIERS}), got {len(thresholds)}")
+        for frac in thresholds:
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(
+                    f"shed thresholds must be in (0, 1], got {frac}")
+        self.tenant = tenant
+        #: tier -> admission limit in requests (depth >= limit sheds).
+        self.limits: Dict[str, int] = {
+            tier: max(1, int(math.ceil(frac * max_queue)))
+            for tier, frac in zip(PRIORITY_TIERS, thresholds)}
+        self._lock = threading.Lock()
+        self.shed_counts: Dict[str, int] = {t: 0 for t in PRIORITY_TIERS}
+        self._total_counter = counter("serve/shed")
+        self._tier_counters = {t: counter(f"serve/shed_{t}")
+                               for t in PRIORITY_TIERS}
+
+    def admit(self, tier: str, depth: int) -> None:
+        """Raise :class:`ShedError` when ``tier`` must shed at ``depth``."""
+        limit = self.limits[tier]
+        if depth >= limit:
+            with self._lock:
+                self.shed_counts[tier] += 1
+            self._total_counter.inc()
+            self._tier_counters[tier].inc()
+            raise ShedError(tier, depth, limit, tenant=self.tenant)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.shed_counts)
+
+
+class AdaptiveWaitController:
+    """AIMD ``max_wait_ms`` tuning for one tenant's micro-batcher."""
+
+    def __init__(self, batcher: MicroBatcher, *, min_wait_ms: float,
+                 max_wait_ms: float, tenant: str = "default",
+                 increase_ms: float = 0.5, decrease_factor: float = 0.5,
+                 high_depth: Optional[int] = None,
+                 low_depth: Optional[int] = None):
+        if min_wait_ms < 0 or max_wait_ms < min_wait_ms:
+            raise ValueError(
+                f"need 0 <= min_wait_ms <= max_wait_ms, got "
+                f"[{min_wait_ms}, {max_wait_ms}]")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {decrease_factor}")
+        self.batcher = batcher
+        self.tenant = tenant
+        self.min_wait_ms = float(min_wait_ms)
+        self.max_wait_ms = float(max_wait_ms)
+        self.increase_ms = float(increase_ms)
+        self.decrease_factor = float(decrease_factor)
+        #: Queue deeper than this: batches are filling before the wait
+        #: expires anyway, so trade latency for throughput.
+        self.high_depth = (2 * batcher.max_batch if high_depth is None
+                           else int(high_depth))
+        #: Queue shallower than this: the wait only adds latency.
+        self.low_depth = (max(1, batcher.max_batch // 2) if low_depth is None
+                          else int(low_depth))
+        self.wait_ms = batcher.max_wait_s * 1000.0
+        self.adjustments = 0
+        self._wait_gauge = gauge(f"serve/wait_ms_{tenant}")
+        self._wait_gauge.set(self.wait_ms)
+
+    def tick(self, depth: Optional[int] = None) -> float:
+        """One control step; reads the live queue depth by default."""
+        if depth is None:
+            depth = len(self.batcher)
+        prev = self.wait_ms
+        if depth >= self.high_depth:
+            self.wait_ms = min(self.max_wait_ms,
+                               self.wait_ms + self.increase_ms)
+        elif depth <= self.low_depth:
+            self.wait_ms = max(self.min_wait_ms,
+                               self.wait_ms * self.decrease_factor)
+        if self.wait_ms != prev:
+            self.adjustments += 1
+            self.batcher.set_max_wait_ms(self.wait_ms)
+            self._wait_gauge.set(self.wait_ms)
+        return self.wait_ms

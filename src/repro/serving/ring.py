@@ -1,0 +1,389 @@
+"""Shared-memory slot rings: the cluster's zero-copy batch transport.
+
+The cluster (:mod:`repro.serving.cluster`) moves numpy batches between
+the frontend process and OS-process model workers.  Pickling every batch
+over a pipe would copy each array at least twice (serialize +
+deserialize); instead each worker gets a pair of :class:`SlotRing`
+buffers backed by :class:`multiprocessing.shared_memory.SharedMemory`:
+
+* the *request* ring (frontend produces, worker consumes) carries the
+  stacked float32 input batch,
+* the *response* ring (worker produces, frontend consumes) carries the
+  packed decision arrays (labels, flags, scores, stage timings).
+
+Both sides address the payload as a numpy view directly over the shared
+segment — the only copies are the two unavoidable ones into and out of
+the ring slots.
+
+Concurrency model — Lamport-style SPSC
+--------------------------------------
+Each ring has exactly **one producer thread and one consumer thread**
+(enforced by convention in the cluster: a single dispatcher owns every
+request ring's producer side, each worker owns its consumer side, and
+vice versa for responses).  There are no shared head/tail counters:
+every slot carries a one-byte state (``EMPTY``/``READY``) and each side
+keeps a private cursor.  The producer fills the slot body *first* and
+flips the state byte *last*; the consumer reads the state byte first.
+On CPython both accesses are single aligned byte loads/stores through a
+``memoryview``, so the state flip publishes the slot without locks.
+
+A slot holds one message: a 32-byte header (state, kind, meta length,
+payload length, batch id) followed by ``slot_bytes`` of body.  Batches
+whose payload does not fit the fixed slot size — odd shapes, oversized
+metadata — fall back to the worker's pickle pipe
+(:class:`PickleTransport`), so the ring never needs resizing.
+
+Rings pickle by *name* (:meth:`SlotRing.__reduce__`): sending one to a
+``spawn``-started worker re-attaches to the same segment instead of
+copying it.  Only the creating side unlinks the segment.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Any, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+log = get_logger(__name__)
+
+#: Slot states (one aligned byte per slot — the SPSC publication flag).
+EMPTY = 0
+READY = 1
+
+#: Message kinds.
+KIND_RAW = 0      #: payload is raw array bytes; meta describes the layout
+KIND_PICKLE = 1   #: payload is a pickle (fallback transport)
+KIND_ERROR = 2    #: meta is a UTF-8 error string; no payload
+
+#: Per-slot header: state u8, kind u8, pad, meta_len u32, payload_len u32,
+#: batch_id u64, pad to 32 bytes.
+_SLOT_HEADER = struct.Struct("<BB2xIIQ12x")
+SLOT_HEADER_BYTES = _SLOT_HEADER.size  # 32
+#: Ring-level header (closed flag at byte 0), padded for slot alignment.
+_RING_HEADER_BYTES = 64
+
+
+class RingError(RuntimeError):
+    """Base class for ring transport failures."""
+
+
+class RingFullError(RingError):
+    """The producer found no EMPTY slot (consumer is behind)."""
+
+
+class RingSlotTooSmall(RingError):
+    """The message cannot fit one slot; use the pickle fallback."""
+
+
+class RingMessage:
+    """One popped message; a view into the ring until :meth:`release`.
+
+    ``meta`` is copied out (it is small); the payload stays a zero-copy
+    ``memoryview`` of the shared slot.  The consumer **must** call
+    :meth:`release` after it is done with every array derived from
+    :meth:`array` — releasing flips the slot back to EMPTY for the
+    producer and drops the buffer export so the segment can close.
+    """
+
+    __slots__ = ("kind", "batch_id", "meta", "_view", "_ring", "_slot")
+
+    def __init__(self, kind: int, batch_id: int, meta: bytes,
+                 view: Optional[memoryview], ring: Optional["SlotRing"],
+                 slot: int):
+        self.kind = kind
+        self.batch_id = batch_id
+        self.meta = meta
+        self._view = view
+        self._ring = ring
+        self._slot = slot
+
+    def array(self, shape: Tuple[int, ...], dtype: Any,
+              offset: int = 0) -> np.ndarray:
+        """Zero-copy numpy view over ``[offset:]`` of the payload."""
+        if self._view is None:
+            raise RingError("message already released")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return np.frombuffer(self._view, dtype=dtype, count=count,
+                             offset=offset).reshape(shape)
+
+    def payload_bytes(self) -> bytes:
+        """Copy the payload out (for pickle-kind messages)."""
+        if self._view is None:
+            raise RingError("message already released")
+        return bytes(self._view)
+
+    def release(self) -> None:
+        """Drop the payload view and hand the slot back to the producer."""
+        if self._view is not None:
+            try:
+                self._view.release()
+            except BufferError:
+                # A derived numpy view is still alive somewhere; drop our
+                # reference and let refcounting release it.  The slot is
+                # handed back regardless — by contract the consumer is
+                # done *reading* once it calls release().
+                pass
+            self._view = None
+        if self._ring is not None:
+            self._ring._free_slot(self._slot)
+            self._ring = None
+
+
+class SlotRing:
+    """Fixed-geometry SPSC ring over one shared-memory segment."""
+
+    def __init__(self, slots: int, slot_bytes: int, *,
+                 name: Optional[str] = None, _attach: bool = False):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        self.slots = int(slots)
+        self.slot_bytes = int(slot_bytes)
+        self._stride = SLOT_HEADER_BYTES + self.slot_bytes
+        size = _RING_HEADER_BYTES + self.slots * self._stride
+        if _attach:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+            _untrack(self._shm)
+        else:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=size, name=name)
+            self._owner = True
+            _OWNED_NAMES.add(self._shm.name)
+            # Zero the header region + every slot state byte so a fresh
+            # ring reads all-EMPTY regardless of platform zeroing.
+            self._shm.buf[:_RING_HEADER_BYTES] = b"\x00" * _RING_HEADER_BYTES
+            for i in range(self.slots):
+                self._shm.buf[self._slot_off(i)] = EMPTY
+        self.name = self._shm.name
+        self._head = 0   # producer cursor (private to the producer thread)
+        self._tail = 0   # consumer cursor (private to the consumer thread)
+        self._closed_locally = False
+
+    # -- geometry ------------------------------------------------------
+    def _slot_off(self, slot: int) -> int:
+        return _RING_HEADER_BYTES + slot * self._stride
+
+    # -- pickling: re-attach by name in the child ----------------------
+    def __reduce__(self):
+        return (_reattach_ring, (self.name, self.slots, self.slot_bytes))
+
+    # -- producer side -------------------------------------------------
+    def try_push(self, kind: int, batch_id: int, meta: bytes = b"",
+                 payload: Union[None, bytes, np.ndarray,
+                                Sequence[np.ndarray]] = None) -> bool:
+        """Publish one message; False when the ring is full.
+
+        ``payload`` may be raw bytes, one array, or a sequence of arrays
+        written back-to-back into the slot (so the producer never
+        assembles an intermediate buffer).  Raises
+        :class:`RingSlotTooSmall` when meta+payload exceed the slot.
+        """
+        parts = _payload_parts(payload)
+        payload_len = sum(p.nbytes if isinstance(p, np.ndarray) else len(p)
+                          for p in parts)
+        if len(meta) + payload_len > self.slot_bytes:
+            raise RingSlotTooSmall(
+                f"message needs {len(meta) + payload_len} B > slot_bytes="
+                f"{self.slot_bytes}")
+        slot = self._head % self.slots
+        off = self._slot_off(slot)
+        buf = self._shm.buf
+        if buf[off] != EMPTY:
+            return False
+        body = off + SLOT_HEADER_BYTES
+        if meta:
+            buf[body:body + len(meta)] = meta
+        pos = body + len(meta)
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                flat = np.ascontiguousarray(part)
+                n = flat.nbytes
+                dst = np.frombuffer(buf, dtype=np.uint8, count=n, offset=pos)
+                dst[:] = flat.view(np.uint8).reshape(-1)
+                del dst, flat
+            else:
+                n = len(part)
+                buf[pos:pos + n] = part
+            pos += n
+        # Publish protocol: header fields land while the state byte still
+        # reads EMPTY, then a single aligned byte store flips the slot to
+        # READY — the consumer polls that byte first, so it can never see
+        # READY paired with a stale header or body.
+        _SLOT_HEADER.pack_into(buf, off, EMPTY, kind, len(meta),
+                               payload_len, batch_id)
+        buf[off] = READY
+        self._head += 1
+        return True
+
+    # -- consumer side -------------------------------------------------
+    def try_pop(self) -> Optional[RingMessage]:
+        """Return the next READY message, or None when the ring is empty.
+
+        The returned message pins its slot until ``release()``.
+        """
+        slot = self._tail % self.slots
+        off = self._slot_off(slot)
+        buf = self._shm.buf
+        if buf[off] != READY:
+            return None
+        state, kind, meta_len, payload_len, batch_id = _SLOT_HEADER.unpack_from(
+            buf, off)
+        body = off + SLOT_HEADER_BYTES
+        meta = bytes(buf[body:body + meta_len])
+        view = buf[body + meta_len:body + meta_len + payload_len]
+        self._tail += 1
+        return RingMessage(kind, batch_id, meta, view, self, slot)
+
+    def _free_slot(self, slot: int) -> None:
+        self._shm.buf[self._slot_off(slot)] = EMPTY
+
+    # -- close flag (belt-and-braces shutdown signal) ------------------
+    def mark_closed(self) -> None:
+        self._shm.buf[0] = 1
+
+    @property
+    def peer_closed(self) -> bool:
+        return self._shm.buf[0] == 1
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Detach this side's mapping; unlink if this side created it."""
+        if self._closed_locally:
+            return
+        self._closed_locally = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # A numpy view somewhere still exports the buffer; the
+            # mapping is freed at process exit and unlink() below still
+            # removes the segment name.
+            log.debug("ring %s: close deferred (exported buffer)", self.name)
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            _OWNED_NAMES.discard(self.name)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _reattach_ring(name: str, slots: int, slot_bytes: int) -> SlotRing:
+    return SlotRing(slots, slot_bytes, name=name, _attach=True)
+
+
+def _payload_parts(payload) -> Tuple[Any, ...]:
+    if payload is None:
+        return ()
+    if isinstance(payload, (bytes, bytearray, memoryview, np.ndarray)):
+        return (payload,)
+    return tuple(payload)
+
+
+#: Segment names created (and therefore unlinked) by this process.  An
+#: attach to one of these — pickling a ring back into its creator, as
+#: the unit tests do — must NOT unregister it: the tracker entry and the
+#: creator's registration are the same record.
+_OWNED_NAMES: set = set()
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach a re-attached segment from this process's resource tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's ``resource_tracker``, which unlinks it when *that* process
+    exits — yanking the segment out from under the creator (the known
+    spawn-mode footgun, fixed by ``track=False`` only in newer CPython).
+    Attach-side rings therefore unregister themselves; the creating
+    process keeps sole unlink responsibility.
+    """
+    if shm.name in _OWNED_NAMES:
+        return
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - best effort, fork mode no-op
+        pass
+
+
+class HeartbeatBoard:
+    """A float64-per-worker liveness board in shared memory.
+
+    Workers stamp ``time.time()`` into their slot every loop iteration;
+    the supervisor reads ages without any IPC round-trip.  Pickles by
+    name like :class:`SlotRing`.
+    """
+
+    def __init__(self, workers: int, *, name: Optional[str] = None,
+                 _attach: bool = False):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        if _attach:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+            _untrack(self._shm)
+        else:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=8 * self.workers, name=name)
+            self._owner = True
+            _OWNED_NAMES.add(self._shm.name)
+        self.name = self._shm.name
+        self._arr = np.frombuffer(self._shm.buf, dtype=np.float64,
+                                  count=self.workers)
+        if self._owner:
+            self._arr[:] = 0.0
+
+    def __reduce__(self):
+        return (_reattach_board, (self.name, self.workers))
+
+    def beat(self, index: int, now: Optional[float] = None) -> None:
+        self._arr[index] = time.time() if now is None else now
+
+    def last(self, index: int) -> float:
+        return float(self._arr[index])
+
+    def age_s(self, index: int, now: Optional[float] = None) -> float:
+        """Seconds since the worker's last beat (inf before first beat)."""
+        last = self.last(index)
+        if last <= 0.0:
+            return float("inf")
+        return (time.time() if now is None else now) - last
+
+    def clear(self, index: int) -> None:
+        self._arr[index] = 0.0
+
+    def close(self) -> None:
+        arr, self._arr = self._arr, None
+        del arr
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported view lingers
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            _OWNED_NAMES.discard(self.name)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _reattach_board(name: str, workers: int) -> HeartbeatBoard:
+    return HeartbeatBoard(workers, name=name, _attach=True)

@@ -1,0 +1,129 @@
+"""Multi-tenant model routing for the serving cluster.
+
+One HTTP frontend serves the whole zoo of MagNet variants: each routed
+model is a *tenant* with its own :class:`~repro.serving.config.ServingConfig`
+(batch knobs, queue bound, shed thresholds), its own
+:class:`~repro.serving.batcher.MicroBatcher` (so one tenant's burst
+cannot starve another's queue), its own
+:class:`~repro.serving.policy.TieredAdmission`, and its own latency
+stats.  ``POST /predict`` picks the tenant with the ``model=`` field;
+requests without one go to the default model.
+
+A :class:`ModelSpec` describes how to *build* a tenant's MagNet inside
+each worker process: either a picklable callable, or the name of a
+builder registered in the :mod:`repro.models.zoo` catalog (the
+spawn-safe spelling — only the name and kwargs cross the process
+boundary).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.config import ServingConfig
+from repro.serving.policy import AdaptiveWaitController, TieredAdmission
+from repro.serving.service import ServiceStats
+
+
+class UnknownModelError(KeyError):
+    """``model=`` named a tenant the router does not serve (HTTP 404)."""
+
+    def __init__(self, model: str, known: Sequence[str]):
+        self.model = model
+        self.known = list(known)
+        super().__init__(
+            f"unknown model {model!r}; serving {sorted(self.known)}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+@dataclasses.dataclass
+class ModelSpec:
+    """One routed model: identity + how to build it in a worker process."""
+
+    #: Routing key for the ``model=`` request field.
+    model_id: str
+    #: A picklable callable returning a calibrated MagNet, or the name
+    #: of a builder registered via
+    #: :func:`repro.models.zoo.register_model_builder`.
+    builder: Union[str, Callable[..., Any]]
+    #: Keyword arguments for the builder (must be picklable).
+    builder_kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Expected per-example input shape; pinned from the first request
+    #: when ``None``.
+    input_shape: Optional[Tuple[int, ...]] = None
+    #: Per-tenant serving knobs.
+    config: ServingConfig = dataclasses.field(default_factory=ServingConfig)
+
+    def build(self):
+        """Construct the MagNet (called inside each worker process)."""
+        fn = self.builder
+        if isinstance(fn, str):
+            from repro.models.zoo import resolve_model_builder
+            fn = resolve_model_builder(self.builder)
+        return fn(**self.builder_kwargs)
+
+
+class TenantState:
+    """Frontend-side state for one routed model."""
+
+    def __init__(self, spec: ModelSpec):
+        self.spec = spec
+        self.model_id = spec.model_id
+        self.config = spec.config
+        self.batcher = MicroBatcher(max_batch=spec.config.max_batch,
+                                    max_wait_ms=spec.config.max_wait_ms,
+                                    max_queue=spec.config.max_queue,
+                                    name=spec.model_id)
+        self.stats = ServiceStats(window=spec.config.latency_window)
+        self.admission = TieredAdmission(spec.config.max_queue,
+                                         spec.config.shed_thresholds,
+                                         tenant=spec.model_id)
+        self.adaptive: Optional[AdaptiveWaitController] = None
+        if spec.config.adaptive_wait:
+            self.adaptive = AdaptiveWaitController(
+                self.batcher, min_wait_ms=spec.config.min_wait_ms,
+                max_wait_ms=spec.config.max_wait_ms, tenant=spec.model_id)
+        #: Pinned per-example shape (from the spec, else first request).
+        self.input_shape: Optional[Tuple[int, ...]] = spec.input_shape
+
+
+class ModelRouter:
+    """model-id -> :class:`TenantState` lookup with a default tenant."""
+
+    def __init__(self, specs: Sequence[ModelSpec],
+                 default_model: Optional[str] = None):
+        if not specs:
+            raise ValueError("ModelRouter needs at least one ModelSpec")
+        ids = [spec.model_id for spec in specs]
+        dupes = {m for m in ids if ids.count(m) > 1}
+        if dupes:
+            raise ValueError(f"duplicate model ids: {sorted(dupes)}")
+        self._tenants: Dict[str, TenantState] = {
+            spec.model_id: TenantState(spec) for spec in specs}
+        self.default_model = default_model or ids[0]
+        if self.default_model not in self._tenants:
+            raise UnknownModelError(self.default_model, ids)
+
+    def resolve(self, model: Optional[str] = None) -> TenantState:
+        """Route a request's ``model`` field (None -> default tenant)."""
+        model_id = model or self.default_model
+        tenant = self._tenants.get(model_id)
+        if tenant is None:
+            raise UnknownModelError(model_id, list(self._tenants))
+        return tenant
+
+    def tenants(self) -> List[TenantState]:
+        return list(self._tenants.values())
+
+    def model_ids(self) -> List[str]:
+        return list(self._tenants)
+
+    def __contains__(self, model_id: str) -> bool:
+        return model_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)

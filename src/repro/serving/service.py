@@ -66,9 +66,11 @@ class Verdict:
         return dataclasses.asdict(self)
 
 
-def _percentiles(values: Sequence[float]) -> Dict[str, float]:
+def _percentiles(values: Sequence[float]) -> Dict[str, Optional[float]]:
+    # An empty window has no percentiles: report null (None), not a
+    # fabricated 0.0 that dashboards would read as "zero latency".
     if not values:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {"p50": None, "p95": None, "p99": None}
     arr = np.asarray(values, dtype=np.float64)
     p50, p95, p99 = np.percentile(arr, (50, 95, 99))
     return {"p50": round(float(p50), 3), "p95": round(float(p95), 3),
@@ -153,6 +155,10 @@ class InferenceService:
     #: Poll interval for worker threads re-checking the stop flag.
     _IDLE_POLL_S = 0.05
 
+    #: The single-model service ignores ``model=``/``priority=`` request
+    #: fields; :class:`~repro.serving.cluster.ClusterService` sets True.
+    supports_routing = False
+
     def __init__(self, magnet: MagNet, config: Optional[ServingConfig] = None):
         self.magnet = magnet
         self.config = config or ServingConfig()
@@ -167,6 +173,13 @@ class InferenceService:
         self._id_lock = threading.Lock()
         self._next_id = 0
         self._input_shape: Optional[Tuple[int, ...]] = None
+        self._policy_stop = threading.Event()
+        self.adaptive = None
+        if self.config.adaptive_wait:
+            from repro.serving.policy import AdaptiveWaitController
+            self.adaptive = AdaptiveWaitController(
+                self._batcher, min_wait_ms=self.config.min_wait_ms,
+                max_wait_ms=self.config.max_wait_ms)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -181,6 +194,11 @@ class InferenceService:
                                  name=f"repro-serve-{i}", daemon=True)
             t.start()
             self._threads.append(t)
+        if self.adaptive is not None:
+            t = threading.Thread(target=self._policy_loop,
+                                 name="repro-serve-policy", daemon=True)
+            t.start()
+            self._threads.append(t)
         log.info("serving started: %d worker(s), max_batch=%d, "
                  "max_wait_ms=%g, max_queue=%d", self.config.workers,
                  self.config.max_batch, self.config.max_wait_ms,
@@ -192,6 +210,7 @@ class InferenceService:
         if self._stopped:
             return
         self._stopped = True
+        self._policy_stop.set()
         self._batcher.close()
         for t in self._threads:
             t.join(timeout)
@@ -266,6 +285,10 @@ class InferenceService:
         futures = [self.submit(x) for x in xs]
         return [f.result(timeout) for f in futures]
 
+    @property
+    def request_timeout_s(self) -> float:
+        return self.config.request_timeout_s
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """Counters, latency percentiles and config — the /stats payload."""
         snap = self.stats.snapshot()
@@ -275,6 +298,18 @@ class InferenceService:
         snap["healthy"] = self.healthy()
         snap["config"] = self.config.as_dict()
         return snap
+
+    def metrics_gauges(self) -> Dict[str, float]:
+        """Extra gauges for /metrics; empty-window percentiles omitted."""
+        snap = self.stats_snapshot()
+        extra = {"serve/uptime_seconds": snap["uptime_s"],
+                 "serve/healthy": 1.0 if snap["healthy"] else 0.0,
+                 "serve/queue_depth_now": snap["queue_depth"]}
+        for window, pcts in snap["latency_ms"].items():
+            for pct, value in pcts.items():
+                if value is not None:
+                    extra[f"serve/latency_{window}_ms_{pct}"] = value
+        return extra
 
     # ------------------------------------------------------------------
     # Worker pool
@@ -286,6 +321,10 @@ class InferenceService:
                 return                      # closed and drained
             if batch:
                 self._run_batch(batch)
+
+    def _policy_loop(self) -> None:
+        while not self._policy_stop.wait(0.05):
+            self.adaptive.tick()
 
     def _run_batch(self, batch: List[Request]) -> None:
         t_start = time.monotonic()

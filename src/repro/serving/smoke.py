@@ -29,8 +29,9 @@ import numpy as np
 from repro.defenses.detectors import JSDDetector, ReconstructionDetector
 from repro.defenses.magnet import MagNet
 from repro.defenses.reformer import Reformer
+from repro.models.zoo import register_model_builder
 from repro.nn.layers import Dense, Sequential, Sigmoid
-from repro.serving.config import ServingConfig
+from repro.serving.config import ClusterConfig, ServingConfig
 from repro.serving.http import serve_in_thread
 from repro.serving.service import InferenceService
 
@@ -39,7 +40,12 @@ DIM = 64
 
 
 def build_toy_magnet(seed: int = 0, n_val: int = 128) -> MagNet:
-    """A tiny calibrated MagNet over flat 64-d inputs; no training."""
+    """A tiny calibrated MagNet over flat 64-d inputs; no training.
+
+    Deterministic in ``seed``, so every worker process reconstructs a
+    bitwise-identical model — the property the cluster equivalence
+    checks rely on.
+    """
     rng = np.random.default_rng(seed)
     classifier = Sequential(Dense(DIM, 32, rng=rng), Sigmoid(),
                             Dense(32, 10, rng=rng))
@@ -51,6 +57,25 @@ def build_toy_magnet(seed: int = 0, n_val: int = 128) -> MagNet:
     x_val = rng.random((n_val, DIM)).astype(np.float32)
     magnet.calibrate(x_val, fpr_total=0.02)
     return magnet
+
+
+register_model_builder("toy", build_toy_magnet)
+
+
+def build_toy_zoo(n_models: int = 2, seed: int = 0, *,
+                  max_batch: int = 8, max_wait_ms: float = 2.0,
+                  max_queue: int = 128, adaptive_wait: bool = False):
+    """Model specs for a tiny multi-tenant cluster (ids toy-0, toy-1, ...)."""
+    from repro.serving.router import ModelSpec
+    return [
+        ModelSpec(model_id=f"toy-{i}", builder="toy",
+                  builder_kwargs={"seed": seed + i},
+                  input_shape=(DIM,),
+                  config=ServingConfig(max_batch=max_batch,
+                                       max_wait_ms=max_wait_ms,
+                                       max_queue=max_queue,
+                                       adaptive_wait=adaptive_wait))
+        for i in range(n_models)]
 
 
 def _http_json(url: str, payload: Dict[str, Any] = None,
@@ -70,7 +95,16 @@ def main(argv=None) -> int:
     parser.add_argument("--concurrency", type=int, default=4,
                         help="concurrent client threads (default 4)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cluster", action="store_true",
+                        help="smoke the multi-process cluster (2 workers, "
+                             "2 routed toy models) instead of the "
+                             "in-process service")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="cluster worker processes (with --cluster)")
     args = parser.parse_args(argv)
+
+    if args.cluster:
+        return _cluster_smoke(args)
 
     magnet = build_toy_magnet(seed=args.seed)
     config = ServingConfig(max_batch=8, max_wait_ms=2.0, max_queue=128)
@@ -136,6 +170,61 @@ def main(argv=None) -> int:
             server.shutdown()
             server.server_close()
 
+    if failures:
+        for failure in failures:
+            print(f"[smoke_serving] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[smoke_serving] OK", flush=True)
+    return 0
+
+
+def _cluster_smoke(args) -> int:
+    """HTTP smoke against a 2-worker, multi-model cluster."""
+    from repro.serving.cluster import ClusterService
+
+    specs = build_toy_zoo(n_models=2, seed=args.seed)
+    model_ids = [spec.model_id for spec in specs]
+    rng = np.random.default_rng(args.seed + 1)
+    inputs = rng.random((args.requests, DIM)).astype(np.float32)
+    failures: List[str] = []
+    with ClusterService(specs,
+                        ClusterConfig(workers=args.workers)) as cluster:
+        if not cluster.wait_ready(timeout=60.0):
+            print("[smoke_serving] FAIL: workers never became ready",
+                  file=sys.stderr)
+            return 1
+        server, _ = serve_in_thread(cluster, "127.0.0.1", 0)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        print(f"[smoke_serving] cluster serving on {base} "
+              f"({args.workers} workers, models {model_ids})", flush=True)
+        try:
+            listed = _http_json(f"{base}/models")
+            if sorted(listed.get("models", [])) != sorted(model_ids):
+                failures.append(f"/models answered {listed}")
+            for k in range(args.requests):
+                verdict = _http_json(
+                    f"{base}/predict",
+                    {"x": inputs[k].tolist(), "id": f"smoke-{k}",
+                     "model": model_ids[k % len(model_ids)],
+                     "priority": "interactive"})
+                for field in ("request_id", "label", "detected",
+                              "detector_scores", "queue_ms", "batch_size"):
+                    if field not in verdict:
+                        failures.append(
+                            f"verdict missing {field!r}: {verdict}")
+                        break
+            stats = _http_json(f"{base}/stats")
+            completed = stats.get("requests", {}).get("completed", 0)
+            if completed < args.requests:
+                failures.append(f"/stats shows {completed} completed "
+                                f"< {args.requests}")
+            print(f"[smoke_serving] {completed} served across "
+                  f"{len(stats.get('models', {}))} models "
+                  f"({stats['cluster']['alive']} workers alive)", flush=True)
+        finally:
+            server.shutdown()
+            server.server_close()
     if failures:
         for failure in failures:
             print(f"[smoke_serving] FAIL: {failure}", file=sys.stderr)

@@ -156,8 +156,20 @@ class TestDefaultRegistry:
 
     def test_fresh_copy_per_call(self):
         a, b = default_registry(), default_registry()
-        a.add(Scenario.create("digits", "wide", "bpda", "cw"))
+        a.add(Scenario.create("digits", "narrow", "bpda", "cw"))
         assert len(a) == len(b) + 1
+
+    def test_zoo_variants_and_families_enumerated(self):
+        reg = default_registry()
+        digits = {s.defense_variant for s in reg.select(
+            dataset="digits", workload="adversarial")}
+        assert digits == {"default", "jsd", "wide", "wide_jsd"}
+        objects = {s.defense_variant for s in reg.select(dataset="objects")}
+        assert objects == {"default", "wide"}
+        families = {s.attack for s in reg.select(workload="adversarial")}
+        assert families == {"ead_l1", "ead_en", "cw"}
+        # 6 dataset×variant combinations × 5 threat models × 3 families.
+        assert len(reg.select(workload="adversarial")) == 90
 
     def test_axes_summary(self):
         axes = default_registry().axes()

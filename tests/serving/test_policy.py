@@ -1,0 +1,132 @@
+"""Tiered admission and AIMD adaptive-wait policy unit tests."""
+
+import pytest
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.policy import (
+    DEFAULT_SHED_THRESHOLDS,
+    DEFAULT_TIER,
+    PRIORITY_TIERS,
+    AdaptiveWaitController,
+    ShedError,
+    TieredAdmission,
+    normalize_tier,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestNormalizeTier:
+    def test_none_defaults_to_standard(self):
+        assert normalize_tier(None) == DEFAULT_TIER == "standard"
+
+    def test_known_tiers_pass_through_case_insensitive(self):
+        for tier in PRIORITY_TIERS:
+            assert normalize_tier(tier) == tier
+            assert normalize_tier(tier.upper()) == tier
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            normalize_tier("vip")
+
+
+class TestTieredAdmission:
+    def test_limits_scale_with_max_queue(self):
+        adm = TieredAdmission(max_queue=100)
+        assert adm.limits == {"interactive": 100, "standard": 70,
+                              "background": 45}
+
+    def test_background_sheds_first(self):
+        adm = TieredAdmission(max_queue=20)
+        # Depth 9 == background limit (ceil(0.45 * 20)): background
+        # sheds, the higher tiers still admit.
+        adm.admit("interactive", 9)
+        adm.admit("standard", 9)
+        with pytest.raises(ShedError) as err:
+            adm.admit("background", 9)
+        assert err.value.tier == "background"
+        assert err.value.depth == 9
+        assert err.value.limit == 9
+
+    def test_interactive_keeps_the_full_queue(self):
+        adm = TieredAdmission(max_queue=10)
+        adm.admit("interactive", 9)       # just below max_queue: fine
+        with pytest.raises(ShedError):
+            adm.admit("interactive", 10)  # at the hard bound
+
+    def test_shed_counts_per_tier(self):
+        adm = TieredAdmission(max_queue=10, tenant="m0")
+        for _ in range(3):
+            with pytest.raises(ShedError):
+                adm.admit("background", 9)
+        with pytest.raises(ShedError) as err:
+            adm.admit("standard", 8)
+        assert "m0" in str(err.value)
+        assert adm.snapshot() == {"interactive": 0, "standard": 1,
+                                  "background": 3}
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            TieredAdmission(10, thresholds=(1.0, 0.7))       # wrong arity
+        with pytest.raises(ValueError):
+            TieredAdmission(10, thresholds=(1.0, 0.7, 0.0))  # out of range
+        with pytest.raises(ValueError):
+            TieredAdmission(10, thresholds=(1.5, 0.7, 0.4))
+
+    def test_tiny_queue_still_admits_something(self):
+        adm = TieredAdmission(max_queue=1,
+                              thresholds=DEFAULT_SHED_THRESHOLDS)
+        # Every tier's limit is floored at 1 request.
+        for tier in PRIORITY_TIERS:
+            adm.admit(tier, 0)
+
+
+class TestAdaptiveWait:
+    def _controller(self, **kwargs):
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=2.0, max_queue=64)
+        kwargs.setdefault("min_wait_ms", 0.25)
+        kwargs.setdefault("max_wait_ms", 10.0)
+        return AdaptiveWaitController(batcher, **kwargs), batcher
+
+    def test_additive_increase_on_deep_queue(self):
+        ctl, batcher = self._controller()
+        before = ctl.wait_ms
+        got = ctl.tick(depth=2 * batcher.max_batch)
+        assert got == pytest.approx(before + ctl.increase_ms)
+        assert batcher.max_wait_s * 1000.0 == pytest.approx(got)
+        assert ctl.adjustments == 1
+
+    def test_multiplicative_decrease_on_idle_queue(self):
+        ctl, batcher = self._controller()
+        got = ctl.tick(depth=0)
+        assert got == pytest.approx(2.0 * ctl.decrease_factor)
+        assert batcher.max_wait_s * 1000.0 == pytest.approx(got)
+
+    def test_dead_band_between_thresholds(self):
+        ctl, batcher = self._controller()
+        before = ctl.wait_ms
+        got = ctl.tick(depth=batcher.max_batch)   # between low and high
+        assert got == before
+        assert ctl.adjustments == 0
+
+    def test_clamped_to_configured_bounds(self):
+        ctl, batcher = self._controller(min_wait_ms=1.0, max_wait_ms=3.0)
+        for _ in range(20):
+            ctl.tick(depth=10 * batcher.max_batch)
+        assert ctl.wait_ms == 3.0
+        for _ in range(20):
+            ctl.tick(depth=0)
+        assert ctl.wait_ms == 1.0
+
+    def test_reads_live_depth_by_default(self):
+        ctl, batcher = self._controller()
+        got = ctl.tick()                          # empty batcher: decrease
+        assert got < 2.0
+
+    def test_bounds_validated(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=1.0, max_queue=8)
+        with pytest.raises(ValueError):
+            AdaptiveWaitController(batcher, min_wait_ms=2.0, max_wait_ms=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveWaitController(batcher, min_wait_ms=0.1, max_wait_ms=1.0,
+                                   decrease_factor=1.5)

@@ -1,0 +1,176 @@
+"""Shared-memory slot ring and heartbeat board unit tests.
+
+Exercises the SPSC transport contract in-process (producer and consumer
+on the same mapping): publish ordering, zero-copy payload views, slot
+reuse after release, full-ring and oversized-message behavior, the
+cooperative close flag, and pickling-as-reattach for worker handoff.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.serving.ring import (
+    KIND_ERROR,
+    KIND_PICKLE,
+    KIND_RAW,
+    HeartbeatBoard,
+    RingError,
+    RingSlotTooSmall,
+    SlotRing,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture()
+def ring():
+    r = SlotRing(slots=4, slot_bytes=4096)
+    yield r
+    r.close()
+
+
+class TestRoundTrip:
+    def test_raw_array_round_trip_is_bitwise(self, ring):
+        x = np.random.default_rng(0).random((8, 16)).astype(np.float32)
+        assert ring.try_push(KIND_RAW, 7, b"meta", x)
+        msg = ring.try_pop()
+        assert msg is not None
+        assert (msg.kind, msg.batch_id, msg.meta) == (KIND_RAW, 7, b"meta")
+        got = msg.array((8, 16), np.float32)
+        np.testing.assert_array_equal(got, x)
+        del got
+        msg.release()
+
+    def test_multi_part_payload_concatenates(self, ring):
+        a = np.arange(4, dtype=np.int64)
+        b = np.arange(6, dtype=np.float32)
+        assert ring.try_push(KIND_RAW, 1, b"", [a, b])
+        msg = ring.try_pop()
+        np.testing.assert_array_equal(msg.array((4,), np.int64), a)
+        np.testing.assert_array_equal(
+            msg.array((6,), np.float32, offset=a.nbytes), b)
+        msg.release()
+
+    def test_pickle_kind_payload_bytes(self, ring):
+        blob = pickle.dumps({"answer": 42})
+        assert ring.try_push(KIND_PICKLE, 2, b"", blob)
+        msg = ring.try_pop()
+        assert msg.kind == KIND_PICKLE
+        assert pickle.loads(msg.payload_bytes()) == {"answer": 42}
+        msg.release()
+
+    def test_error_kind_meta_only(self, ring):
+        assert ring.try_push(KIND_ERROR, 3, b"boom")
+        msg = ring.try_pop()
+        assert msg.kind == KIND_ERROR
+        assert msg.meta == b"boom"
+        msg.release()
+
+    def test_fifo_order(self, ring):
+        for i in range(3):
+            assert ring.try_push(KIND_RAW, i, b"", b"x")
+        seen = []
+        while True:
+            msg = ring.try_pop()
+            if msg is None:
+                break
+            seen.append(msg.batch_id)
+            msg.release()
+        assert seen == [0, 1, 2]
+
+
+class TestCapacity:
+    def test_full_ring_returns_false_until_release(self, ring):
+        for i in range(ring.slots):
+            assert ring.try_push(KIND_RAW, i, b"", b"p")
+        assert not ring.try_push(KIND_RAW, 99, b"", b"p")
+        msg = ring.try_pop()
+        msg.release()                       # frees exactly one slot
+        assert ring.try_push(KIND_RAW, 99, b"", b"p")
+
+    def test_slot_pinned_until_release(self, ring):
+        for i in range(ring.slots):
+            ring.try_push(KIND_RAW, i, b"", b"p")
+        msg = ring.try_pop()                # popped but NOT released
+        assert not ring.try_push(KIND_RAW, 99, b"", b"p")
+        msg.release()
+        assert ring.try_push(KIND_RAW, 99, b"", b"p")
+
+    def test_oversized_message_raises(self, ring):
+        big = np.zeros(ring.slot_bytes, dtype=np.uint8)
+        with pytest.raises(RingSlotTooSmall):
+            ring.try_push(KIND_RAW, 1, b"meta", big)
+
+    def test_empty_ring_pops_none(self, ring):
+        assert ring.try_pop() is None
+
+    def test_released_message_rejects_reads(self, ring):
+        ring.try_push(KIND_RAW, 1, b"", np.zeros(4, dtype=np.float32))
+        msg = ring.try_pop()
+        msg.release()
+        with pytest.raises(RingError):
+            msg.array((4,), np.float32)
+        with pytest.raises(RingError):
+            msg.payload_bytes()
+        msg.release()                       # idempotent
+
+    def test_wraparound_many_cycles(self, ring):
+        for round_ in range(3 * ring.slots):
+            x = np.full(8, float(round_), dtype=np.float32)
+            assert ring.try_push(KIND_RAW, round_, b"", x)
+            msg = ring.try_pop()
+            np.testing.assert_array_equal(msg.array((8,), np.float32), x)
+            msg.release()
+
+
+class TestLifecycle:
+    def test_close_flag_visible_to_peer(self, ring):
+        assert not ring.peer_closed
+        ring.mark_closed()
+        assert ring.peer_closed
+
+    def test_pickle_reattaches_same_segment(self, ring):
+        x = np.arange(16, dtype=np.float32)
+        ring.try_push(KIND_RAW, 5, b"", x)
+        attached = pickle.loads(pickle.dumps(ring))
+        try:
+            assert attached.name == ring.name
+            assert not attached._owner       # attach side must not unlink
+            msg = attached.try_pop()
+            np.testing.assert_array_equal(msg.array((16,), np.float32), x)
+            msg.release()
+        finally:
+            attached.close()
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SlotRing(slots=0, slot_bytes=64)
+        with pytest.raises(ValueError):
+            SlotRing(slots=1, slot_bytes=0)
+
+
+class TestHeartbeatBoard:
+    def test_beat_and_age(self):
+        board = HeartbeatBoard(workers=2)
+        try:
+            assert board.age_s(0) == float("inf")   # never beat
+            board.beat(0, now=100.0)
+            assert board.last(0) == 100.0
+            assert board.age_s(0, now=101.5) == pytest.approx(1.5)
+            assert board.age_s(1) == float("inf")   # untouched slot
+            board.clear(0)
+            assert board.age_s(0) == float("inf")
+        finally:
+            board.close()
+
+    def test_pickle_reattach_shares_stamps(self):
+        board = HeartbeatBoard(workers=1)
+        attached = pickle.loads(pickle.dumps(board))
+        try:
+            attached.beat(0, now=7.0)
+            assert board.last(0) == 7.0
+        finally:
+            attached.close()
+            board.close()

@@ -7,6 +7,7 @@ pipeline.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -212,3 +213,51 @@ class TestConcurrentClients:
         assert all(r is not None for r in results)
         assert snap["requests"]["completed"] == len(xs)
         assert snap["batches"]["mean_size"] > 1.0   # batching engaged
+
+
+class TestEmptyWindowPercentiles:
+    """An idle service reports null percentiles, not fabricated zeros."""
+
+    def test_snapshot_before_any_traffic(self, toy_magnet):
+        service = InferenceService(toy_magnet, ServingConfig(max_wait_ms=1))
+        try:
+            snap = service.stats_snapshot()
+        finally:
+            service.stop()
+        for series in ("queue", "total"):
+            assert snap["latency_ms"][series] == {
+                "p50": None, "p95": None, "p99": None}
+        assert snap["requests"]["completed"] == 0
+
+    def test_metrics_gauges_skip_null_percentiles(self, toy_magnet):
+        service = InferenceService(toy_magnet, ServingConfig(max_wait_ms=1))
+        try:
+            gauges = service.metrics_gauges()
+        finally:
+            service.stop()
+        assert not any("latency" in name for name in gauges)
+        assert all(v is not None for v in gauges.values())
+
+    def test_percentiles_populate_after_traffic(self, toy_magnet):
+        with InferenceService(toy_magnet, ServingConfig(max_wait_ms=1)) as s:
+            s.predict(_inputs(1)[0], timeout=10)
+            snap = s.stats_snapshot()
+        assert snap["latency_ms"]["total"]["p50"] is not None
+
+
+class TestAdaptiveWaitService:
+    def test_policy_loop_shrinks_wait_when_idle(self, toy_magnet):
+        config = ServingConfig(max_batch=8, max_wait_ms=8.0, max_queue=64,
+                               adaptive_wait=True, min_wait_ms=0.25)
+        with InferenceService(toy_magnet, config) as service:
+            # A few requests, then idleness: AIMD decrease should walk
+            # the live wait down from the configured 8 ms ceiling.
+            service.predict_many(list(_inputs(4)), timeout=10)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if service._batcher.max_wait_s * 1000.0 <= 1.0:
+                    break
+                time.sleep(0.05)
+            assert service._batcher.max_wait_s * 1000.0 <= 1.0
+            assert service.adaptive is not None
+            assert service.adaptive.adjustments >= 1

@@ -348,7 +348,8 @@ class TestScenariosCLI:
         assert "digits/default/oblivious/ead_l1" in out
         assert "digits/jsd/detector_aware/cw" in out
         assert "gaussian_noise" in out  # corruption rows present
-        assert "48 of 48 scenarios selected" in out
+        assert "108 of 108 scenarios selected" in out
+        assert "digits/wide_jsd/bpda/ead_en" in out  # PR 9 grid expansion
 
     def test_scenarios_list_axis_filters(self, capsys):
         assert cli_main(["scenarios", "list",

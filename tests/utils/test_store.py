@@ -304,3 +304,78 @@ class TestConfig:
         stats.reset()
         assert stats.as_dict()["dedup_hits"] == 0
         assert stats.evictions == stats.quarantined == stats.migrated == 0
+
+
+class TestEvictionTelemetry:
+    """Evictions surface in the telemetry log and the timings report."""
+
+    def _pressured_store(self, root, *, pin_all=False):
+        """Six ~4 KiB puts against a 4 KiB cap: every put evicts."""
+        store = ShardedStore(root, shards=4, max_bytes=4096)
+        for i in range(6):
+            payload = {"x": np.full(512, float(i), dtype=np.float64)}
+            if pin_all:
+                store.pin("ns", f"k{i}")
+            store.put("ns", f"k{i}", payload)
+        return store
+
+    def test_evict_emits_events_and_counts_bytes(self, tmp_path):
+        from repro.obs import configure_observability, load_events
+
+        log = tmp_path / "telemetry.jsonl"
+        configure_observability(log)
+        try:
+            store = self._pressured_store(tmp_path / "store")
+        finally:
+            configure_observability(None)
+        assert store.stats.evictions > 0
+        assert store.stats.bytes_reclaimed > 0
+        evicts = [e for e in load_events(log)
+                  if e["stage"] == "store/evict"]
+        assert evicts
+        assert sum(e["evicted"] for e in evicts) == store.stats.evictions
+        assert (sum(e["bytes_reclaimed"] for e in evicts)
+                == store.stats.bytes_reclaimed)
+        assert all(e["duration_s"] >= 0 for e in evicts)
+
+    def test_over_cap_event_when_pins_hold_the_line(self, tmp_path):
+        from repro.obs import configure_observability, load_events
+
+        log = tmp_path / "telemetry.jsonl"
+        configure_observability(log)
+        try:
+            store = self._pressured_store(tmp_path / "store", pin_all=True)
+        finally:
+            configure_observability(None)
+        assert store.total_bytes() > 4096      # pins held, cap exceeded
+        over = [e for e in load_events(log)
+                if e["stage"] == "store/over_cap"]
+        assert over
+        assert over[-1]["over_bytes"] > 0
+        assert over[-1]["pinned"] == 6
+
+    def test_store_summary_folds_into_timings(self, tmp_path):
+        from repro.obs import (configure_observability, load_events,
+                               render_store_summary, render_timings)
+
+        log = tmp_path / "telemetry.jsonl"
+        configure_observability(log)
+        try:
+            self._pressured_store(tmp_path / "store")
+        finally:
+            configure_observability(None)
+        events = load_events(log)
+        line = render_store_summary(events)
+        assert line is not None
+        assert "reclaimed" in line
+        assert line in render_timings(events)
+
+    def test_no_summary_without_evictions(self):
+        from repro.obs import render_store_summary
+
+        assert render_store_summary([{"stage": "train/ae"}]) is None
+
+    def test_stats_reset_covers_bytes_reclaimed(self):
+        stats = CacheStats(bytes_reclaimed=123)
+        stats.reset()
+        assert stats.bytes_reclaimed == 0

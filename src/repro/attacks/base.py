@@ -17,6 +17,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.nn.backend import flush_kernel_events, use_backend
 from repro.nn.layers import Module
 from repro.nn.training import predict_labels
 
@@ -169,8 +170,11 @@ class Attack:
 
     name = "attack"
 
-    def __init__(self, model: Module):
+    def __init__(self, model: Module, *, backend: Optional[str] = None):
         self.model = model
+        #: Kernel backend for every model dispatch inside :meth:`attack`
+        #: (``None``: the ambient selection; see repro.nn.backend).
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Batch-first public API
@@ -185,7 +189,11 @@ class Attack:
         x0, labels = self._prepare(x0, labels)
         if x0.shape[0] == 0:
             return AttackResult.empty(x0, labels, name=self.name)
-        return self._run(x0, labels)
+        with use_backend(self.backend):
+            result = self._run(x0, labels)
+        # Attribute this attack's conv dispatch burst in the telemetry log.
+        flush_kernel_events()
+        return result
 
     def _run(self, x0: np.ndarray, labels: np.ndarray) -> AttackResult:
         """Attack body on a validated, non-empty float32/int64 batch."""

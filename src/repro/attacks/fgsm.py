@@ -20,8 +20,9 @@ class FGSM(Attack):
 
     name = "fgsm"
 
-    def __init__(self, model: Module, *, epsilon: float = 0.1):
-        super().__init__(model)
+    def __init__(self, model: Module, *, epsilon: float = 0.1,
+                 backend: str = None):
+        super().__init__(model, backend=backend)
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
         self.epsilon = float(epsilon)
@@ -41,8 +42,9 @@ class IterativeFGSM(Attack):
     name = "ifgsm"
 
     def __init__(self, model: Module, *, epsilon: float = 0.1,
-                 step_size: float = 0.02, steps: int = 10):
-        super().__init__(model)
+                 step_size: float = 0.02, steps: int = 10,
+                 backend: str = None):
+        super().__init__(model, backend=backend)
         if epsilon < 0 or step_size <= 0 or steps < 1:
             raise ValueError("invalid I-FGSM parameters")
         self.epsilon = float(epsilon)

@@ -54,6 +54,14 @@ eviction, and ``--scheduler {static,work_stealing}`` picks the
 executor's dispatch strategy — work stealing keeps workers dense when
 high-κ cells straggle, with identical published artifacts.
 
+``run``, ``scenarios run`` and ``serve`` take ``--nn-backend
+{numpy,fft,buffered}`` to pin the kernel backend for every
+conv/pool/elementwise dispatch (default: the profile's ``nn_backend`` —
+``numpy`` for smoke/quick, ``fft`` for paper; see
+``docs/nn_backends.md``).  ``numpy`` and ``buffered`` are bitwise
+interchangeable; ``fft`` is tolerance-equivalent, so non-default
+selections get their own attack-cache entries.
+
 The ``REPRO_PROFILE`` / ``REPRO_CACHE_DIR`` environment variables remain
 supported as fallbacks for scripts that predate these flags, but are
 deprecated — prefer the explicit flags.
@@ -74,6 +82,7 @@ from repro.experiments.registry import (
     describe_experiments,
     run_experiment,
 )
+from repro.nn.backend import available_backends, set_default_backend
 from repro.obs import (
     configure_observability,
     load_events,
@@ -142,6 +151,16 @@ def _bytes_arg(value: str) -> int:
     return amount
 
 
+def _nn_backend_flag(p: argparse.ArgumentParser) -> None:
+    """--nn-backend flag shared by run / scenarios run / serve."""
+    p.add_argument("--nn-backend", choices=available_backends(),
+                   default=None,
+                   help="kernel backend for conv/pool/elementwise "
+                        "dispatches (see repro.nn.backend; default: the "
+                        "profile's nn_backend — numpy for smoke/quick, "
+                        "fft for paper)")
+
+
 def _store_flags(p: argparse.ArgumentParser) -> None:
     """Artifact-store and scheduler flags shared by run/scenarios run."""
     p.add_argument("--store-shards", type=int, default=256, metavar="N",
@@ -204,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="PATH",
                      help="JSONL event log (default: "
                           "<cache-dir>/telemetry.jsonl; 'off' disables)")
+    _nn_backend_flag(run)
     _store_flags(run)
 
     sub.add_parser("list", help="show experiment ids",
@@ -270,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSONL event log (default: "
                                "<cache-dir>/telemetry.jsonl; 'off' "
                                "disables)")
+    _nn_backend_flag(scen_run)
     _store_flags(scen_run)
 
     serve = sub.add_parser(
@@ -325,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry", metavar="PATH",
                        help="JSONL event log (default: "
                             "<cache-dir>/telemetry.jsonl; 'off' disables)")
+    _nn_backend_flag(serve)
 
     timings = sub.add_parser(
         "timings", help="per-stage wall-clock report from the telemetry log",
@@ -366,6 +388,18 @@ def _resolve_profile(flag_value: Optional[str]):
         raise KeyError(
             f"unknown profile {name!r}; available: {sorted(PROFILES)}")
     return PROFILES[name]
+
+
+def _resolve_nn_backend(flag_value: Optional[str], profile) -> str:
+    """Kernel backend selection: flag wins, else the profile's.
+
+    Also installs the selection as the process-wide default so model
+    *training* (the zoo) runs on the same backend as the attacks; pool
+    workers inherit it through the executor's payloads.
+    """
+    name = flag_value or getattr(profile, "nn_backend", "numpy")
+    set_default_backend(name)
+    return name
 
 
 def _telemetry_path(flag_value: Optional[str], cache_dir: str) -> Optional[str]:
@@ -411,13 +445,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cache = DiskCache(cache_dir, shards=args.store_shards,
                       max_bytes=args.store_max_bytes)
     configure_observability(_telemetry_path(args.telemetry, cache_dir))
+    nn_backend = _resolve_nn_backend(args.nn_backend, profile)
     for exp_id in exp_ids:
         report = run_experiment(exp_id, profile=profile, cache=cache,
                                 seed=args.seed, jobs=args.jobs,
                                 resume=args.resume,
                                 retry_policy=retry_policy,
                                 fault_plan=args.inject_faults,
-                                scheduler=args.scheduler)
+                                scheduler=args.scheduler,
+                                nn_backend=nn_backend)
         print(report)
         print()
     return 0
@@ -430,6 +466,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     profile = _resolve_profile(args.profile)
     cache_dir = _resolve_cache_dir(args.cache_dir)
     configure_observability(_telemetry_path(args.telemetry, cache_dir))
+    _resolve_nn_backend(args.nn_backend, profile)
 
     if args.models:
         return _serve_cluster(args, profile, cache_dir)
@@ -618,11 +655,13 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
 
     cache = DiskCache(cache_dir, shards=args.store_shards,
                       max_bytes=args.store_max_bytes)
+    nn_backend = _resolve_nn_backend(args.nn_backend, profile)
     cells = registry.expand(args.seed, scenarios=selected)
     contexts = {
         dataset: ExperimentContext(dataset, profile=profile, cache=cache,
                                    seed=args.seed,
-                                   scheduler=args.scheduler)
+                                   scheduler=args.scheduler,
+                                   nn_backend=nn_backend)
         for dataset in sorted({c.scenario.dataset for c in cells})
     }
     log.info("running %d scenario cells (%s profile, %d dataset(s))",

@@ -52,7 +52,8 @@ def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
                 cache: Optional[DiskCache] = None,
                 seed: int = 0, *, jobs: int = 1,
                 retry_policy=None, fault_plan=None,
-                scheduler: str = "static") -> ExperimentContext:
+                scheduler: str = "static",
+                nn_backend: Optional[str] = None) -> ExperimentContext:
     """Memoized ExperimentContext for (dataset, profile, seed).
 
     ``jobs``, ``retry_policy``, ``fault_plan`` and ``scheduler`` are
@@ -60,6 +61,12 @@ def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
     updates the existing context's fan-out/fault-tolerance/scheduling
     behavior without invalidating its cached data/models (results are
     identical for any setting — see :mod:`repro.runtime`).
+
+    ``nn_backend`` is *not* a pure hint — the FFT path is
+    tolerance-equivalent rather than bitwise — so the context keys
+    attack artifacts by it (see
+    :attr:`ExperimentContext.nn_backend`).  ``None`` keeps the
+    memoized context's current selection (initially the profile's).
     """
     profile = profile or current_profile()
     key = (dataset, profile.name, seed)
@@ -68,12 +75,15 @@ def get_context(dataset: str, profile: Optional[ExperimentProfile] = None,
                                            cache=cache, seed=seed, jobs=jobs,
                                            retry_policy=retry_policy,
                                            fault_plan=fault_plan,
-                                           scheduler=scheduler)
+                                           scheduler=scheduler,
+                                           nn_backend=nn_backend)
     else:
         _contexts[key].jobs = int(jobs)
         _contexts[key].retry_policy = retry_policy
         _contexts[key].fault_plan = fault_plan
         _contexts[key].scheduler = scheduler
+        if nn_backend is not None:
+            _contexts[key].nn_backend = nn_backend
     return _contexts[key]
 
 
@@ -86,7 +96,8 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
                    cache: Optional[DiskCache] = None,
                    seed: int = 0, *, jobs: int = 1, resume: bool = False,
                    retry_policy=None, fault_plan=None,
-                   scheduler: str = "static") -> ExperimentReport:
+                   scheduler: str = "static",
+                   nn_backend: Optional[str] = None) -> ExperimentReport:
     """Run one table/figure reproduction and return its report.
 
     ``jobs`` (keyword-only) sets the parallel fan-out: with ``jobs > 1``
@@ -99,8 +110,10 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
     manifest, recomputing only missing/corrupt/previously-failed cells.
     ``retry_policy`` overrides the sweep's fault-tolerance defaults,
     ``fault_plan`` injects deterministic chaos (``--inject-faults``),
-    and ``scheduler`` picks the dispatch strategy (``--scheduler``);
-    see :mod:`repro.runtime`.
+    ``scheduler`` picks the dispatch strategy (``--scheduler``), and
+    ``nn_backend`` pins the kernel backend for every attack dispatch
+    (``--nn-backend``; default: the profile's); see
+    :mod:`repro.runtime` and :mod:`repro.nn.backend`.
     """
     if exp_id not in _SPEC:
         raise KeyError(
@@ -108,7 +121,8 @@ def run_experiment(exp_id: str, profile: Optional[ExperimentProfile] = None,
     fn, datasets, _desc = _SPEC[exp_id]
     contexts = [get_context(ds, profile=profile, cache=cache, seed=seed,
                             jobs=jobs, retry_policy=retry_policy,
-                            fault_plan=fault_plan, scheduler=scheduler)
+                            fault_plan=fault_plan, scheduler=scheduler,
+                            nn_backend=nn_backend)
                 for ds in datasets]
     with span(f"experiment/{exp_id}", jobs=jobs):
         if (jobs is not None and jobs != 1) or resume:

@@ -1,0 +1,791 @@
+"""Pluggable kernel backends for the ``repro.nn`` hot loops.
+
+EAD's L1 attack and MagNet's autoencoder training both bottom out in 2-D
+convolutions, so the conv/pool/elementwise primitives live behind an
+explicit backend interface: :class:`KernelBackend` defines the contract,
+a registry maps names to singleton instances, and
+:mod:`repro.nn.functional` dispatches through the active backend while
+keeping its public signatures unchanged.
+
+Registered backends
+-------------------
+``"numpy"``
+    The reference im2col path (the default).  Bitwise-stable: its outputs
+    define the ground truth every other backend is checked against.
+``"fft"``
+    Frequency-domain convolution via ``scipy.fft`` (falls back to
+    ``numpy.fft`` with a float64 round-trip when scipy is absent).  Wins
+    when channel counts are large — the ``paper`` profile's 256-filter
+    autoencoders — because the per-pixel contraction collapses into a
+    batched complex matmul over O(H·W) frequencies instead of an
+    O(H·W·k²) tap gather.  Tolerance-matched, not bitwise (see
+    :attr:`FFTBackend.rtol`/:attr:`FFTBackend.atol`).
+``"buffered"``
+    The numpy path with per-thread scratch reuse: padded inputs, im2col
+    column blocks and col2im accumulators are recycled across dispatches
+    instead of reallocated per optimizer step.  Bitwise-identical to
+    ``"numpy"`` — only allocation behaviour differs.
+
+Selection
+---------
+The active backend resolves in order: an explicit ``backend=`` argument
+at a call site, the ambient :func:`use_backend` context (a
+``contextvars.ContextVar``, so concurrent serving threads can pin
+different backends), then the process-wide default set by
+:func:`set_default_backend` (what ``--nn-backend`` and the experiment
+profiles configure; new threads that never entered :func:`use_backend`
+inherit it, since context vars do not cross thread creation).
+
+Every conv dispatch is metered through :mod:`repro.obs`
+(``nn/conv_dispatches`` counters and per-backend ``nn/kernel_seconds``
+histograms); :func:`flush_kernel_events` folds the deltas into the
+telemetry JSONL so ``repro-experiments timings`` can attribute conv time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+try:  # scipy's pocketfft keeps float32 in complex64; numpy.fft promotes.
+    from scipy import fft as _scipy_fft
+except ImportError:  # pragma: no cover - scipy is part of the toolchain
+    _scipy_fft = None
+
+__all__ = [
+    "BufferedBackend",
+    "FFTBackend",
+    "KernelBackend",
+    "NumpyBackend",
+    "available_backends",
+    "flush_kernel_events",
+    "get_backend",
+    "get_default_backend_name",
+    "kernel_stats",
+    "record_dispatch",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+# ----------------------------------------------------------------------
+# Dispatch metering
+# ----------------------------------------------------------------------
+# ``repro.nn`` sits at the bottom of the import graph and ``repro.obs``
+# (the package) transitively reaches ``repro.runtime``, so the metric
+# handles bind lazily at the first dispatch — long after import time —
+# instead of at module load.
+
+_METRICS_BY_BACKEND: Dict[str, Tuple[Any, Any, Any]] = {}
+_LAST_FLUSH: Dict[str, Tuple[int, float]] = {}
+_METRICS_LOCK = threading.Lock()
+
+
+def _backend_metrics(name: str) -> Tuple[Any, Any, Any]:
+    cached = _METRICS_BY_BACKEND.get(name)
+    if cached is None:
+        from repro.obs.metrics import counter, histogram
+        with _METRICS_LOCK:
+            cached = _METRICS_BY_BACKEND.get(name)
+            if cached is None:
+                cached = (counter("nn/conv_dispatches"),
+                          counter(f"nn/conv_dispatches/{name}"),
+                          histogram(f"nn/kernel_seconds/{name}"))
+                _METRICS_BY_BACKEND[name] = cached
+    return cached
+
+
+def record_dispatch(backend_name: str, seconds: float) -> None:
+    """Meter one kernel dispatch (conv forward or backward) for a backend."""
+    total, dispatches, seconds_hist = _backend_metrics(backend_name)
+    total.inc()
+    dispatches.inc()
+    seconds_hist.observe(seconds)
+
+
+def kernel_stats() -> Dict[str, Dict[str, float]]:
+    """Cumulative ``{backend: {dispatches, seconds}}`` for this process."""
+    stats: Dict[str, Dict[str, float]] = {}
+    for name, (_, dispatches, seconds_hist) in sorted(
+            _METRICS_BY_BACKEND.items()):
+        snap = seconds_hist.snapshot()
+        stats[name] = {"dispatches": dispatches.value,
+                       "seconds": snap["sum"]}
+    return stats
+
+
+def flush_kernel_events() -> None:
+    """Emit per-backend ``nn/kernels/<name>`` telemetry for new dispatches.
+
+    Called at the natural kernel-burst boundaries (end of a training fit,
+    end of an attack) so the JSONL event log — and therefore the
+    ``timings`` report — shows where conv time went without paying a
+    telemetry write per dispatch.  Deltas since the previous flush, so
+    repeated calls never double-count.
+    """
+    from repro.obs.trace import event    # deferred: avoids an import cycle
+    for name, stat in kernel_stats().items():
+        count, seconds = int(stat["dispatches"]), float(stat["seconds"])
+        last_count, last_seconds = _LAST_FLUSH.get(name, (0, 0.0))
+        if count <= last_count:
+            continue
+        _LAST_FLUSH[name] = (count, seconds)
+        event(f"nn/kernels/{name}", duration_s=seconds - last_seconds,
+              backend=name, dispatches=count - last_count)
+
+
+# ----------------------------------------------------------------------
+# The primitive contract
+# ----------------------------------------------------------------------
+
+class KernelBackend:
+    """Conv/pool/elementwise primitives behind ``repro.nn.functional``.
+
+    Subclasses override the conv trio (and optionally the buffer hooks);
+    the base class carries the reference numpy implementations so a new
+    backend only has to reimplement what it accelerates.  The contract
+    every backend must honour:
+
+    * ``conv2d_forward(x, weight, bias, stride, padding, dilation,
+      needs_grad) -> (out, ctx)`` — ``x`` is NCHW *unpadded*; ``out`` is
+      the finished NCHW output (bias included).  ``ctx`` is an opaque
+      handle threaded to the backward methods; when ``needs_grad`` is
+      false the backward methods will never be called on it.
+    * ``conv2d_backward_input(ctx, g) -> gx`` — gradient w.r.t. the
+      original (unpadded) input.
+    * ``conv2d_backward_weight(ctx, g) -> gw`` — gradient w.r.t. the
+      OIHW weight.
+    * Pool/elementwise primitives as below.
+    * Arrays returned to callers are freshly owned (never views of
+      internal scratch), match the input dtype, and are C-contiguous.
+
+    ``bitwise`` declares the equivalence contract: a bitwise backend must
+    reproduce the ``"numpy"`` reference exactly; a tolerance backend must
+    stay within its declared ``rtol``/``atol`` (checked by the gradcheck
+    equivalence matrix and enforced by ``benchmarks/bench_nn.py``).
+    """
+
+    name = "abstract"
+    #: True when outputs are bit-for-bit identical to the numpy reference.
+    bitwise = True
+    #: Equivalence bounds vs the numpy reference (0.0 means exact).
+    rtol = 0.0
+    atol = 0.0
+
+    # -------------------------------------------------- conv primitives
+    def im2col(self, x: np.ndarray, kh: int, kw: int, stride: int,
+               dilation: int = 1, out: Optional[np.ndarray] = None
+               ) -> np.ndarray:
+        """Extract sliding windows: (N, C, H, W) -> (N, Ho, Wo, C, kh, kw).
+
+        Filled tap-by-tap (kh*kw strided slice copies) directly into the
+        output layout — substantially faster than gathering through a
+        ``sliding_window_view`` and leaves the result contiguous, so the
+        caller's flattening reshape is free.  ``dilation`` spaces the
+        kernel taps (effective kernel size ``(k-1)*dilation + 1``).
+        """
+        n, c, h, w = x.shape
+        eff_kh = (kh - 1) * dilation + 1
+        eff_kw = (kw - 1) * dilation + 1
+        if eff_kh > h or eff_kw > w:
+            raise ValueError(
+                f"im2col: effective kernel ({eff_kh}, {eff_kw}) exceeds "
+                f"input spatial size ({h}, {w}); pad the input or shrink "
+                f"the kernel/dilation"
+            )
+        ho = (h - eff_kh) // stride + 1
+        wo = (w - eff_kw) // stride + 1
+        if out is None:
+            out = np.empty((n, ho, wo, c, kh, kw), dtype=x.dtype)
+        for i in range(kh):
+            row = i * dilation
+            for j in range(kw):
+                col = j * dilation
+                patch = x[:, :, row:row + stride * ho:stride,
+                          col:col + stride * wo:stride]
+                out[:, :, :, :, i, j] = patch.transpose(0, 2, 3, 1)
+        return out
+
+    def col2im(self, cols: np.ndarray, x_shape: Tuple[int, ...], kh: int,
+               kw: int, stride: int, dilation: int = 1) -> np.ndarray:
+        """Scatter-add window gradients back to image shape (im2col inverse).
+
+        Accumulates in NHWC (both sides of the ``+=`` keep their natural
+        layout, no per-tap transposes) and converts to NCHW once at the
+        end.
+        """
+        n, c, h, w = x_shape
+        ho, wo = cols.shape[1], cols.shape[2]
+        out = self._col2im_accumulator((n, h, w, c), cols.dtype)
+        for i in range(kh):
+            row = i * dilation
+            h_stop = row + stride * ho
+            for j in range(kw):
+                col = j * dilation
+                w_stop = col + stride * wo
+                out[:, row:h_stop:stride, col:w_stop:stride, :] += (
+                    cols[:, :, :, :, i, j]
+                )
+        return self._to_nchw(out, (n, c, h, w), cols.dtype)
+
+    def conv2d_forward(self, x: np.ndarray, weight: np.ndarray,
+                       bias: Optional[np.ndarray], stride: int, padding: int,
+                       dilation: int, needs_grad: bool
+                       ) -> Tuple[np.ndarray, Any]:
+        co, ci, kh, kw = weight.shape
+        xp = self._pad(x, padding)
+        n, _, hp, wp = xp.shape
+        eff_kh = (kh - 1) * dilation + 1
+        eff_kw = (kw - 1) * dilation + 1
+        ho = (hp - eff_kh) // stride + 1
+        wo = (wp - eff_kw) // stride + 1
+        cols_out = self._cols_buffer((n, ho, wo, ci, kh, kw), x.dtype,
+                                     needs_grad)
+        cols = self.im2col(xp, kh, kw, stride, dilation, out=cols_out)
+        cols_flat = cols.reshape(n, ho, wo, ci * kh * kw)
+        w_flat = weight.reshape(co, ci * kh * kw)
+        out = self._nhwc_product(cols_flat, w_flat)     # (N, Ho, Wo, C_out)
+        if bias is not None:
+            out += bias
+        out = self._to_nchw(out, (n, co, ho, wo), x.dtype)
+        ctx = {
+            "cols_flat": cols_flat if needs_grad else None,
+            "w_flat": w_flat,
+            "shape": (n, co, ci, kh, kw, ho, wo),
+            "padded_shape": xp.shape,
+            "stride": stride, "padding": padding, "dilation": dilation,
+        }
+        return out, ctx
+
+    def conv2d_backward_input(self, ctx: Any, g: np.ndarray) -> np.ndarray:
+        n, co, ci, kh, kw, ho, wo = ctx["shape"]
+        g_nhwc = g.transpose(0, 2, 3, 1)                # (N, Ho, Wo, C_out)
+        gc = self._cols_product(g_nhwc, ctx["w_flat"])  # (N, Ho, Wo, C*kh*kw)
+        gc = gc.reshape(n, ho, wo, ci, kh, kw)
+        gx = self.col2im(gc, ctx["padded_shape"], kh, kw, ctx["stride"],
+                         ctx["dilation"])
+        p = ctx["padding"]
+        if p:
+            gx = gx[:, :, p:-p, p:-p]
+        return gx
+
+    def conv2d_backward_weight(self, ctx: Any, g: np.ndarray) -> np.ndarray:
+        n, co, ci, kh, kw, ho, wo = ctx["shape"]
+        g_flat = g.transpose(0, 2, 3, 1).reshape(-1, co)  # (N*Ho*Wo, C_out)
+        cols_2d = ctx["cols_flat"].reshape(-1, ci * kh * kw)
+        gw = g_flat.T @ cols_2d                           # (C_out, C*kh*kw)
+        return gw.reshape(co, ci, kh, kw)
+
+    # -------------------------------------------------- pool primitives
+    def avg_pool2d_forward(self, x: np.ndarray, k: int) -> np.ndarray:
+        n, c, h, w = x.shape
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        return blocks.mean(axis=(3, 5))
+
+    def avg_pool2d_backward(self, g: np.ndarray, k: int,
+                            dtype: np.dtype) -> np.ndarray:
+        g_scaled = (g / (k * k)).astype(dtype)
+        return np.repeat(np.repeat(g_scaled, k, axis=2), k, axis=3)
+
+    def max_pool2d_forward(self, x: np.ndarray, k: int
+                           ) -> Tuple[np.ndarray, Any]:
+        n, c, h, w = x.shape
+        blocks = x.reshape(n, c, h // k, k, w // k, k)
+        # Pairwise maximum over the k*k taps (strided views, no copies) —
+        # much faster than a strided-axis ``.max()`` reduction or the
+        # transpose+argmax route, and bitwise-identical to both.
+        taps = [blocks[:, :, :, i, :, j] for i in range(k) for j in range(k)]
+        if len(taps) == 1:
+            out = taps[0].copy()
+        else:
+            out = np.maximum(taps[0], taps[1])
+            for tap in taps[2:]:
+                np.maximum(out, tap, out=out)
+        ctx = {"blocks": blocks, "out": out, "shape": x.shape, "k": k}
+        return out, ctx
+
+    def max_pool2d_backward(self, ctx: Any, g: np.ndarray) -> np.ndarray:
+        # Route the gradient to the first maximum tap in (i, j) row-major
+        # order — the same winner the flat argmax picked — by comparing
+        # taps sequentially against the pooled maximum.  No argmax, no
+        # transposed copies.
+        n, c, h, w = ctx["shape"]
+        k, blocks, out = ctx["k"], ctx["blocks"], ctx["out"]
+        ho, wo = h // k, w // k
+        gx = np.zeros((n, c, h, w), dtype=g.dtype)
+        gblocks = gx.reshape(n, c, ho, k, wo, k)
+        taken = np.zeros(out.shape, dtype=bool)
+        for i in range(k):
+            for j in range(k):
+                win = (blocks[:, :, :, i, :, j] == out) & ~taken
+                np.copyto(gblocks[:, :, :, i, :, j], g, where=win)
+                taken |= win
+        return gx
+
+    # ------------------------------------------- elementwise primitives
+    def relu(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0)
+
+    def relu_grad_mask(self, x: np.ndarray) -> np.ndarray:
+        return x > 0
+
+    def sigmoid(self, x: np.ndarray) -> np.ndarray:
+        """Logistic function without overflow in either tail."""
+        z = np.exp(-np.abs(x))
+        return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z)).astype(x.dtype)
+
+    def tanh(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    # ------------------------------------------------------ buffer hooks
+    # Subclasses (the buffered backend) override these to recycle scratch;
+    # the defaults allocate fresh arrays, matching the historical code
+    # path exactly.
+    def _pad(self, x: np.ndarray, padding: int) -> np.ndarray:
+        if not padding:
+            return x
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                          (padding, padding)))
+
+    def _cols_buffer(self, shape: Tuple[int, ...], dtype: np.dtype,
+                     needs_grad: bool) -> Optional[np.ndarray]:
+        return None
+
+    def _nhwc_product(self, cols_flat: np.ndarray,
+                      w_flat: np.ndarray) -> np.ndarray:
+        return cols_flat @ w_flat.T
+
+    def _cols_product(self, g_nhwc: np.ndarray,
+                      w_flat: np.ndarray) -> np.ndarray:
+        return g_nhwc @ w_flat
+
+    def _col2im_accumulator(self, shape: Tuple[int, ...],
+                            dtype: np.dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def _to_nchw(self, nhwc: np.ndarray, shape: Tuple[int, ...],
+                 dtype: np.dtype) -> np.ndarray:
+        return np.ascontiguousarray(nhwc.transpose(0, 3, 1, 2), dtype=dtype)
+
+
+class NumpyBackend(KernelBackend):
+    """The reference im2col path — the bitwise ground truth."""
+
+    name = "numpy"
+    bitwise = True
+
+
+class FFTBackend(KernelBackend):
+    """Frequency-domain convolution for wide-channel workloads.
+
+    All three conv passes become ``rfft2`` → one batched complex matmul
+    over frequencies (the channel contraction) → ``irfft2``:
+
+    * *forward* — circular cross-correlation at the padded spatial size
+      ``(Hp, Wp)``: exact because the kernel support fits inside the
+      padded input (validated before dispatch), so no wraparound reaches
+      the retained output positions; stride subsamples afterwards.
+    * *input gradient* — full convolution of the stride-upsampled output
+      gradient with the (dilation-embedded) kernel.  Its linear support
+      is ``(Ho-1)·s + ek ≤ Hp``, so the same ``(Hp, Wp)`` circular
+      transform is already exact.
+    * *weight gradient* — circular correlation of the upsampled gradient
+      with the forward's cached input spectrum; kernel taps are sliced
+      out at the dilated positions.
+
+    Work per pass is O(N·C·HW·log HW) for the transforms plus
+    O(HW·N·Ci·Co) for the contraction, versus im2col's
+    O(HW·N·Ci·Co·k²) — the k² factor is the win, so this backend pays
+    off when channel products are large (the paper profile's 256-filter
+    autoencoders) and loses on the thin smoke/quick models.  Stride > 1
+    computes the stride-1 result and subsamples (correct, not
+    optimised); the target workload is stride-1 ``same`` convolution.
+
+    Not bitwise: transforms reorder the floating-point reduction.  With
+    scipy present the whole pipeline stays in float32/complex64 and
+    errors sit well inside ``rtol``/``atol`` below; without scipy the
+    ``numpy.fft`` fallback round-trips through float64, which *tightens*
+    accuracy at some extra memory cost.
+    """
+
+    name = "fft"
+    bitwise = False
+    rtol = 2e-4
+    atol = 1e-5
+
+    @staticmethod
+    def _rfft2(a: np.ndarray, s: Tuple[int, int]) -> np.ndarray:
+        if _scipy_fft is not None:
+            return _scipy_fft.rfft2(a, s=s, axes=(-2, -1))
+        return np.fft.rfft2(a, s=s, axes=(-2, -1))
+
+    @staticmethod
+    def _irfft2(a: np.ndarray, s: Tuple[int, int], dtype: np.dtype,
+                axes: Tuple[int, int] = (-2, -1)) -> np.ndarray:
+        if _scipy_fft is not None:
+            out = _scipy_fft.irfft2(a, s=s, axes=axes)
+        else:
+            out = np.fft.irfft2(a, s=s, axes=axes)
+        return out.astype(dtype, copy=False)
+
+    @staticmethod
+    def _support_phase(taps_h: np.ndarray, taps_w: np.ndarray,
+                       hp: int, wp: int, cdtype) -> np.ndarray:
+        """rfft2 phase matrix restricted to a small spatial support.
+
+        ``P[(i, j), (fy, fx)] = exp(-2pi*i*(fy*u_i/Hp + fx*v_j/Wp))`` for
+        tap positions ``u_i``/``v_j``.  A k x k kernel only occupies k^2
+        of the Hp x Wp padded grid, so its spectrum is this tiny matrix
+        applied to the taps — ``Co*Ci`` full FFTs of mostly-zero planes
+        collapse into one GEMM over the k^2 support.
+        """
+        fy = np.arange(hp)
+        fx = np.arange(wp // 2 + 1)
+        ph_y = np.exp((-2j * np.pi / hp) * np.outer(taps_h, fy))
+        ph_x = np.exp((-2j * np.pi / wp) * np.outer(taps_w, fx))
+        p = ph_y[:, None, :, None] * ph_x[None, :, None, :]
+        return p.reshape(taps_h.size * taps_w.size,
+                         hp * fx.size).astype(cdtype)
+
+    @classmethod
+    def _support_inverse_phase(cls, taps_h: np.ndarray, taps_w: np.ndarray,
+                               hp: int, wp: int, cdtype) -> np.ndarray:
+        """Adjoint of :meth:`_support_phase`: half-spectrum -> taps.
+
+        Evaluates the real ``irfft2`` at the tap positions only.  The
+        dropped conjugate half of the spectrum contributes the complex
+        conjugate of the kept half (Hermitian symmetry of a real
+        signal's DFT), so non-self-conjugate columns count twice and the
+        caller takes the real part of ``spectrum @ Q``.
+        """
+        q = np.conj(cls._support_phase(taps_h, taps_w, hp, wp, cdtype)).T
+        fw = wp // 2 + 1
+        weights = np.full(fw, 2.0)
+        weights[0] = 1.0
+        if wp % 2 == 0:
+            weights[-1] = 1.0
+        scale = (np.tile(weights, hp) / (hp * wp)).astype(q.real.dtype)
+        return q * scale[:, None]
+
+    @staticmethod
+    def _weight_spectrum(w2: np.ndarray, phase: np.ndarray,
+                         conj: bool) -> np.ndarray:
+        """Spectrum of a small-support kernel, bins-first and contiguous.
+
+        ``w2`` is (rows, taps) real, ``phase`` is (taps, F) complex from
+        :meth:`_support_phase`.  Returns ``(F, rows)`` — the layout the
+        batched frequency GEMMs consume — built with two *real* GEMMs
+        (the kernel is real, so real/imag parts never mix) instead of
+        one complex GEMM into a transposed copy.  ``conj=True`` folds
+        the conjugation needed for cross-correlation into the build.
+        """
+        out = np.empty((phase.shape[1], w2.shape[0]), dtype=phase.dtype)
+        out.real = phase.real.T @ w2.T
+        if conj:
+            np.negative(phase.imag.T @ w2.T, out=out.imag)
+        else:
+            out.imag = phase.imag.T @ w2.T
+        return out
+
+    def _upsampled_grad_spectrum(self, ctx: Any,
+                                 g: np.ndarray) -> np.ndarray:
+        """Bins-first rfft2 of the gradient scattered to stride positions.
+
+        Returns ``(F, N, Co)`` so both backward contractions are single
+        contiguous batched GEMMs over the frequency axis.  The result is
+        memoized on the ctx for the (standard) case where the input and
+        weight gradients are driven by the same output-gradient array.
+        """
+        cached = ctx.get("_gf")
+        if cached is not None and cached[0] is g:
+            return cached[1]
+        n, co, ci, kh, kw, ho, wo = ctx["shape"]
+        hp, wp = ctx["padded_shape"][2], ctx["padded_shape"][3]
+        s = ctx["stride"]
+        gup = np.zeros((n, co, hp, wp), dtype=g.dtype)
+        gup[:, :, :(ho - 1) * s + 1:s, :(wo - 1) * s + 1:s] = g
+        gf = self._rfft2(gup, (hp, wp))               # (N, Co, fh, fw)
+        fh, fw = gf.shape[-2], gf.shape[-1]
+        gf = gf.transpose(2, 3, 0, 1).reshape(fh * fw, n, co)
+        ctx["_gf"] = (g, gf)
+        return gf
+
+    def conv2d_forward(self, x: np.ndarray, weight: np.ndarray,
+                       bias: Optional[np.ndarray], stride: int, padding: int,
+                       dilation: int, needs_grad: bool
+                       ) -> Tuple[np.ndarray, Any]:
+        co, ci, kh, kw = weight.shape
+        xp = self._pad(x, padding)
+        n, _, hp, wp = xp.shape
+        eff_kh = (kh - 1) * dilation + 1
+        eff_kw = (kw - 1) * dilation + 1
+        ho = (hp - eff_kh) // stride + 1
+        wo = (wp - eff_kw) // stride + 1
+
+        xf4 = self._rfft2(xp, (hp, wp))               # (N, Ci, fh, fw)
+        fh, fw = xf4.shape[-2], xf4.shape[-1]
+        # Bins-first layout: (F, N, Ci), contiguous, so the channel
+        # contraction below is one batched GEMM with no hidden copies.
+        xf = xf4.transpose(2, 3, 0, 1).reshape(fh * fw, n, ci)
+        # Weight spectrum via the k^2-support phase GEMM: equivalent to
+        # rfft2 of the zero-padded (dilation-embedded) kernel, without
+        # materializing or transforming Co*Ci mostly-zero Hp x Wp planes.
+        # Conjugated at build time: cross-correlation = IDFT(X·conj(W)).
+        taps_h = np.arange(kh) * dilation
+        taps_w = np.arange(kw) * dilation
+        phase = self._support_phase(taps_h, taps_w, hp, wp, xf.dtype)
+        w2 = weight.transpose(1, 0, 2, 3).reshape(ci * co, kh * kw)
+        wfc = self._weight_spectrum(w2, phase, conj=True)
+        wfc = wfc.reshape(fh * fw, ci, co)            # (F, Ci, Co)
+        yf = xf @ wfc                                 # (F, N, Co)
+        # Invert over the leading (frequency) axes and only then move
+        # the small cropped result back to NCHW.
+        y = self._irfft2(yf.reshape(fh, fw, n, co), (hp, wp), x.dtype,
+                         axes=(0, 1))
+        y = y[:(ho - 1) * stride + 1:stride,
+              :(wo - 1) * stride + 1:stride]
+        out = np.ascontiguousarray(y.transpose(2, 3, 0, 1))
+        if bias is not None:
+            out += bias.reshape(-1, 1, 1)
+        ctx = {
+            "xf": xf if needs_grad else None,
+            "wfc": wfc if needs_grad else None,
+            "shape": (n, co, ci, kh, kw, ho, wo),
+            "padded_shape": xp.shape,
+            "stride": stride, "padding": padding, "dilation": dilation,
+            "eff_k": (eff_kh, eff_kw),
+        }
+        return out, ctx
+
+    def conv2d_backward_input(self, ctx: Any, g: np.ndarray) -> np.ndarray:
+        n, co, ci, kh, kw, ho, wo = ctx["shape"]
+        hp, wp = ctx["padded_shape"][2], ctx["padded_shape"][3]
+        fh, fw = hp, wp // 2 + 1
+        gf = self._upsampled_grad_spectrum(ctx, g)    # (F, N, Co)
+        # Full convolution = IDFT(G · W); the linear support fits in
+        # (Hp, Wp), so the circular transform is exact.  The cached
+        # spectrum is conj(W) as (F, Ci, Co); rather than rebuilding W,
+        # conjugate the *small* G side:  G·W = conj(conj(G)·conj(W)).
+        cm = np.conj(gf) @ ctx["wfc"].transpose(0, 2, 1)   # (F, N, Ci)
+        gx = self._irfft2(np.conj(cm).reshape(fh, fw, n, ci),
+                          (hp, wp), g.dtype, axes=(0, 1))
+        p = ctx["padding"]
+        if p:
+            gx = gx[p:-p, p:-p]
+        return np.ascontiguousarray(gx.transpose(2, 3, 0, 1))
+
+    def conv2d_backward_weight(self, ctx: Any, g: np.ndarray) -> np.ndarray:
+        n, co, ci, kh, kw, ho, wo = ctx["shape"]
+        hp, wp = ctx["padded_shape"][2], ctx["padded_shape"][3]
+        d = ctx["dilation"]
+        gf = self._upsampled_grad_spectrum(ctx, g)    # (F, N, Co)
+        nf = gf.shape[0]
+        # Correlation = IDFT(conj(G) · X), contracted over N per bin.
+        gwf = np.conj(gf).transpose(0, 2, 1) @ ctx["xf"]   # (F, Co, Ci)
+        # Only the k^2 dilated tap positions of the inverse transform
+        # are kernel gradient; evaluate exactly those via the adjoint
+        # phase GEMM instead of Co*Ci full irfft2 planes.
+        taps_h = np.arange(kh) * d
+        taps_w = np.arange(kw) * d
+        inv = self._support_inverse_phase(taps_h, taps_w, hp, wp, gf.dtype)
+        gw = (gwf.reshape(nf, co * ci).T @ inv).real
+        gw = gw.astype(g.dtype, copy=False)
+        return np.ascontiguousarray(gw.reshape(co, ci, kh, kw))
+
+
+class BufferedBackend(KernelBackend):
+    """The numpy path with per-thread scratch-array recycling.
+
+    Attack loops dispatch the same conv shapes hundreds of times, so the
+    allocator traffic for padded inputs, im2col column blocks, matmul
+    outputs and col2im accumulators is pure overhead.  This backend keeps
+    a small per-thread pool keyed by ``(role, shape, dtype)`` and reuses
+    buffers across dispatches.
+
+    Only arrays that provably never escape a dispatch are recycled: the
+    padded input copy, the NHWC matmul outputs, the col2im accumulator,
+    and — only when the forward runs with ``needs_grad=False`` — the
+    im2col column block (under grad the columns are captured by the
+    weight-gradient closure and must survive).  Everything handed back to
+    callers is freshly copied, so results are bitwise-identical to
+    ``"numpy"``.
+    """
+
+    name = "buffered"
+    bitwise = True
+
+    #: Pool entries per thread before the pool is dropped wholesale — a
+    #: safety valve for pathological shape churn, far above the handful
+    #: of distinct shapes a training/attack loop touches.
+    MAX_BUFFERS = 64
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _scratch(self, role: str, shape: Tuple[int, ...],
+                 dtype: np.dtype) -> np.ndarray:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        key = (role, shape, np.dtype(dtype).str)
+        buf = pool.get(key)
+        if buf is None:
+            if len(pool) >= self.MAX_BUFFERS:
+                pool.clear()
+            buf = np.empty(shape, dtype=dtype)
+            pool[key] = buf
+        return buf
+
+    def pool_size(self) -> int:
+        """Live scratch entries for the calling thread (test hook)."""
+        return len(getattr(self._local, "pool", None) or {})
+
+    def clear(self) -> None:
+        """Drop the calling thread's scratch pool."""
+        self._local.pool = {}
+
+    def _pad(self, x: np.ndarray, padding: int) -> np.ndarray:
+        if not padding:
+            return x
+        n, c, h, w = x.shape
+        p = padding
+        buf = self._scratch("pad", (n, c, h + 2 * p, w + 2 * p), x.dtype)
+        buf.fill(0)
+        buf[:, :, p:-p, p:-p] = x
+        return buf
+
+    def _cols_buffer(self, shape: Tuple[int, ...], dtype: np.dtype,
+                     needs_grad: bool) -> Optional[np.ndarray]:
+        # Under grad the columns outlive the dispatch (weight-gradient
+        # closure), so they must be freshly allocated.
+        if needs_grad:
+            return None
+        return self._scratch("cols", shape, dtype)
+
+    def _nhwc_product(self, cols_flat: np.ndarray,
+                      w_flat: np.ndarray) -> np.ndarray:
+        shape = cols_flat.shape[:3] + (w_flat.shape[0],)
+        dtype = np.result_type(cols_flat.dtype, w_flat.dtype)
+        out = self._scratch("nhwc_out", shape, dtype)
+        return np.matmul(cols_flat, w_flat.T, out=out)
+
+    def _cols_product(self, g_nhwc: np.ndarray,
+                      w_flat: np.ndarray) -> np.ndarray:
+        shape = g_nhwc.shape[:3] + (w_flat.shape[1],)
+        dtype = np.result_type(g_nhwc.dtype, w_flat.dtype)
+        out = self._scratch("cols_grad", shape, dtype)
+        return np.matmul(g_nhwc, w_flat, out=out)
+
+    def _col2im_accumulator(self, shape: Tuple[int, ...],
+                            dtype: np.dtype) -> np.ndarray:
+        buf = self._scratch("col2im", shape, dtype)
+        buf.fill(0)
+        return buf
+
+    def _to_nchw(self, nhwc: np.ndarray, shape: Tuple[int, ...],
+                 dtype: np.dtype) -> np.ndarray:
+        # ``ascontiguousarray`` may return a view for degenerate shapes;
+        # the NHWC source is scratch here, so always copy into a fresh
+        # caller-owned array (same values, guaranteed ownership).
+        out = np.empty(shape, dtype=dtype)
+        np.copyto(out, nhwc.transpose(0, 3, 1, 2))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+_DEFAULT_NAME = "numpy"
+#: Per-context override (``use_backend``); falls back to the module-wide
+#: default for threads that never entered the context manager.
+_ACTIVE: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_nn_backend", default=None)
+
+
+def register_backend(name: str, backend: KernelBackend, *,
+                     replace: bool = False) -> KernelBackend:
+    """Register a backend singleton under ``name``.
+
+    Third-party backends subclass :class:`KernelBackend` and register an
+    instance; ``replace=True`` permits overriding an existing name (used
+    by tests to install instrumented doubles).
+    """
+    if not isinstance(backend, KernelBackend):
+        raise TypeError(f"backend must be a KernelBackend instance, "
+                        f"got {type(backend).__name__}")
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"backend {name!r} is already registered; "
+                             f"pass replace=True to override")
+        _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend: explicit name, else the active/default one."""
+    if name is None:
+        name = _ACTIVE.get() or _DEFAULT_NAME
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(f"unknown nn backend {name!r}; "
+                         f"available: {', '.join(available_backends())}")
+    return backend
+
+
+def get_default_backend_name() -> str:
+    """The name the next backend-less dispatch in this context resolves to."""
+    return _ACTIVE.get() or _DEFAULT_NAME
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous name.
+
+    This is what ``--nn-backend`` and profile defaults configure.  New
+    threads inherit it (context vars don't cross thread creation, so the
+    module-wide default is the cross-thread mechanism); scoped overrides
+    should prefer :func:`use_backend`.
+    """
+    global _DEFAULT_NAME
+    get_backend(name)                                 # validate eagerly
+    previous = _DEFAULT_NAME
+    _DEFAULT_NAME = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name: Optional[str]) -> Iterator[None]:
+    """Scope the active backend to a ``with`` block (``None`` is a no-op).
+
+    Context-local: concurrent serving threads and asyncio tasks can each
+    pin their own backend without interfering.
+    """
+    if name is None:
+        yield
+        return
+    get_backend(name)                                 # validate eagerly
+    token = _ACTIVE.set(name)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+
+
+register_backend("numpy", NumpyBackend())
+register_backend("fft", FFTBackend())
+register_backend("buffered", BufferedBackend())

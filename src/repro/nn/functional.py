@@ -1,10 +1,18 @@
 """Neural-network operations built on the autograd engine.
 
 Contains the structured ops the MagNet/EAD reproduction needs beyond basic
-arithmetic: im2col convolutions, average/max pooling, nearest-neighbour
+arithmetic: backend-dispatched convolutions and pooling (see
+:mod:`repro.nn.backend` for the pluggable kernel layer), nearest-neighbour
 upsampling (the MagNet decoder uses it), softmax / log-softmax (for
 classifier probabilities and the JSD detector), and the label-gather used
 by the cross-entropy loss.
+
+The conv/pool entry points are thin dispatchers: they validate arguments,
+resolve the active :class:`~repro.nn.backend.KernelBackend` (explicit
+``backend=`` argument, else the ambient selection), meter the dispatch,
+and wire the backend's forward/backward primitives into the autograd
+graph.  Existing call sites need no changes — ``backend=`` is a new
+optional keyword everywhere.
 
 All ops follow the NCHW layout convention: images are
 ``(batch, channels, height, width)``.
@@ -12,11 +20,14 @@ All ops follow the NCHW layout convention: images are
 
 from __future__ import annotations
 
+import time
+import warnings
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.nn.autograd import Tensor, _make, as_tensor
+from repro.nn.autograd import Tensor, _make, as_tensor, is_grad_enabled
+from repro.nn.backend import get_backend, record_dispatch
 
 __all__ = [
     "avg_pool2d",
@@ -38,8 +49,21 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution along one axis."""
-    return (size + 2 * padding - kernel) // stride + 1
+    """Spatial output size of a convolution along one axis.
+
+    Raises :class:`ValueError` when the (effective) kernel overhangs the
+    padded input — the historical behaviour of silently returning a zero
+    or negative size produced empty arrays or wrong-shaped scatter
+    targets far from the misconfiguration that caused them.
+    """
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution output size would be {out}: kernel {kernel} "
+            f"does not fit in padded input {size + 2 * padding} "
+            f"(size {size}, padding {padding}, stride {stride})"
+        )
+    return out
 
 
 def same_padding(kernel: int) -> int:
@@ -51,55 +75,40 @@ def same_padding(kernel: int) -> int:
 
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
             dilation: int = 1) -> np.ndarray:
-    """Extract sliding windows: (N, C, H, W) -> (N, Ho, Wo, C, kh, kw).
+    """Deprecated private seam; use the backend interface instead.
 
-    Filled tap-by-tap (kh*kw strided slice copies) directly into the
-    output layout — substantially faster than gathering through a
-    ``sliding_window_view`` and leaves the result contiguous, so the
-    caller's flattening reshape is free.  ``dilation`` spaces the kernel
-    taps (effective kernel size ``(k-1)*dilation + 1``).
+    .. deprecated::
+        Call ``get_backend("numpy").im2col(...)`` (any backend exposes
+        the primitive).  This shim delegates to the reference backend
+        and will be removed.
     """
-    n, c, h, w = x.shape
-    eff_kh = (kh - 1) * dilation + 1
-    eff_kw = (kw - 1) * dilation + 1
-    ho = (h - eff_kh) // stride + 1
-    wo = (w - eff_kw) // stride + 1
-    out = np.empty((n, ho, wo, c, kh, kw), dtype=x.dtype)
-    for i in range(kh):
-        row = i * dilation
-        for j in range(kw):
-            col = j * dilation
-            patch = x[:, :, row:row + stride * ho:stride,
-                      col:col + stride * wo:stride]
-            out[:, :, :, :, i, j] = patch.transpose(0, 2, 3, 1)
-    return out
+    warnings.warn(
+        "repro.nn.functional._im2col is deprecated; use "
+        "repro.nn.backend.get_backend(...).im2col instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    return get_backend("numpy").im2col(x, kh, kw, stride, dilation)
 
 
 def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int,
             stride: int, dilation: int = 1) -> np.ndarray:
-    """Scatter-add window gradients back to image shape (inverse of _im2col).
+    """Deprecated private seam; use the backend interface instead.
 
-    Accumulates in NHWC (both sides of the ``+=`` keep their natural
-    layout, no per-tap transposes) and converts to NCHW once at the end.
+    .. deprecated::
+        Call ``get_backend("numpy").col2im(...)``.  This shim delegates
+        to the reference backend and will be removed.
     """
-    n, c, h, w = x_shape
-    _, ho, wo = cols.shape[0], cols.shape[1], cols.shape[2]
-    out = np.zeros((n, h, w, c), dtype=cols.dtype)
-    for i in range(kh):
-        row = i * dilation
-        h_stop = row + stride * ho
-        for j in range(kw):
-            col = j * dilation
-            w_stop = col + stride * wo
-            out[:, row:h_stop:stride, col:w_stop:stride, :] += (
-                cols[:, :, :, :, i, j]
-            )
-    return np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    warnings.warn(
+        "repro.nn.functional._col2im is deprecated; use "
+        "repro.nn.backend.get_backend(...).col2im instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    return get_backend("numpy").col2im(cols, x_shape, kh, kw, stride, dilation)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
            stride: int = 1, padding: Union[int, str] = 0,
-           dilation: int = 1) -> Tensor:
+           dilation: int = 1, backend: Optional[str] = None) -> Tensor:
     """2-D cross-correlation (the deep-learning "convolution").
 
     Args:
@@ -109,6 +118,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
         stride: spatial stride (same in both axes).
         padding: integer zero-padding, or ``"same"`` for stride-1 odd kernels.
         dilation: spacing between kernel taps (atrous convolution).
+        backend: kernel backend name; ``None`` uses the active selection
+            (see :func:`repro.nn.backend.use_backend`).
 
     Returns:
         Output tensor ``(N, C_out, Ho, Wo)``.
@@ -133,45 +144,28 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     padding = int(padding)
     if stride < 1:
         raise ValueError(f"stride must be >= 1, got {stride}")
+    # Raises a clear ValueError when the kernel overhangs the padded input.
+    conv_output_size(x.shape[2], eff_kh, stride, padding)
+    conv_output_size(x.shape[3], eff_kw, stride, padding)
 
-    xd = x.data
-    if padding:
-        xd = np.pad(xd, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    n, _, hp, wp = xd.shape
-    ho = conv_output_size(x.shape[2], eff_kh, stride, padding)
-    wo = conv_output_size(x.shape[3], eff_kw, stride, padding)
-    if ho < 1 or wo < 1:
-        raise ValueError(
-            f"conv2d output would be empty: input {x.shape}, kernel ({kh},{kw}), "
-            f"stride {stride}, padding {padding}, dilation {dilation}"
-        )
-
-    cols = _im2col(xd, kh, kw, stride, dilation)           # (N, Ho, Wo, C, kh, kw)
-    cols_flat = cols.reshape(n, ho, wo, ci * kh * kw)
-    w_flat = weight.data.reshape(co, ci * kh * kw)
-    out = cols_flat @ w_flat.T                             # (N, Ho, Wo, C_out)
-    if bias is not None:
-        out = out + bias.data
-    out = out.transpose(0, 3, 1, 2)                        # (N, C_out, Ho, Wo)
-    out = np.ascontiguousarray(out, dtype=x.dtype)
-
-    padded_shape = xd.shape
+    be = get_backend(backend)
+    t0 = time.perf_counter()
+    out, ctx = be.conv2d_forward(
+        x.data, weight.data, bias.data if bias is not None else None,
+        stride, padding, dilation, needs_grad=is_grad_enabled())
+    record_dispatch(be.name, time.perf_counter() - t0)
 
     def grad_x(g):
-        # g: (N, C_out, Ho, Wo)
-        g_nhwc = g.transpose(0, 2, 3, 1)                   # (N, Ho, Wo, C_out)
-        gc = g_nhwc @ w_flat                               # (N, Ho, Wo, C*kh*kw)
-        gc = gc.reshape(n, ho, wo, ci, kh, kw)
-        gx = _col2im(gc, padded_shape, kh, kw, stride, dilation)
-        if padding:
-            gx = gx[:, :, padding:-padding, padding:-padding]
+        t0 = time.perf_counter()
+        gx = be.conv2d_backward_input(ctx, g)
+        record_dispatch(be.name, time.perf_counter() - t0)
         return gx
 
     def grad_w(g):
-        g_flat = g.transpose(0, 2, 3, 1).reshape(-1, co)   # (N*Ho*Wo, C_out)
-        cols_2d = cols_flat.reshape(-1, ci * kh * kw)
-        gw = g_flat.T @ cols_2d                            # (C_out, C*kh*kw)
-        return gw.reshape(co, ci, kh, kw)
+        t0 = time.perf_counter()
+        gw = be.conv2d_backward_weight(ctx, g)
+        record_dispatch(be.name, time.perf_counter() - t0)
+        return gw
 
     parents = [(x, grad_x), (weight, grad_w)]
     if bias is not None:
@@ -183,63 +177,38 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
 # Pooling and upsampling
 # ----------------------------------------------------------------------
 
-def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+def avg_pool2d(x: Tensor, kernel: int, backend: Optional[str] = None) -> Tensor:
     """Non-overlapping average pooling with ``kernel``×``kernel`` windows.
 
     Input spatial dims must be divisible by ``kernel`` (MagNet's MNIST
     autoencoders pool 28→14, which satisfies this).
     """
     x = as_tensor(x)
-    n, c, h, w = x.shape
+    _, _, h, w = x.shape
     k = int(kernel)
     if h % k or w % k:
         raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {k}")
-    ho, wo = h // k, w // k
-    blocks = x.data.reshape(n, c, ho, k, wo, k)
-    out = blocks.mean(axis=(3, 5))
+    be = get_backend(backend)
+    out = be.avg_pool2d_forward(x.data, k)
 
     def grad_fn(g):
-        g_scaled = (g / (k * k)).astype(x.dtype)
-        g_up = np.repeat(np.repeat(g_scaled, k, axis=2), k, axis=3)
-        return g_up
+        return be.avg_pool2d_backward(g, k, x.dtype)
 
     return _make(out.astype(x.dtype), [(x, grad_fn)])
 
 
-def max_pool2d(x: Tensor, kernel: int) -> Tensor:
+def max_pool2d(x: Tensor, kernel: int, backend: Optional[str] = None) -> Tensor:
     """Non-overlapping max pooling; gradient routes to the first argmax."""
     x = as_tensor(x)
-    n, c, h, w = x.shape
+    _, _, h, w = x.shape
     k = int(kernel)
     if h % k or w % k:
         raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {k}")
-    ho, wo = h // k, w // k
-    blocks = x.data.reshape(n, c, ho, k, wo, k)
-    # Pairwise maximum over the k*k taps (strided views, no copies) —
-    # much faster than a strided-axis ``.max()`` reduction or the
-    # transpose+argmax route, and bitwise-identical to both.
-    taps = [blocks[:, :, :, i, :, j] for i in range(k) for j in range(k)]
-    if len(taps) == 1:
-        out = taps[0].copy()
-    else:
-        out = np.maximum(taps[0], taps[1])
-        for tap in taps[2:]:
-            np.maximum(out, tap, out=out)
+    be = get_backend(backend)
+    out, ctx = be.max_pool2d_forward(x.data, k)
 
     def grad_fn(g):
-        # Route the gradient to the first maximum tap in (i, j) row-major
-        # order — the same winner the flat argmax picked — by comparing
-        # taps sequentially against the pooled maximum.  No argmax, no
-        # transposed copies.
-        gx = np.zeros((n, c, h, w), dtype=g.dtype)
-        gblocks = gx.reshape(n, c, ho, k, wo, k)
-        taken = np.zeros(out.shape, dtype=bool)
-        for i in range(k):
-            for j in range(k):
-                win = (blocks[:, :, :, i, :, j] == out) & ~taken
-                np.copyto(gblocks[:, :, :, i, :, j], g, where=win)
-                taken |= win
-        return gx
+        return be.max_pool2d_backward(ctx, g)
 
     return _make(out.astype(x.dtype), [(x, grad_fn)])
 

@@ -183,7 +183,8 @@ class Conv2D(Module):
     def __init__(self, in_channels: int, out_channels: int, kernel: int,
                  stride: int = 1, padding: Union[int, str] = "same",
                  rng: Optional[np.random.Generator] = None,
-                 weight_init: str = "glorot_uniform", bias: bool = True):
+                 weight_init: str = "glorot_uniform", bias: bool = True,
+                 backend: Optional[str] = None):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
         self.in_channels = int(in_channels)
@@ -191,6 +192,10 @@ class Conv2D(Module):
         self.kernel = int(kernel)
         self.stride = int(stride)
         self.padding = padding
+        # Kernel backend pin (None: resolve the ambient selection per
+        # dispatch).  Not part of the state dict — a checkpoint trained
+        # on one backend loads onto any other.
+        self.backend = backend
         init_fn = initializers.get_initializer(weight_init)
         shape = (self.out_channels, self.in_channels, self.kernel, self.kernel)
         self.weight = self.register_parameter("weight", Tensor(init_fn(shape, rng)))
@@ -202,7 +207,8 @@ class Conv2D(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias,
-                        stride=self.stride, padding=self.padding)
+                        stride=self.stride, padding=self.padding,
+                        backend=self.backend)
 
     def __repr__(self):
         return (f"Conv2D({self.in_channels} -> {self.out_channels}, "
@@ -213,12 +219,13 @@ class Conv2D(Module):
 class AvgPool2D(Module):
     """Non-overlapping average pooling."""
 
-    def __init__(self, kernel: int = 2):
+    def __init__(self, kernel: int = 2, backend: Optional[str] = None):
         super().__init__()
         self.kernel = int(kernel)
+        self.backend = backend
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.avg_pool2d(x, self.kernel)
+        return F.avg_pool2d(x, self.kernel, backend=self.backend)
 
     def __repr__(self):
         return f"AvgPool2D({self.kernel}x{self.kernel})"
@@ -227,12 +234,13 @@ class AvgPool2D(Module):
 class MaxPool2D(Module):
     """Non-overlapping max pooling."""
 
-    def __init__(self, kernel: int = 2):
+    def __init__(self, kernel: int = 2, backend: Optional[str] = None):
         super().__init__()
         self.kernel = int(kernel)
+        self.backend = backend
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.max_pool2d(x, self.kernel)
+        return F.max_pool2d(x, self.kernel, backend=self.backend)
 
     def __repr__(self):
         return f"MaxPool2D({self.kernel}x{self.kernel})"

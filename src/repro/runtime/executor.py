@@ -172,11 +172,15 @@ def _call(fn: Callable, item: Any, seed: Optional[int]) -> Any:
 def _invoke(payload) -> Any:
     """Top-level trampoline so the pool can pickle the unit of work.
 
-    The payload carries the driver's :class:`TraceContext`, so spans the
-    work item opens in the worker nest under the driver's map span.
+    The payload carries the driver's :class:`TraceContext` plus the
+    parent's active kernel-backend name, so spans the work item opens in
+    the worker nest under the driver's map span and every nn dispatch in
+    the worker resolves the same backend as a ``jobs=1`` run would.
     """
-    fn, item, seed, trace_ctx = payload
-    with attach_trace_context(trace_ctx):
+    from repro.nn.backend import use_backend
+
+    fn, item, seed, trace_ctx, backend = payload
+    with attach_trace_context(trace_ctx), use_backend(backend):
         return _call(fn, item, seed)
 
 
@@ -216,13 +220,16 @@ def _picklable_error(exc: BaseException) -> BaseException:
 
 def _run_one(fn, item, seed, index: int, attempt: int,
              timeout_s: Optional[float], plan: Optional[FaultPlan],
-             trace_ctx: Optional[TraceContext], in_worker: bool):
+             trace_ctx: Optional[TraceContext], in_worker: bool,
+             backend: Optional[str] = None):
     """Run one supervised item; never raises (crash faults excepted)."""
+    from repro.nn.backend import use_backend
+
     try:
         with _watchdog(timeout_s):
             if plan is not None:
                 plan.fire(index, attempt, in_worker=in_worker)
-            with attach_trace_context(trace_ctx):
+            with attach_trace_context(trace_ctx), use_backend(backend):
                 return (index, "ok", _call(fn, item, seed))
     except ItemTimeout as exc:
         return (index, "timeout", _picklable_error(exc))
@@ -235,9 +242,9 @@ def _run_one(fn, item, seed, index: int, attempt: int,
 def _invoke_chunk(payloads) -> List:
     """Worker body of the resilient path: supervise a chunk of items."""
     return [_run_one(fn, item, seed, index, attempt, timeout_s, plan,
-                     trace_ctx, in_worker=True)
-            for fn, item, seed, index, attempt, timeout_s, plan, trace_ctx
-            in payloads]
+                     trace_ctx, in_worker=True, backend=backend)
+            for fn, item, seed, index, attempt, timeout_s, plan, trace_ctx,
+            backend in payloads]
 
 
 def _invoke_lease(payloads) -> tuple:
@@ -346,16 +353,22 @@ class ParallelExecutor:
         with span("runtime/map", items=n, jobs=jobs, scheduler=label) as sp:
             # The map span is the parent of every item's spans, whether
             # the item runs in this process or in a pool worker (the
-            # context rides along in each payload).
+            # context rides along in each payload).  The kernel backend
+            # rides along too: workers resolve the parent's *active*
+            # selection, so jobs>1 is numerically identical to jobs=1
+            # even under use_backend()/set_default_backend().
+            from repro.nn.backend import get_backend
+
             trace_ctx = current_trace_context()
+            backend = get_backend().name
             try:
                 if self._resilient:
                     return self._map_resilient(fn, items, seeds, jobs,
-                                               trace_ctx, on_result)
+                                               trace_ctx, backend, on_result)
                 if jobs <= 1:
                     return self._map_serial_fast(fn, items, seeds, on_result)
 
-                payloads = [(fn, item, s, trace_ctx)
+                payloads = [(fn, item, s, trace_ctx, backend)
                             for item, s in zip(items, seeds)]
                 chunk = self.chunk_size or default_chunk_size(n, jobs)
                 sp["chunk"] = chunk
@@ -416,6 +429,7 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     def _map_resilient(self, fn, items, seeds, jobs: int,
                        trace_ctx: Optional[TraceContext],
+                       backend: Optional[str],
                        on_result) -> List[Any]:
         if self.policy is not None:
             policy = self.policy
@@ -434,14 +448,16 @@ class ParallelExecutor:
 
         if jobs <= 1:
             self._drain_serial(fn, items, seeds, pending, attempts, results,
-                               done, errors, policy, trace_ctx, on_result)
+                               done, errors, policy, trace_ctx, backend,
+                               on_result)
         else:
             drain = (self._drain_stealing
                      if self.scheduler == "work_stealing"
                      else self._drain_pool)
             try:
                 drain(fn, items, seeds, jobs, pending, attempts,
-                      results, done, errors, policy, trace_ctx, on_result)
+                      results, done, errors, policy, trace_ctx, backend,
+                      on_result)
             except Exception as exc:
                 if not _is_fallback_error(exc):
                     raise
@@ -449,7 +465,8 @@ class ParallelExecutor:
                             "%d items serially", type(exc).__name__, exc, n)
                 still = [i for i in range(n) if not done[i] and i not in errors]
                 self._drain_serial(fn, items, seeds, still, attempts, results,
-                                   done, errors, policy, trace_ctx, on_result)
+                                   done, errors, policy, trace_ctx, backend,
+                                   on_result)
 
         for index, (kind, exc) in sorted(errors.items()):
             failure = ItemFailure(index=index, kind=kind, error=str(exc),
@@ -489,7 +506,8 @@ class ParallelExecutor:
             errors[index] = (status, value)
 
     def _drain_serial(self, fn, items, seeds, pending, attempts, results,
-                      done, errors, policy, trace_ctx, on_result) -> None:
+                      done, errors, policy, trace_ctx, backend,
+                      on_result) -> None:
         """In-process resilient loop (jobs=1 and the pool-less fallback)."""
         queue = list(pending)
         while queue:
@@ -497,12 +515,14 @@ class ParallelExecutor:
             time.sleep(policy.delay(attempts[index]))
             outcome = _run_one(fn, items[index], seeds[index], index,
                                attempts[index], policy.timeout_s,
-                               self.fault_plan, trace_ctx, in_worker=False)
+                               self.fault_plan, trace_ctx, in_worker=False,
+                               backend=backend)
             self._handle_outcome(outcome, attempts, results, done, errors,
                                  policy, on_result, queue)
 
     def _drain_pool(self, fn, items, seeds, jobs, pending, attempts, results,
-                    done, errors, policy, trace_ctx, on_result) -> None:
+                    done, errors, policy, trace_ctx, backend,
+                    on_result) -> None:
         import concurrent.futures
         from concurrent.futures.process import BrokenProcessPool
 
@@ -525,7 +545,8 @@ class ParallelExecutor:
                     chunk_indices = pending[start:start + chunk]
                     payloads = [
                         (fn, items[i], seeds[i], i, attempts[i],
-                         policy.timeout_s, self.fault_plan, trace_ctx)
+                         policy.timeout_s, self.fault_plan, trace_ctx,
+                         backend)
                         for i in chunk_indices
                     ]
                     futures[pool.submit(_invoke_chunk, payloads)] = chunk_indices
@@ -565,7 +586,8 @@ class ParallelExecutor:
                                     broken_rounds, len(retry_queue))
                         self._drain_serial(fn, items, seeds, retry_queue,
                                            attempts, results, done, errors,
-                                           policy, trace_ctx, on_result)
+                                           policy, trace_ctx, backend,
+                                           on_result)
                         retry_queue = []
                 else:
                     broken_rounds = 0
@@ -575,7 +597,7 @@ class ParallelExecutor:
                 pool.shutdown(wait=False, cancel_futures=True)
 
     def _drain_stealing(self, fn, items, seeds, jobs, pending, attempts,
-                        results, done, errors, policy, trace_ctx,
+                        results, done, errors, policy, trace_ctx, backend,
                         on_result) -> None:
         """Work-stealing drain: per-slot deques of contiguous runs.
 
@@ -644,7 +666,8 @@ class ParallelExecutor:
 
                 def submit(slot: int, lease: List[int]) -> None:
                     payloads = [(fn, items[i], seeds[i], i, attempts[i],
-                                 policy.timeout_s, self.fault_plan, trace_ctx)
+                                 policy.timeout_s, self.fault_plan, trace_ctx,
+                                 backend)
                                 for i in lease]
                     inflight[pool.submit(_invoke_lease, payloads)] = (slot,
                                                                       lease)
@@ -703,7 +726,8 @@ class ParallelExecutor:
                                     broken_rounds, len(remainder))
                         self._drain_serial(fn, items, seeds, remainder,
                                            attempts, results, done, errors,
-                                           policy, trace_ctx, on_result)
+                                           policy, trace_ctx, backend,
+                                           on_result)
                         retry_queue, leftover = [], []
                 else:
                     broken_rounds = 0
